@@ -1,0 +1,46 @@
+"""Ablation: the worst-case tag blow-up of Section 3.2 ("Limitations").
+
+For a predicate of the form (X1 v Y1) ^ ... ^ (Xn v Yn), a plan that applies
+all X filters before all Y filters needs 2^n tags even after generalization.
+This benchmark measures plan-time tag-map construction for that adversarial
+ordering as n grows, and contrasts it with the interleaved ordering
+(X1, Y1, X2, Y2, ...) that keeps the tag space linear.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predtree import PredicateTree
+from repro.core.tagmap import TagMapBuilder
+from repro.expr.builders import and_, col, lit, or_
+from repro.plan.logical import FilterNode, ProjectNode, TableScanNode
+
+
+def _predicates(n: int):
+    xs = [col("t", f"x{i}") > lit(0) for i in range(n)]
+    ys = [col("t", f"y{i}") > lit(0) for i in range(n)]
+    return xs, ys
+
+
+def _plan(order):
+    node = TableScanNode("t", "tbl")
+    for predicate in order:
+        node = FilterNode(predicate, node)
+    return ProjectNode(node)
+
+
+@pytest.mark.parametrize("n", (3, 5, 7))
+@pytest.mark.parametrize("ordering", ("adversarial", "interleaved"))
+def test_tag_blowup(benchmark, n, ordering):
+    xs, ys = _predicates(n)
+    tree = PredicateTree(and_(*[or_(x, y) for x, y in zip(xs, ys)]))
+    order = xs + ys if ordering == "adversarial" else [p for pair in zip(xs, ys) for p in pair]
+    plan = _plan(order)
+
+    def build():
+        return TagMapBuilder(tree, three_valued=False).build(plan)
+
+    annotations = benchmark(build)
+    if ordering == "interleaved":
+        assert annotations.num_tags() <= 4 * n + 2

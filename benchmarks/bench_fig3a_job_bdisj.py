@@ -1,0 +1,23 @@
+"""Figure 3a: BDisj vs. TCombined on the combined JOB-style queries.
+
+The paper reports an average 2.7x speedup of TCombined over BDisj across the
+33 query groups.  Each benchmark here times one planner on one representative
+query group; compare the ``bdisj`` and ``tcombined`` medians per group to get
+the per-group speedup bars of Figure 3a.  ``python -m repro.bench.figures
+fig3a`` prints the full 33-group table in one go.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Representative query groups: one per structural template.
+GROUPS = (1, 6, 8, 15, 19, 30)
+
+
+@pytest.mark.parametrize("group", GROUPS)
+@pytest.mark.parametrize("planner", ("bdisj", "tcombined"))
+def test_fig3a_job_group(benchmark, imdb_session, job_queries, group, planner):
+    query = job_queries[group - 1]
+    result = benchmark(imdb_session.execute, query, planner=planner)
+    assert result.planner_name in (planner, "tpushdown", "tpullup", "titerpush", "tpushconj")

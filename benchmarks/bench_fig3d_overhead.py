@@ -1,0 +1,23 @@
+"""Figure 3d: the overhead of the tagged machinery (BPushConj vs. TPushConj).
+
+TPushConj forces tagged execution to produce the same plans a traditional
+conjunctive planner would, so the runtime ratio isolates the cost of carrying
+tags, bitmaps and tag maps.  The paper measures roughly a 10% overhead
+(speedup around 0.9x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.job_bench import factor_query
+
+GROUPS = (1, 8, 15, 30)
+
+
+@pytest.mark.parametrize("group", GROUPS)
+@pytest.mark.parametrize("planner", ("bpushconj", "tpushconj"))
+def test_fig3d_overhead_group(benchmark, imdb_session, job_queries, group, planner):
+    query = factor_query(job_queries[group - 1])
+    result = benchmark(imdb_session.execute, query, planner=planner)
+    assert result.row_count >= 0

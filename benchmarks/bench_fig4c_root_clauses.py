@@ -1,0 +1,35 @@
+"""Figure 4c: synthetic DNF query, number-of-root-clauses sweep (BDisj vs. TCombined).
+
+Each added root clause costs BDisj another full subquery (more duplicate
+materialization, another join, a bigger union); tagged execution only adds
+two more filters.  This is also the experiment where TCombined's planning
+time becomes visible, so the harness reports planning and execution times
+separately (see ``repro.bench.synthetic_bench.run_root_clause_sweep``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.synthetic import make_dnf_query
+
+ROOT_CLAUSES = (2, 4, 6)
+
+
+@pytest.mark.parametrize("clauses", ROOT_CLAUSES)
+@pytest.mark.parametrize("planner", ("bdisj", "tcombined"))
+def test_fig4c_root_clauses(benchmark, synthetic_session, clauses, planner):
+    query = make_dnf_query(num_root_clauses=clauses, selectivity=0.2)
+    result = benchmark(synthetic_session.execute, query, planner=planner)
+    assert result.row_count > 0
+
+
+@pytest.mark.parametrize("clauses", ROOT_CLAUSES)
+def test_fig4c_planning_time_only(benchmark, synthetic_session, clauses):
+    """Isolate TCombined's planning time (the dashed line of Figure 4c)."""
+    query = make_dnf_query(num_root_clauses=clauses, selectivity=0.2)
+
+    def plan_only():
+        return synthetic_session.explain(query, planner="tcombined")
+
+    benchmark(plan_only)

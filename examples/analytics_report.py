@@ -1,0 +1,73 @@
+"""An analytics-style report over the IMDB-like catalog.
+
+The motivating scenario from the paper's introduction — "compile a list of
+potential movies to watch this weekend" — rarely stops at SELECT *.  This
+example shows the output-shaping surface (aggregates, GROUP BY, ORDER BY,
+LIMIT, DISTINCT) layered on top of a disjunctive WHERE clause, all planned
+and executed by the tagged execution model.
+
+Run with::
+
+    python examples/analytics_report.py
+"""
+
+from repro import Session
+from repro.bench.report import format_table
+from repro.workloads.imdb import generate_imdb_catalog
+
+#: Movies worth watching: recent and decent, or older masterpieces.
+WATCHLIST_FILTER = (
+    "WHERE (t.production_year > 2000 AND mi_idx.info > 7.0) "
+    "   OR (t.production_year > 1980 AND mi_idx.info > 8.0) "
+)
+
+
+def print_result(title: str, result) -> None:
+    print(f"--- {title} ---")
+    print(format_table(result.column_names, result.rows[:15]))
+    print(
+        f"({result.row_count} rows, planner={result.planner_name}, "
+        f"total {result.total_seconds:.3f}s)\n"
+    )
+
+
+def main() -> None:
+    session = Session(generate_imdb_catalog(scale=0.05, seed=7), stats_sample_size=5_000)
+
+    per_year = session.execute(
+        "SELECT t.production_year, COUNT(*), AVG(mi_idx.info) "
+        "FROM title AS t JOIN movie_info_idx AS mi_idx ON t.id = mi_idx.movie_id "
+        + WATCHLIST_FILTER
+        + "GROUP BY t.production_year "
+        "ORDER BY COUNT(*) DESC, t.production_year LIMIT 10"
+    )
+    print_result("Watchlist candidates per production year (top 10)", per_year)
+
+    top_rated = session.execute(
+        "SELECT t.title, t.production_year, mi_idx.info "
+        "FROM title AS t JOIN movie_info_idx AS mi_idx ON t.id = mi_idx.movie_id "
+        + WATCHLIST_FILTER
+        + "ORDER BY mi_idx.info DESC, t.title LIMIT 10"
+    )
+    print_result("Ten highest-rated watchlist candidates", top_rated)
+
+    keyword_breadth = session.execute(
+        "SELECT COUNT(DISTINCT k.keyword) "
+        "FROM title AS t "
+        "JOIN movie_keyword AS mk ON t.id = mk.movie_id "
+        "JOIN keyword AS k ON mk.keyword_id = k.id "
+        "WHERE t.production_year > 2000 OR k.keyword ILIKE '%hero%'"
+    )
+    print_result("Distinct keywords attached to recent or heroic titles", keyword_breadth)
+
+    years = session.execute(
+        "SELECT DISTINCT t.production_year "
+        "FROM title AS t JOIN movie_info_idx AS mi_idx ON t.id = mi_idx.movie_id "
+        + WATCHLIST_FILTER
+        + "ORDER BY t.production_year DESC LIMIT 15"
+    )
+    print_result("Most recent production years with watchlist candidates", years)
+
+
+if __name__ == "__main__":
+    main()

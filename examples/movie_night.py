@@ -1,0 +1,66 @@
+"""Movie night: JOB-style disjunctive queries on the IMDB-like dataset.
+
+Generates the synthetic IMDB-like catalog, picks a few of the combined JOB
+query groups (including the superhero group the paper's Section 5.1 uses as
+its example), and compares all planners on them.
+
+Run with::
+
+    python examples/movie_night.py [scale]
+"""
+
+import sys
+
+from repro import Session
+from repro.bench.report import format_table
+from repro.bench.runner import time_query
+from repro.workloads.imdb import generate_imdb_catalog
+from repro.workloads.job import job_query
+
+#: Query groups showcased: 1 (the Query 1 analogue), 6 and 20 (the groups
+#: with the largest Figure 3b speedups), and 30 (a four-table group).
+SHOWCASE_GROUPS = (1, 6, 20, 30)
+PLANNERS = ("bdisj", "bpushconj", "tpushdown", "tpullup", "titerpush", "tcombined")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    print(f"Generating IMDB-like catalog at scale {scale} ...")
+    catalog = generate_imdb_catalog(scale=scale, seed=7)
+    session = Session(catalog, stats_sample_size=10_000)
+
+    for group in SHOWCASE_GROUPS:
+        query = job_query(group)
+        print(f"\n=== query group {group} ({query.name}) ===")
+        print(query)
+        rows = []
+        reference_count = None
+        for planner in PLANNERS:
+            measurement = time_query(session, query, planner, repetitions=1)
+            if reference_count is None:
+                reference_count = measurement.row_count
+            elif measurement.row_count != reference_count:
+                raise AssertionError(
+                    f"planner {planner} returned {measurement.row_count} rows, "
+                    f"expected {reference_count}"
+                )
+            rows.append(
+                [
+                    planner,
+                    measurement.total_seconds,
+                    measurement.execution_seconds,
+                    measurement.metrics["predicate_rows_evaluated"],
+                    measurement.metrics["tuples_materialized"],
+                    measurement.row_count,
+                ]
+            )
+        print(
+            format_table(
+                ["planner", "total (s)", "exec (s)", "pred rows", "tuples", "result rows"],
+                rows,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Synthetic sweep: a miniature version of the paper's Figure 4a and 4b.
+
+Sweeps predicate selectivity (DNF, Figure 4a) and table size (CNF, Figure 4b)
+on the synthetic T0/T1/T2 workload and prints the runtime tables.  The shape
+to look for: the baseline and tagged curves diverge as selectivity or table
+size grows, because traditional execution materializes ever more duplicate
+work while tagged execution does not.
+
+Run with::
+
+    python examples/synthetic_sweep.py [table_size]
+"""
+
+import sys
+
+from repro.bench.synthetic_bench import run_selectivity_sweep, run_table_size_sweep
+
+
+def main() -> None:
+    table_size = int(sys.argv[1]) if len(sys.argv) > 1 else 5_000
+
+    print("Figure 4a (DNF, selectivity sweep)")
+    selectivity_result = run_selectivity_sweep(
+        selectivities=(0.1, 0.3, 0.5, 0.7, 0.9),
+        table_size=table_size,
+        repetitions=1,
+    )
+    print(selectivity_result.to_table())
+    print()
+
+    print("Figure 4b (CNF, table-size sweep)")
+    size_result = run_table_size_sweep(
+        table_sizes=(1_000, 2_000, 5_000, table_size),
+        repetitions=1,
+    )
+    print(size_result.to_table())
+
+
+if __name__ == "__main__":
+    main()

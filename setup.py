@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The primary build configuration lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` (and ``python setup.py develop``) also work in
+fully offline environments where the ``wheel`` package is unavailable and
+PEP 660 editable builds cannot be performed.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — tagged execution for disjunctive query optimization.
+
+A Python reproduction of *"Optimizing Disjunctive Queries with Tagged
+Execution"* (Kim & Madden, SIGMOD 2024).  The package contains a small
+column-oriented query engine that can execute queries under two models:
+
+* the **traditional execution model** with the BDisj / BPushConj planners the
+  paper uses as baselines, and
+* the **tagged execution model** — the paper's contribution — where tuples
+  are grouped into relational slices tagged with the predicate subexpressions
+  they satisfy, and operators use those tags to skip redundant work.
+
+Typical usage::
+
+    from repro import Session, Catalog, Table
+
+    catalog = Catalog([
+        Table.from_dict("title", {"id": [1, 2], "production_year": [2008, 1994]}),
+        Table.from_dict("movie_info_idx", {"movie_id": [1, 2], "info": [9.0, 9.3]}),
+    ])
+    session = Session(catalog)
+    result = session.execute(
+        "SELECT * FROM title AS t JOIN movie_info_idx AS mi ON t.id = mi.movie_id "
+        "WHERE (t.production_year > 2000 AND mi.info > 7.0) "
+        "   OR (t.production_year > 1980 AND mi.info > 8.0)"
+    )
+
+See :mod:`repro.workloads` for the paper's synthetic and IMDB/JOB-style
+workloads and :mod:`repro.bench` for the harness that regenerates every
+figure in the evaluation.
+"""
+
+from repro.engine.result import QueryResult
+from repro.engine.session import Session
+from repro.expr.builders import and_, between, col, ilike, in_, is_null, like, lit, not_, or_
+from repro.plan.postselect import AggregateFunction, AggregateSpec, OrderItem
+from repro.plan.query import JoinCondition, Query
+from repro.sql.parser import parse_expression, parse_query
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column, ColumnType
+from repro.storage.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateFunction",
+    "AggregateSpec",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "JoinCondition",
+    "OrderItem",
+    "Query",
+    "QueryResult",
+    "Session",
+    "Table",
+    "and_",
+    "between",
+    "col",
+    "ilike",
+    "in_",
+    "is_null",
+    "like",
+    "lit",
+    "not_",
+    "or_",
+    "parse_expression",
+    "parse_query",
+    "__version__",
+]

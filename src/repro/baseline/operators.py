@@ -1,0 +1,173 @@
+"""Traditional execution operators: scan, filter, hash join, union.
+
+These mirror the tagged operators but work on whole relations: a filter keeps
+only the rows whose predicate evaluates to TRUE (compacting the relation), a
+join processes every row of both inputs, and BDisj's final union deduplicates
+tuples produced by different root-clause subqueries (the redundant work the
+paper's Section 5.1 analysis attributes to traditional execution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline.relation import Relation
+from repro.engine.metrics import ExecContext
+from repro.expr import three_valued as tv
+from repro.expr.ast import BooleanExpr
+from repro.expr.eval import RowBatch
+from repro.plan.query import JoinCondition
+from repro.storage.table import Table
+from repro.utils.join import equi_join_indices
+from repro.utils.keys import composite_keys
+
+
+class ScanOperator:
+    """Produce a relation over every row of a base table."""
+
+    def __init__(self, alias: str, table: Table) -> None:
+        self.alias = alias
+        self.table = table
+
+    def execute(self, context: ExecContext) -> Relation:
+        """Run the scan."""
+        context.metrics.operators_executed += 1
+        relation = Relation.from_base_table(self.alias, self.table)
+        context.metrics.tuples_materialized += relation.num_rows
+        return relation
+
+
+class FilterOperator:
+    """Keep only the rows whose predicate evaluates to TRUE."""
+
+    def __init__(self, predicate: BooleanExpr) -> None:
+        self.predicate = predicate
+
+    def execute(self, relation: Relation, context: ExecContext) -> Relation:
+        """Run the filter."""
+        context.metrics.operators_executed += 1
+        if relation.num_rows == 0:
+            return relation
+        aliases = self.predicate.tables()
+        missing = aliases - set(relation.indices)
+        if missing:
+            raise ValueError(
+                f"filter predicate {self.predicate.key()} references aliases {sorted(missing)} "
+                f"not present in the input relation (aliases: {relation.aliases})"
+            )
+        indices = {alias: relation.indices[alias] for alias in aliases}
+        tables = {alias: relation.tables[alias] for alias in aliases}
+        batch = RowBatch(tables, indices, cache=context.cache, iostats=context.iostats)
+        truth = self.predicate.evaluate(batch)
+        context.metrics.predicate_evaluations += 1
+        context.metrics.predicate_rows_evaluated += relation.num_rows
+        keep = np.flatnonzero(tv.is_true(truth))
+        output = relation.take(keep)
+        context.metrics.tuples_materialized += output.num_rows
+        return output
+
+
+class HashJoinOperator:
+    """Equi-join of two relations."""
+
+    def __init__(self, conditions: list[JoinCondition]) -> None:
+        if not conditions:
+            raise ValueError("a hash join requires at least one join condition")
+        self.conditions = list(conditions)
+
+    def execute(self, left: Relation, right: Relation, context: ExecContext) -> Relation:
+        """Run the join."""
+        context.metrics.operators_executed += 1
+        merged_tables = {**left.tables, **right.tables}
+        if left.num_rows == 0 or right.num_rows == 0:
+            empty = np.empty(0, dtype=np.int64)
+            indices = {alias: empty for alias in list(left.indices) + list(right.indices)}
+            return Relation(merged_tables, indices)
+
+        context.metrics.hash_tables_built += 1
+        context.metrics.join_build_rows += left.num_rows
+        context.metrics.join_probe_rows += right.num_rows
+
+        left_columns = []
+        right_columns = []
+        for condition in self.conditions:
+            left_ref, right_ref = self._orient(condition, left)
+            left_columns.append(
+                left.tables[left_ref.alias].read_column_at(
+                    left_ref.column,
+                    left.indices[left_ref.alias],
+                    cache=context.cache,
+                    iostats=context.iostats,
+                )
+            )
+            right_columns.append(
+                right.tables[right_ref.alias].read_column_at(
+                    right_ref.column,
+                    right.indices[right_ref.alias],
+                    cache=context.cache,
+                    iostats=context.iostats,
+                )
+            )
+        left_keys, right_keys = composite_keys(left_columns, right_columns)
+        left_match, right_match = equi_join_indices(left_keys, right_keys)
+
+        out_indices: dict[str, np.ndarray] = {}
+        for alias in left.indices:
+            out_indices[alias] = left.indices[alias][left_match]
+        for alias in right.indices:
+            out_indices[alias] = right.indices[alias][right_match]
+
+        context.metrics.join_output_rows += int(left_match.size)
+        context.metrics.tuples_materialized += int(left_match.size)
+        return Relation(merged_tables, out_indices)
+
+    def _orient(self, condition: JoinCondition, left: Relation):
+        if condition.left.alias in left.indices:
+            return condition.left, condition.right
+        if condition.right.alias in left.indices:
+            return condition.right, condition.left
+        raise ValueError(
+            f"join condition {condition} does not reference the left input "
+            f"(aliases: {left.aliases})"
+        )
+
+
+class UnionOperator:
+    """Union (with duplicate elimination) of relations over the same aliases.
+
+    BDisj appends this operator to combine the outputs of its per-root-clause
+    subqueries; deduplication is by the tuple of base-table row indices, which
+    is exactly the identity of a joined tuple in an index relation.
+    """
+
+    def execute(self, relations: list[Relation], context: ExecContext) -> Relation:
+        """Run the union."""
+        context.metrics.operators_executed += 1
+        relations = [relation for relation in relations if relation.num_rows > 0]
+        if not relations:
+            raise ValueError("union of zero non-empty relations is undefined")
+        alias_sets = {frozenset(relation.indices) for relation in relations}
+        if len(alias_sets) != 1:
+            raise ValueError(f"union inputs cover different alias sets: {alias_sets}")
+
+        total_input = sum(relation.num_rows for relation in relations)
+        context.metrics.union_input_rows += total_input
+
+        stacked = np.concatenate([relation.row_keys() for relation in relations], axis=0)
+        _unique, first_positions = np.unique(stacked, axis=0, return_index=True)
+        keep = np.sort(first_positions)
+
+        aliases = sorted(relations[0].indices)
+        merged_indices = {
+            alias: np.concatenate([relation.indices[alias] for relation in relations])
+            for alias in aliases
+        }
+        out_indices = {alias: merged_indices[alias][keep] for alias in aliases}
+        merged_tables: dict[str, Table] = {}
+        for relation in relations:
+            merged_tables.update(relation.tables)
+
+        output = Relation(merged_tables, out_indices)
+        context.metrics.union_output_rows += output.num_rows
+        context.metrics.tuples_materialized += output.num_rows
+        return output

@@ -1,0 +1,167 @@
+"""Traditional-execution planners: BDisj and BPushConj (Section 5).
+
+* **BDisj** handles OR-rooted predicate expressions (DNFs): every root clause
+  becomes its own conventional query plan with conjunctive pushdown, the
+  subqueries run independently, and a final union operator removes the
+  duplicate tuples produced by overlapping clauses.  This mirrors both the
+  academic treatment of disjunctions and the manual rewrite experts recommend
+  for engines without native support.
+* **BPushConj** handles AND-rooted predicate expressions (CNFs): root clauses
+  whose predicates all reference a single table are pushed to that table; the
+  remaining clauses run after all joins in increasing selectivity order.
+  This is what PostgreSQL-class systems do.
+
+Both order joins greedily by estimated output cardinality, exactly like the
+tagged planners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.planner.base import PlannerContext
+from repro.core.planner.joinorder import greedy_join_tree
+from repro.core.planner.pushconj import split_conjunctive_pushdown
+from repro.expr.ast import AndExpr, BooleanExpr
+from repro.plan.logical import FilterNode, PlanNode, ProjectNode, TableScanNode
+from repro.plan.query import Query
+
+
+@dataclass
+class TraditionalPlan:
+    """One or more conventional subplans, optionally combined by a union."""
+
+    planner_name: str
+    subplans: list[PlanNode] = field(default_factory=list)
+    needs_union: bool = False
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        suffix = " + union" if self.needs_union else ""
+        return f"{self.planner_name}: {len(self.subplans)} subplan(s){suffix}"
+
+
+class _TraditionalPlannerBase:
+    """Shared helpers for the two traditional planners."""
+
+    name = "traditional"
+
+    def __init__(self, context: PlannerContext) -> None:
+        self.context = context
+
+    def _scan(self, alias: str) -> TableScanNode:
+        return TableScanNode(alias, self.context.query.tables[alias])
+
+    def _stack(self, node: PlanNode, filters: list[BooleanExpr]) -> PlanNode:
+        for predicate in filters:
+            node = FilterNode(predicate, node)
+        return node
+
+    def _conjunctive_subplan(
+        self, query: Query, clause: BooleanExpr | None
+    ) -> PlanNode:
+        """A conventional plan for ``query`` restricted to one (conjunctive) clause."""
+        context = self.context
+        if clause is None:
+            parts: list[BooleanExpr] = []
+        elif isinstance(clause, AndExpr):
+            parts = list(clause.children())
+        else:
+            parts = [clause]
+
+        per_alias: dict[str, list[BooleanExpr]] = {alias: [] for alias in query.aliases}
+        remaining: list[BooleanExpr] = []
+        for part in parts:
+            aliases = part.tables()
+            if len(aliases) == 1 and next(iter(aliases)) in per_alias:
+                per_alias[next(iter(aliases))].append(part)
+            else:
+                remaining.append(part)
+
+        leaf_plans: dict[str, PlanNode] = {}
+        estimated_rows: dict[str, float] = {}
+        for alias in query.aliases:
+            pushed = sorted(
+                per_alias[alias],
+                key=lambda expr: (context.selectivity.selectivity(expr), expr.key()),
+            )
+            leaf_plans[alias] = self._stack(self._scan(alias), list(reversed(pushed)))
+            rows = context.cardinality.base_rows(alias)
+            for predicate in pushed:
+                rows *= context.selectivity.selectivity(predicate)
+            estimated_rows[alias] = rows
+
+        if len(query.aliases) == 1:
+            joined: PlanNode = leaf_plans[query.aliases[0]]
+        else:
+            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.cardinality)
+
+        remaining_sorted = sorted(
+            remaining, key=lambda expr: (context.selectivity.selectivity(expr), expr.key())
+        )
+        joined = self._stack(joined, remaining_sorted)
+        return ProjectNode(joined, query.select)
+
+
+class BDisjPlanner(_TraditionalPlannerBase):
+    """Per-root-clause execution with a final union (for OR-rooted predicates)."""
+
+    name = "bdisj"
+
+    def plan(self) -> TraditionalPlan:
+        """Build one conventional subplan per root clause."""
+        context = self.context
+        query = context.query
+        tree = context.predicate_tree
+
+        if tree is None:
+            return TraditionalPlan(self.name, [self._conjunctive_subplan(query, None)])
+
+        if tree.root.is_or:
+            clauses = [child.expr for child in tree.root.children]
+        else:
+            clauses = [tree.expression]
+
+        subplans = [self._conjunctive_subplan(query, clause) for clause in clauses]
+        return TraditionalPlan(self.name, subplans, needs_union=len(subplans) > 1)
+
+
+class BPushConjPlanner(_TraditionalPlannerBase):
+    """Conjunctive pushdown only (for AND-rooted predicates)."""
+
+    name = "bpushconj"
+
+    def plan(self) -> TraditionalPlan:
+        """Build a single conventional plan with conjunctive pushdown."""
+        context = self.context
+        query = context.query
+        tree = context.predicate_tree
+
+        if tree is None:
+            return TraditionalPlan(self.name, [self._conjunctive_subplan(query, None)])
+
+        is_and_root = tree.root.is_and
+        per_alias, remaining = split_conjunctive_pushdown(
+            tree.expression, query.aliases, is_and_root
+        )
+
+        leaf_plans: dict[str, PlanNode] = {}
+        estimated_rows: dict[str, float] = {}
+        for alias in query.aliases:
+            pushed = per_alias[alias]
+            leaf_plans[alias] = self._stack(self._scan(alias), pushed)
+            rows = context.cardinality.base_rows(alias)
+            for predicate in pushed:
+                rows *= context.selectivity.selectivity(predicate)
+            estimated_rows[alias] = rows
+
+        if len(query.aliases) == 1:
+            joined: PlanNode = leaf_plans[query.aliases[0]]
+        else:
+            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.cardinality)
+
+        remaining_sorted = sorted(
+            remaining, key=lambda expr: (context.selectivity.selectivity(expr), expr.key())
+        )
+        joined = self._stack(joined, remaining_sorted)
+        return TraditionalPlan(self.name, [ProjectNode(joined, query.select)])

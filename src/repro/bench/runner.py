@@ -1,0 +1,66 @@
+"""Timing helpers shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.result import QueryResult
+from repro.engine.session import Session
+from repro.plan.query import Query
+
+
+@dataclass
+class BenchmarkMeasurement:
+    """Averaged timings of one (query, planner) pair."""
+
+    planner: str
+    query_name: str
+    repetitions: int
+    total_seconds: float
+    execution_seconds: float
+    planning_seconds: float
+    row_count: int
+    metrics: dict[str, int] = field(default_factory=dict)
+
+    def speedup_over(self, other: "BenchmarkMeasurement") -> float:
+        """How much faster this measurement is than ``other`` (>1 = faster)."""
+        if self.total_seconds <= 0:
+            return float("inf")
+        return other.total_seconds / self.total_seconds
+
+
+def time_query(
+    session: Session,
+    query: Query,
+    planner: str,
+    repetitions: int = 3,
+    naive_tags: bool = False,
+) -> BenchmarkMeasurement:
+    """Execute ``query`` under ``planner`` ``repetitions`` times and average.
+
+    The paper reports the average of 5 runs per query; benchmarks here
+    default to 3 to keep wall-clock time reasonable for a Python engine.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    total = 0.0
+    execution = 0.0
+    planning = 0.0
+    last: QueryResult | None = None
+    for _ in range(repetitions):
+        result = session.execute(query, planner=planner, naive_tags=naive_tags)
+        total += result.total_seconds
+        execution += result.execution_seconds
+        planning += result.planning_seconds
+        last = result
+    assert last is not None
+    return BenchmarkMeasurement(
+        planner=planner,
+        query_name=query.name or "query",
+        repetitions=repetitions,
+        total_seconds=total / repetitions,
+        execution_seconds=execution / repetitions,
+        planning_seconds=planning / repetitions,
+        row_count=last.row_count,
+        metrics=last.metrics.as_dict(),
+    )

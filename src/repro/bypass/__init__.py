@@ -1,0 +1,52 @@
+"""Bypass execution model (related-work comparator).
+
+The *bypass technique* (Kemper et al. 1994; Steinbrunn et al. 1995; Claussen
+et al. 2000) is the closest prior art to tagged execution discussed in the
+paper's Section 6.  Filter operators are augmented with a second, "false"
+output stream; tuples whose predicate outcome already determines the overall
+WHERE expression *bypass* the remaining (possibly expensive) operators.
+
+This subpackage implements the technique faithfully enough to serve as a
+third execution model next to the traditional and tagged ones:
+
+* a **stream** is a plain (untagged) relation annotated with the truth
+  assignments its tuples are known to satisfy (:mod:`repro.bypass.streams`);
+* bypass **operators** split, join and collect streams
+  (:mod:`repro.bypass.operators`);
+* the bypass **planner** reuses the TPushdown plan shape — the bypass
+  technique always pushes predicates down (:mod:`repro.bypass.planner`);
+* the bypass **executor** interprets a logical plan over stream sets
+  (:mod:`repro.bypass.executor`).
+
+The crucial differences from tagged execution, which the paper calls out and
+which the ablation benchmarks measure, are preserved:
+
+1. every stream is a *separate* relation, so tuples are copied between
+   streams instead of being re-labelled in bitmaps;
+2. each filter evaluates its predicate once *per stream* rather than once
+   over the union of matching slices;
+3. each join builds one hash table *per pair of input streams* rather than a
+   single shared table.
+"""
+
+from repro.bypass.executor import BypassExecutor
+from repro.bypass.operators import (
+    BypassFilterOperator,
+    BypassJoinOperator,
+    BypassProjectOperator,
+    BypassScanOperator,
+)
+from repro.bypass.planner import BypassPlan, BypassPlanner
+from repro.bypass.streams import BypassStream, StreamSet
+
+__all__ = [
+    "BypassExecutor",
+    "BypassFilterOperator",
+    "BypassJoinOperator",
+    "BypassProjectOperator",
+    "BypassScanOperator",
+    "BypassPlan",
+    "BypassPlanner",
+    "BypassStream",
+    "StreamSet",
+]

@@ -1,0 +1,63 @@
+"""Physical execution of a logical plan under the bypass model."""
+
+from __future__ import annotations
+
+from repro.bypass.operators import (
+    BypassFilterOperator,
+    BypassJoinOperator,
+    BypassProjectOperator,
+    BypassScanOperator,
+)
+from repro.bypass.streams import StreamSet
+from repro.core.predtree import PredicateTree
+from repro.engine.metrics import ExecContext
+from repro.engine.result import OutputColumns
+from repro.plan.logical import FilterNode, JoinNode, PlanNode, ProjectNode, TableScanNode
+from repro.storage.catalog import Catalog
+
+
+class BypassExecutor:
+    """Runs a pushdown-shaped logical plan with the bypass operators."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        predicate_tree: PredicateTree | None,
+        three_valued: bool = True,
+    ) -> None:
+        self._catalog = catalog
+        self._tree = predicate_tree
+        self._three_valued = three_valued
+
+    def execute(self, plan: PlanNode, context: ExecContext) -> OutputColumns:
+        """Execute ``plan`` and return the materialized output columns."""
+        if not isinstance(plan, ProjectNode):
+            raise ValueError("bypass plans must be rooted at a ProjectNode")
+        streams = self._execute_node(plan.child, context)
+        project = BypassProjectOperator(
+            self._tree, plan.columns, three_valued=self._three_valued
+        )
+        return project.execute(streams, context)
+
+    def _execute_node(self, node: PlanNode, context: ExecContext) -> StreamSet:
+        if isinstance(node, TableScanNode):
+            operator = BypassScanOperator(node.alias, self._catalog.get(node.table_name))
+            return operator.execute(context)
+
+        if isinstance(node, FilterNode):
+            child = self._execute_node(node.child, context)
+            operator = BypassFilterOperator(
+                node.predicate, self._tree, three_valued=self._three_valued
+            )
+            return operator.execute(child, context)
+
+        if isinstance(node, JoinNode):
+            left = self._execute_node(node.left, context)
+            right = self._execute_node(node.right, context)
+            operator = BypassJoinOperator(node.conditions, self._tree)
+            return operator.execute(left, right, context)
+
+        if isinstance(node, ProjectNode):
+            raise ValueError("nested ProjectNode encountered; plans must have a single root")
+
+        raise TypeError(f"unknown plan node type: {type(node).__name__}")

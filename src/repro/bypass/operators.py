@@ -1,0 +1,329 @@
+"""Bypass operators: scan, filter (with true/false streams), join, project.
+
+The operators mirror the traditional operators of :mod:`repro.baseline` but
+work on :class:`~repro.bypass.streams.StreamSet` objects instead of single
+relations.  Tags are used only at plan/operator level to decide which streams
+may bypass an operator or be discarded outright; the data path itself is the
+conventional one (copying index rows between streams, one hash table per
+stream pair), which is precisely what separates the bypass technique from
+tagged execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline.relation import Relation
+from repro.bypass.streams import BypassStream, StreamSet
+from repro.core.generalize import generalize_tag, refutes_root, satisfies_root
+from repro.core.predtree import PredicateTree
+from repro.core.tags import Tag
+from repro.engine.metrics import ExecContext
+from repro.engine.result import OutputColumns, materialize_output
+from repro.expr import three_valued as tv
+from repro.expr.ast import BooleanExpr
+from repro.expr.eval import RowBatch
+from repro.plan.query import JoinCondition
+from repro.storage.table import Table
+from repro.utils.join import equi_join_indices
+from repro.utils.keys import composite_keys
+
+
+class BypassScanOperator:
+    """Produce the initial single-stream set over a base table."""
+
+    def __init__(self, alias: str, table: Table) -> None:
+        self.alias = alias
+        self.table = table
+
+    def execute(self, context: ExecContext) -> StreamSet:
+        """Run the scan."""
+        context.metrics.operators_executed += 1
+        stream = BypassStream.from_base_table(self.alias, self.table)
+        context.metrics.tuples_materialized += stream.num_rows
+        context.metrics.streams_created += 1
+        return StreamSet([stream])
+
+
+class BypassFilterOperator:
+    """Split each input stream into a "true" and a "false" output stream.
+
+    Streams whose tag already satisfies the overall WHERE expression bypass
+    the filter untouched; streams whose tag already determines this
+    predicate's outcome (or whose instances are all dominated by an assigned
+    ancestor) also pass through, because re-evaluating would not refine them.
+    Output streams whose generalized tag refutes the root are dropped.
+    """
+
+    def __init__(
+        self,
+        predicate: BooleanExpr,
+        tree: PredicateTree | None,
+        three_valued: bool = True,
+    ) -> None:
+        self.predicate = predicate
+        self.tree = tree
+        self.three_valued = three_valued
+
+    def execute(self, streams: StreamSet, context: ExecContext) -> StreamSet:
+        """Run the filter over every stream that still needs it."""
+        context.metrics.operators_executed += 1
+        output = StreamSet()
+        for stream in streams:
+            if self._should_bypass(stream.tag):
+                output.add(stream)
+                continue
+            self._split_stream(stream, output, context)
+        context.metrics.streams_created += output.num_streams
+        return output
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _should_bypass(self, tag: Tag) -> bool:
+        if self.tree is None:
+            return False
+        if satisfies_root(self.tree, tag):
+            return True
+        predicate_key = self.predicate.key()
+        if predicate_key in tag:
+            return True
+        assigned = set(tag.keys())
+        if assigned and self.tree.every_instance_has_assigned_ancestor(predicate_key, assigned):
+            return True
+        return False
+
+    def _split_stream(
+        self, stream: BypassStream, output: StreamSet, context: ExecContext
+    ) -> None:
+        relation = stream.relation
+        if relation.num_rows == 0:
+            return
+        aliases = self.predicate.tables()
+        missing = aliases - set(relation.indices)
+        if missing:
+            raise ValueError(
+                f"bypass filter predicate {self.predicate.key()} references aliases "
+                f"{sorted(missing)} not present in the stream (aliases: {relation.aliases})"
+            )
+        indices = {alias: relation.indices[alias] for alias in aliases}
+        tables = {alias: relation.tables[alias] for alias in aliases}
+        batch = RowBatch(tables, indices, cache=context.cache, iostats=context.iostats)
+        truth = self.predicate.evaluate(batch)
+        context.metrics.predicate_evaluations += 1
+        context.metrics.predicate_rows_evaluated += relation.num_rows
+
+        outcomes = [(tv.TRUE, np.flatnonzero(tv.is_true(truth)))]
+        false_positions = np.flatnonzero(tv.is_false(truth))
+        unknown_positions = np.flatnonzero(tv.is_unknown(truth))
+        if self.three_valued:
+            outcomes.append((tv.FALSE, false_positions))
+            outcomes.append((tv.UNKNOWN, unknown_positions))
+        else:
+            outcomes.append(
+                (tv.FALSE, np.sort(np.concatenate([false_positions, unknown_positions])))
+            )
+
+        predicate_key = self.predicate.key()
+        for value, positions in outcomes:
+            if positions.size == 0:
+                continue
+            tag = stream.tag.with_assignment(predicate_key, value)
+            tag = self._generalize(tag)
+            if tag is None:
+                continue
+            new_stream = stream.take(positions, tag)
+            context.metrics.tuples_materialized += new_stream.num_rows
+            output.add(new_stream)
+
+    def _generalize(self, tag: Tag) -> Tag | None:
+        if self.tree is None:
+            return tag
+        generalized = generalize_tag(self.tree, tag)
+        if refutes_root(self.tree, generalized, include_unknown=True):
+            return None
+        return generalized
+
+
+class BypassJoinOperator:
+    """Equi-join of two stream sets, one hash join per stream pair."""
+
+    def __init__(
+        self,
+        conditions: list[JoinCondition],
+        tree: PredicateTree | None,
+    ) -> None:
+        if not conditions:
+            raise ValueError("a bypass join requires at least one join condition")
+        self.conditions = list(conditions)
+        self.tree = tree
+
+    def execute(
+        self, left: StreamSet, right: StreamSet, context: ExecContext
+    ) -> StreamSet:
+        """Join every viable (left stream, right stream) pair."""
+        context.metrics.operators_executed += 1
+        output = StreamSet()
+        for left_stream in left:
+            for right_stream in right:
+                combined = self._combine_tags(left_stream.tag, right_stream.tag)
+                if combined is None:
+                    continue
+                joined = self._join_pair(left_stream, right_stream, combined, context)
+                if joined is not None:
+                    output.add(joined)
+        context.metrics.streams_created += output.num_streams
+        return output
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _combine_tags(self, left_tag: Tag, right_tag: Tag) -> Tag | None:
+        try:
+            combined = left_tag.union(right_tag)
+        except ValueError:
+            return None
+        if self.tree is None:
+            return combined
+        generalized = generalize_tag(self.tree, combined)
+        if refutes_root(self.tree, generalized, include_unknown=True):
+            return None
+        return generalized
+
+    def _join_pair(
+        self,
+        left_stream: BypassStream,
+        right_stream: BypassStream,
+        tag: Tag,
+        context: ExecContext,
+    ) -> BypassStream | None:
+        left_relation = left_stream.relation
+        right_relation = right_stream.relation
+        merged_tables = {**left_relation.tables, **right_relation.tables}
+        if left_relation.num_rows == 0 or right_relation.num_rows == 0:
+            return None
+
+        # Each stream pair builds its own hash table: this is the per-pair
+        # work the shared hash table of tagged execution amortizes away.
+        context.metrics.hash_tables_built += 1
+        context.metrics.join_build_rows += left_relation.num_rows
+        context.metrics.join_probe_rows += right_relation.num_rows
+
+        left_columns = []
+        right_columns = []
+        for condition in self.conditions:
+            left_ref, right_ref = self._orient(condition, left_relation)
+            left_columns.append(
+                left_relation.tables[left_ref.alias].read_column_at(
+                    left_ref.column,
+                    left_relation.indices[left_ref.alias],
+                    cache=context.cache,
+                    iostats=context.iostats,
+                )
+            )
+            right_columns.append(
+                right_relation.tables[right_ref.alias].read_column_at(
+                    right_ref.column,
+                    right_relation.indices[right_ref.alias],
+                    cache=context.cache,
+                    iostats=context.iostats,
+                )
+            )
+        left_keys, right_keys = composite_keys(left_columns, right_columns)
+        left_match, right_match = equi_join_indices(left_keys, right_keys)
+        if left_match.size == 0:
+            return None
+
+        out_indices: dict[str, np.ndarray] = {}
+        for alias in left_relation.indices:
+            out_indices[alias] = left_relation.indices[alias][left_match]
+        for alias in right_relation.indices:
+            out_indices[alias] = right_relation.indices[alias][right_match]
+
+        context.metrics.join_output_rows += int(left_match.size)
+        context.metrics.tuples_materialized += int(left_match.size)
+        return BypassStream(tag, Relation(merged_tables, out_indices))
+
+    def _orient(self, condition: JoinCondition, left: Relation):
+        if condition.left.alias in left.indices:
+            return condition.left, condition.right
+        if condition.right.alias in left.indices:
+            return condition.right, condition.left
+        raise ValueError(
+            f"join condition {condition} does not reference the left input "
+            f"(aliases: {left.aliases})"
+        )
+
+
+class BypassProjectOperator:
+    """Collect the accepted streams and materialize the output columns.
+
+    Streams whose tag satisfies the root pass straight through.  Streams with
+    an undetermined root assignment (possible when a predicate could not be
+    pushed below the final project) are filtered with the residual WHERE
+    expression.  Because streams are pairwise disjoint, the final result is a
+    concatenation — the bypass model, like tagged execution, never needs the
+    deduplicating union operator BDisj relies on.
+    """
+
+    def __init__(
+        self,
+        tree: PredicateTree | None,
+        select: list,
+        three_valued: bool = True,
+    ) -> None:
+        self.tree = tree
+        self.select = list(select or [])
+        self.three_valued = three_valued
+
+    def execute(self, streams: StreamSet, context: ExecContext) -> OutputColumns:
+        """Materialize the output columns of the accepted streams."""
+        context.metrics.operators_executed += 1
+        accepted: list[Relation] = []
+        for stream in streams:
+            relation = self._accept(stream, context)
+            if relation is not None and relation.num_rows > 0:
+                accepted.append(relation)
+
+        if not accepted:
+            return OutputColumns.empty()
+
+        merged_tables = {}
+        for relation in accepted:
+            merged_tables.update(relation.tables)
+        aliases = sorted(accepted[0].indices)
+        merged_indices = {
+            alias: np.concatenate([relation.indices[alias] for relation in accepted])
+            for alias in aliases
+        }
+        final = Relation(merged_tables, merged_indices)
+        positions = np.arange(final.num_rows, dtype=np.int64)
+        context.metrics.output_rows += final.num_rows
+        return materialize_output(final.tables, final.indices, positions, self.select)
+
+    def _accept(self, stream: BypassStream, context: ExecContext) -> Relation | None:
+        if self.tree is None:
+            return stream.relation
+        if satisfies_root(self.tree, stream.tag):
+            return stream.relation
+        if refutes_root(self.tree, stream.tag, include_unknown=True):
+            return None
+        # Undetermined: fall back to evaluating the full residual predicate.
+        relation = stream.relation
+        residual = self.tree.expression
+        aliases = residual.tables()
+        missing = aliases - set(relation.indices)
+        if missing:
+            raise ValueError(
+                f"residual predicate references aliases {sorted(missing)} missing from "
+                f"the stream (aliases: {relation.aliases})"
+            )
+        indices = {alias: relation.indices[alias] for alias in aliases}
+        tables = {alias: relation.tables[alias] for alias in aliases}
+        batch = RowBatch(tables, indices, cache=context.cache, iostats=context.iostats)
+        truth = residual.evaluate(batch)
+        context.metrics.residual_rows_evaluated += relation.num_rows
+        keep = np.flatnonzero(tv.is_true(truth))
+        if keep.size == 0:
+            return None
+        return relation.take(keep)

@@ -1,0 +1,136 @@
+"""Streams: the unit of data flow in the bypass execution model.
+
+A :class:`BypassStream` couples a plain index relation with the truth
+assignments (a :class:`~repro.core.tags.Tag`) its tuples are known to
+satisfy.  Unlike a tagged relation — where all slices share one physical
+relation and only bitmaps differ — every stream owns its own relation, so
+routing a tuple into a different stream copies its index row.  That copying
+is one of the overheads tagged execution removes, and keeping it here is what
+makes the bypass model an honest comparator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.baseline.relation import Relation
+from repro.core.tags import Tag
+from repro.storage.table import Table
+
+
+class BypassStream:
+    """One stream: a relation plus the assignments its tuples satisfy."""
+
+    __slots__ = ("tag", "relation")
+
+    def __init__(self, tag: Tag, relation: Relation) -> None:
+        self.tag = tag
+        self.relation = relation
+
+    @property
+    def num_rows(self) -> int:
+        """Number of tuples currently in the stream."""
+        return self.relation.num_rows
+
+    @property
+    def aliases(self) -> list[str]:
+        """Base-table aliases joined into this stream."""
+        return self.relation.aliases
+
+    @classmethod
+    def from_base_table(cls, alias: str, table: Table) -> "BypassStream":
+        """The initial stream over every row of a base table (empty tag)."""
+        return cls(Tag.empty(), Relation.from_base_table(alias, table))
+
+    def take(self, positions: np.ndarray, tag: Tag) -> "BypassStream":
+        """A new stream holding the rows at ``positions`` under ``tag``."""
+        return BypassStream(tag, self.relation.take(positions))
+
+    def __repr__(self) -> str:
+        return f"BypassStream(tag={self.tag!r}, rows={self.num_rows})"
+
+
+class StreamSet:
+    """An ordered collection of streams flowing between bypass operators.
+
+    Streams are pairwise disjoint by construction (filters partition their
+    input, joins combine disjoint partitions), so collecting the final result
+    is a plain concatenation — no union/deduplication operator is needed.
+    Streams that end up with the same tag are merged, which keeps the number
+    of streams bounded by the number of distinct (generalized) tags, exactly
+    like the tag space of tagged execution.
+    """
+
+    def __init__(self, streams: Iterable[BypassStream] = ()) -> None:
+        self._streams: list[BypassStream] = []
+        for stream in streams:
+            self.add(stream)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, stream: BypassStream) -> None:
+        """Add a stream, merging it into an existing stream with the same tag."""
+        if stream.num_rows == 0:
+            return
+        for position, existing in enumerate(self._streams):
+            if existing.tag == stream.tag:
+                self._streams[position] = _merge_streams(existing, stream)
+                return
+        self._streams.append(stream)
+
+    def extend(self, streams: Iterable[BypassStream]) -> None:
+        """Add several streams."""
+        for stream in streams:
+            self.add(stream)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_streams(self) -> int:
+        """Number of (non-empty) streams."""
+        return len(self._streams)
+
+    @property
+    def total_rows(self) -> int:
+        """Total tuples across all streams."""
+        return sum(stream.num_rows for stream in self._streams)
+
+    def streams(self) -> list[BypassStream]:
+        """The streams, in insertion order."""
+        return list(self._streams)
+
+    def tags(self) -> list[Tag]:
+        """The tag of each stream, in insertion order."""
+        return [stream.tag for stream in self._streams]
+
+    def __iter__(self) -> Iterator[BypassStream]:
+        return iter(self._streams)
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __bool__(self) -> bool:
+        return bool(self._streams)
+
+    def __repr__(self) -> str:
+        return f"StreamSet(streams={self.num_streams}, rows={self.total_rows})"
+
+
+def _merge_streams(first: BypassStream, second: BypassStream) -> BypassStream:
+    """Concatenate two streams that carry the same tag."""
+    if first.tag != second.tag:
+        raise ValueError(
+            f"cannot merge streams with different tags: {first.tag!r} vs {second.tag!r}"
+        )
+    merged_tables = {**first.relation.tables, **second.relation.tables}
+    merged_indices = {
+        alias: np.concatenate(
+            [first.relation.indices[alias], second.relation.indices[alias]]
+        )
+        for alias in first.relation.indices
+    }
+    return BypassStream(first.tag, Relation(merged_tables, merged_indices))

@@ -1,0 +1,219 @@
+"""``python -m repro`` — the command-line interface.
+
+Subcommands::
+
+    generate   build a dataset (synthetic T0/T1/T2, IMDB-like, or fuzz star
+               schema) and save it to a directory
+    query      run a SQL query against a saved dataset under any planner
+    explain    print the plan a planner would choose, without executing it
+    compare    run one query under several planners and print a speedup table
+    fuzz       differential-test all planners against the naive oracle
+    figures    regenerate the paper's figures (delegates to repro.bench.figures)
+
+Examples::
+
+    python -m repro generate synthetic --out data/t0t1t2 --table-size 10000
+    python -m repro query --data data/t0t1t2 --planner tcombined \
+        --sql "SELECT * FROM T0 JOIN T1 ON T0.id = T1.fid WHERE T1.A1 < 0.2"
+    python -m repro compare --data data/t0t1t2 --sql "..." --planners tcombined bdisj
+    python -m repro fuzz --queries 20 --seed 7
+    python -m repro figures fig4a --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import figures as bench_figures
+from repro.bench.report import format_table
+from repro.engine.session import ALL_PLANNERS, Session
+from repro.storage.disk import load_catalog, save_catalog
+from repro.testing.datagen import RandomCatalogConfig, generate_random_catalog
+from repro.testing.differential import DEFAULT_PLANNERS, run_fuzz_campaign
+from repro.workloads.imdb import generate_imdb_catalog
+from repro.workloads.synthetic import SyntheticConfig, generate_synthetic_catalog
+
+#: Maximum number of rows printed by ``query`` unless --max-rows says otherwise.
+DEFAULT_MAX_ROWS = 20
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "synthetic":
+        catalog = generate_synthetic_catalog(
+            SyntheticConfig(table_size=args.table_size, seed=args.seed)
+        )
+    elif args.dataset == "imdb":
+        catalog = generate_imdb_catalog(scale=args.scale, seed=args.seed)
+    else:
+        catalog = generate_random_catalog(
+            RandomCatalogConfig(
+                seed=args.seed,
+                num_dimensions=args.dimensions,
+                fact_rows=args.table_size,
+                dimension_rows=args.table_size,
+            )
+        )
+    root = save_catalog(catalog, args.out)
+    total = catalog.total_rows()
+    print(f"wrote {len(catalog)} tables ({total} rows) to {root}")
+    return 0
+
+
+def _print_result(result, max_rows: int, show_metrics: bool) -> None:
+    rows = result.rows[:max_rows]
+    print(format_table(result.column_names or ["(no columns)"], rows))
+    if result.row_count > max_rows:
+        print(f"... ({result.row_count - max_rows} more rows)")
+    print(
+        f"{result.row_count} rows | planner={result.planner_name} | "
+        f"planning={result.planning_seconds:.4f}s execution={result.execution_seconds:.4f}s"
+    )
+    if show_metrics:
+        print(format_table(["counter", "value"], sorted(result.metrics.as_dict().items())))
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    session = Session(load_catalog(args.data))
+    result = session.execute(args.sql, planner=args.planner)
+    _print_result(result, args.max_rows, args.metrics)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    session = Session(load_catalog(args.data))
+    print(session.explain(args.sql, planner=args.planner))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    session = Session(load_catalog(args.data))
+    rows = []
+    baseline_time = None
+    reference_rows = None
+    agree = True
+    for planner in args.planners:
+        result = session.execute(args.sql, planner=planner)
+        if baseline_time is None:
+            baseline_time = result.total_seconds
+            reference_rows = result.sorted_rows()
+        elif result.sorted_rows() != reference_rows:
+            agree = False
+        speedup = baseline_time / result.total_seconds if result.total_seconds else float("inf")
+        rows.append(
+            [
+                planner,
+                result.row_count,
+                f"{result.planning_seconds:.4f}",
+                f"{result.execution_seconds:.4f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["planner", "rows", "planning (s)", "execution (s)", "speedup vs first"], rows
+        )
+    )
+    if not agree:
+        print("WARNING: planners returned different rows", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    reports = run_fuzz_campaign(
+        num_queries=args.queries,
+        seed=args.seed,
+        catalog_config=RandomCatalogConfig(
+            seed=args.seed,
+            num_dimensions=args.dimensions,
+            fact_rows=args.table_size,
+            dimension_rows=args.table_size,
+        ),
+        planners=tuple(args.planners),
+    )
+    for report in reports:
+        print(report.describe())
+    mismatches = [report for report in reports if not report.agreed]
+    print(f"{len(reports) - len(mismatches)}/{len(reports)} queries agreed across all planners")
+    return 1 if mismatches else 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    return bench_figures.main(args.figure_args)
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tagged execution for disjunctive queries — reproduction CLI.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate and save a dataset")
+    generate.add_argument("dataset", choices=("synthetic", "imdb", "fuzz"))
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--table-size", type=int, default=10_000, help="rows per table")
+    generate.add_argument("--scale", type=float, default=0.05, help="IMDB scale factor")
+    generate.add_argument("--dimensions", type=int, default=2, help="fuzz dimension tables")
+    generate.set_defaults(func=_cmd_generate)
+
+    query = subparsers.add_parser("query", help="run a SQL query against a saved dataset")
+    query.add_argument("--data", required=True, help="catalog directory")
+    query.add_argument("--sql", required=True, help="SQL text")
+    query.add_argument("--planner", default="tcombined", choices=sorted(ALL_PLANNERS))
+    query.add_argument("--max-rows", type=int, default=DEFAULT_MAX_ROWS)
+    query.add_argument("--metrics", action="store_true", help="print work counters")
+    query.set_defaults(func=_cmd_query)
+
+    explain = subparsers.add_parser("explain", help="print the chosen plan")
+    explain.add_argument("--data", required=True)
+    explain.add_argument("--sql", required=True)
+    explain.add_argument("--planner", default="tcombined", choices=sorted(ALL_PLANNERS))
+    explain.set_defaults(func=_cmd_explain)
+
+    compare = subparsers.add_parser("compare", help="run one query under several planners")
+    compare.add_argument("--data", required=True)
+    compare.add_argument("--sql", required=True)
+    compare.add_argument(
+        "--planners",
+        nargs="+",
+        default=["tcombined", "bdisj", "bpushconj", "bypass"],
+        choices=sorted(ALL_PLANNERS),
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    fuzz = subparsers.add_parser("fuzz", help="differential-test planners against the oracle")
+    fuzz.add_argument("--queries", type=int, default=10)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--table-size", type=int, default=150)
+    fuzz.add_argument("--dimensions", type=int, default=2)
+    fuzz.add_argument("--planners", nargs="+", default=list(DEFAULT_PLANNERS))
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate paper figures (see repro.bench.figures)"
+    )
+    figures.add_argument("figure_args", nargs=argparse.REMAINDER)
+    figures.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

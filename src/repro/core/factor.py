@@ -1,0 +1,73 @@
+"""Common-subexpression factoring of OR-rooted predicates.
+
+Section 5.1 describes how, before comparing against BPushConj, predicate
+subexpressions common to *every* root clause of a disjunction are pulled out
+to form an equivalent AND-rooted expression, e.g.::
+
+    (A AND B AND C) OR (A AND B AND D)   ->   A AND B AND (C OR D)
+
+This module implements that rewrite.  It is used by the Figure 3b/3c/3d
+benchmark setups and by tests; it is also useful on its own as a traditional
+optimizer building block.
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast import AndExpr, BooleanExpr, OrExpr, flatten
+
+
+def _clause_parts(clause: BooleanExpr) -> list[BooleanExpr]:
+    """The conjunctive parts of one root clause."""
+    if isinstance(clause, AndExpr):
+        return list(clause.children())
+    return [clause]
+
+
+def factor_common_subexpressions(expr: BooleanExpr) -> BooleanExpr:
+    """Pull subexpressions common to every root clause out of an OR root.
+
+    Non-OR-rooted expressions are returned unchanged (after normalization).
+    When every part of every clause is common the result is purely
+    conjunctive; when no part is common the expression is returned unchanged.
+    """
+    expr = flatten(expr)
+    if not isinstance(expr, OrExpr):
+        return expr
+
+    clauses = list(expr.children())
+    clause_parts = [_clause_parts(clause) for clause in clauses]
+    clause_keysets = [{part.key() for part in parts} for parts in clause_parts]
+
+    common_keys = set(clause_keysets[0])
+    for keyset in clause_keysets[1:]:
+        common_keys &= keyset
+    if not common_keys:
+        return expr
+
+    # Preserve the first clause's ordering of the common parts.
+    common_parts = [part for part in clause_parts[0] if part.key() in common_keys]
+
+    residual_clauses: list[BooleanExpr] = []
+    any_clause_fully_common = False
+    for parts in clause_parts:
+        residual = [part for part in parts if part.key() not in common_keys]
+        if not residual:
+            any_clause_fully_common = True
+            continue
+        if len(residual) == 1:
+            residual_clauses.append(residual[0])
+        else:
+            residual_clauses.append(AndExpr(residual))
+
+    conjuncts: list[BooleanExpr] = list(common_parts)
+    if not any_clause_fully_common and residual_clauses:
+        if len(residual_clauses) == 1:
+            conjuncts.append(residual_clauses[0])
+        else:
+            conjuncts.append(OrExpr(residual_clauses))
+    # If some clause consisted solely of common parts, the residual
+    # disjunction is subsumed (C OR TRUE = TRUE) and drops out entirely.
+
+    if len(conjuncts) == 1:
+        return flatten(conjuncts[0])
+    return flatten(AndExpr(conjuncts))

@@ -1,0 +1,186 @@
+"""Tag generalization (Algorithm 1: GeneralizeTag).
+
+Generalization propagates a tag's assignments upwards through the predicate
+tree wherever Boolean implication allows it, then keeps only the topmost
+assignments.  A generalized tag stands in for every ungeneralized tag that
+implies it, which is what keeps the number of tags in the system small
+(Section 3.2).  The three-valued-logic extension of Section 3.4 is supported
+throughout: assignments may be TRUE, FALSE or UNKNOWN, and propagation across
+AND/OR nodes folds children with the SQL truth tables.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.implication import implied_truth_value
+from repro.core.predtree import PredicateTree, PredNode
+from repro.core.tags import Tag
+from repro.expr.three_valued import FALSE, TRUE, UNKNOWN, TruthValue, scalar_and, scalar_not, scalar_or
+
+
+def _can_propagate(node: PredNode, parent: PredNode, assignments: dict[str, TruthValue]) -> bool:
+    """The five propagation conditions of Algorithm 1 (3VL variant).
+
+    (a) the parent is a NOT node;
+    (b) the parent is an OR node and this child is TRUE;
+    (c) the parent is an AND node and this child is FALSE;
+    (d) the parent is an OR node and all children are FALSE or UNKNOWN;
+    (e) the parent is an AND node and all children are TRUE or UNKNOWN.
+    """
+    value = assignments.get(node.key)
+    if value is None:
+        return False
+    if parent.is_not:
+        return True
+    if parent.is_or and value is TRUE:
+        return True
+    if parent.is_and and value is FALSE:
+        return True
+    child_values = [assignments.get(child.key) for child in parent.children]
+    if parent.is_or and all(v in (FALSE, UNKNOWN) for v in child_values):
+        return True
+    if parent.is_and and all(v in (TRUE, UNKNOWN) for v in child_values):
+        return True
+    return False
+
+
+def _do_propagate(node: PredNode, parent: PredNode, assignments: dict[str, TruthValue]) -> TruthValue:
+    """Compute and record the parent's assignment value."""
+    value = assignments[node.key]
+    if parent.is_not:
+        result = scalar_not(value)
+    elif parent.is_or:
+        if value is TRUE:
+            result = TRUE
+        else:
+            result = FALSE
+            for child in parent.children:
+                result = scalar_or(result, assignments.get(child.key, FALSE))
+    elif parent.is_and:
+        if value is FALSE:
+            result = FALSE
+        else:
+            result = TRUE
+            for child in parent.children:
+                result = scalar_and(result, assignments.get(child.key, TRUE))
+    else:  # pragma: no cover - parents are always NOT/AND/OR nodes
+        result = value
+    assignments[parent.key] = result
+    return result
+
+
+def _topmost_assignments(
+    node: PredNode,
+    assignments: dict[str, TruthValue],
+    derived_only: set[str],
+) -> dict[str, TruthValue]:
+    """Collect only the topmost assignments reachable from ``node``.
+
+    An assignment survives only where no ancestor on that path carries an
+    assignment; because the recursion is per path, a predicate occurring in
+    several places keeps its assignment as long as at least one occurrence
+    has no assigned ancestor (Section 3.2, "Duplicates").  Leaf assignments
+    that were merely *derived* through predicate implication (and never part
+    of the input tag) are used as propagation fuel only and are not emitted.
+    """
+    if not assignments:
+        return {}
+    if node.key in assignments:
+        if node.is_leaf and node.key in derived_only:
+            return {}
+        return {node.key: assignments[node.key]}
+    collected: dict[str, TruthValue] = {}
+    for child in node.children:
+        collected.update(_topmost_assignments(child, assignments, derived_only))
+    return collected
+
+
+def _augment_with_implications(
+    tree: PredicateTree, assignments: dict[str, TruthValue]
+) -> set[str]:
+    """Derive assignments for unassigned leaves via predicate implication.
+
+    For example ``t.year > 2000 = T`` derives ``t.year > 1980 = T``.  Returns
+    the set of keys that were added (used to keep them out of the final tag).
+    """
+    facts = []
+    for key, value in assignments.items():
+        if key in tree:
+            expr = tree.expr_for(key)
+            if expr.is_base_predicate():
+                facts.append((expr, value))
+    if not facts:
+        return set()
+
+    derived: set[str] = set()
+    for leaf in tree.base_predicates():
+        leaf_key = leaf.key()
+        if leaf_key in assignments:
+            continue
+        value = implied_truth_value(leaf, facts)
+        if value is not None:
+            assignments[leaf_key] = value
+            derived.add(leaf_key)
+    return derived
+
+
+def generalize_tag(tree: PredicateTree, tag: Tag) -> Tag:
+    """Generalize ``tag`` against ``tree`` (Algorithm 1).
+
+    Assignments to expressions that do not occur in the tree are preserved
+    verbatim (they cannot be generalized but still constrain the slice).
+    Before propagation the tag is augmented with leaf assignments implied by
+    value-level reasoning over comparison predicates (e.g. ``year > 2000``
+    implies ``year > 1980``); those derived assignments drive propagation but
+    never appear in the resulting tag themselves.
+    """
+    assignments: dict[str, TruthValue] = tag.as_dict()
+    foreign = {key: value for key, value in assignments.items() if key not in tree}
+    derived_only = _augment_with_implications(tree, assignments)
+
+    fringe: deque[str] = deque(key for key in assignments if key in tree)
+    enqueued = set(fringe)
+    while fringe:
+        key = fringe.popleft()
+        enqueued.discard(key)
+        for instance in tree.instances(key):
+            parent = instance.parent
+            if parent is None:
+                continue
+            if _can_propagate(instance, parent, assignments):
+                previous = assignments.get(parent.key)
+                new_value = _do_propagate(instance, parent, assignments)
+                if previous != new_value and parent.key not in enqueued:
+                    fringe.append(parent.key)
+                    enqueued.add(parent.key)
+
+    result = _topmost_assignments(tree.root, assignments, derived_only)
+    result.update(foreign)
+    return Tag(result)
+
+
+def root_assignment(tree: PredicateTree, tag: Tag) -> TruthValue | None:
+    """The tag's assignment to the whole predicate expression, if any."""
+    return tag.get(tree.root_key)
+
+
+def satisfies_root(tree: PredicateTree, tag: Tag) -> bool:
+    """True when the tag assigns TRUE to the root (tuples certainly match)."""
+    return root_assignment(tree, tag) is TRUE
+
+
+def refutes_root(tree: PredicateTree, tag: Tag, include_unknown: bool = True) -> bool:
+    """True when the tag's root assignment proves tuples will not be output.
+
+    Under SQL semantics a WHERE clause only passes rows whose predicate is
+    TRUE, so both FALSE and UNKNOWN root assignments mean the slice can be
+    dropped (Section 3.4, change 4).  Pass ``include_unknown=False`` for the
+    strictly two-valued behaviour.
+    """
+    value = root_assignment(tree, tag)
+    if value is FALSE:
+        return True
+    if include_unknown and value is UNKNOWN:
+        return True
+    return False

@@ -1,0 +1,329 @@
+"""Tagged execution operators: filter, join and projection.
+
+These implement the runtime side of Section 2: given the tag maps produced at
+plan time, each operator touches only the relational slices its tag map names
+and routes results to output tags.  Implementation follows Basilisk's choices
+(Section 2.5): filters evaluate their predicate once over the union of the
+matching slices' bitmaps and never physically delete rows; joins build a
+single shared structure over all participating slices; values are fetched
+lazily by row index through the storage layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tagged_relation import TaggedRelation
+from repro.core.tagmap import FilterTagMap, JoinTagMap, ProjectionTagSet
+from repro.core.tags import Tag
+from repro.engine.metrics import ExecContext
+from repro.expr import three_valued as tv
+from repro.expr.ast import BooleanExpr
+from repro.expr.eval import RowBatch
+from repro.plan.query import JoinCondition
+from repro.storage.bitmap import Bitmap
+from repro.utils.join import equi_join_indices
+from repro.utils.keys import composite_keys
+
+#: Sentinel stored in the full-length truth array for rows the filter did not
+#: evaluate (they belong to no matching slice).
+_NOT_EVALUATED = np.uint8(255)
+
+
+class TaggedFilterOperator:
+    """Filter operator driven by a tag map (Section 2.2 / 2.5.2)."""
+
+    def __init__(self, predicate: BooleanExpr, tag_map: FilterTagMap) -> None:
+        self.predicate = predicate
+        self.tag_map = tag_map
+
+    def execute(self, relation: TaggedRelation, context: ExecContext) -> TaggedRelation:
+        """Apply the filter to ``relation`` and return the output relation."""
+        context.metrics.operators_executed += 1
+
+        matching = [tag for tag in relation.slices if self.tag_map.matches(tag)]
+        passthrough = [tag for tag in relation.slices if not self.tag_map.matches(tag)]
+
+        output_masks: dict[Tag, np.ndarray] = {}
+
+        def add_mask(tag: Tag, mask: np.ndarray) -> None:
+            if not mask.any():
+                return
+            if tag in output_masks:
+                output_masks[tag] = output_masks[tag] | mask
+            else:
+                output_masks[tag] = mask
+
+        for tag in passthrough:
+            add_mask(tag, relation.slices[tag].mask)
+
+        if matching:
+            union_bitmap = Bitmap.union_all(
+                (relation.slices[tag] for tag in matching), size=relation.num_rows
+            )
+            positions = union_bitmap.positions()
+            truth_full = np.full(relation.num_rows, _NOT_EVALUATED, dtype=np.uint8)
+            if positions.size:
+                truth_full[positions] = self._evaluate(relation, positions, context)
+            context.metrics.predicate_evaluations += 1
+            context.metrics.predicate_rows_evaluated += int(positions.size)
+
+            true_mask = truth_full == np.uint8(int(tv.TRUE))
+            false_mask = truth_full == np.uint8(int(tv.FALSE))
+            unknown_mask = truth_full == np.uint8(int(tv.UNKNOWN))
+
+            for tag in matching:
+                entry = self.tag_map.entries[tag]
+                slice_mask = relation.slices[tag].mask
+                if entry.pos_tag is not None:
+                    add_mask(entry.pos_tag, slice_mask & true_mask)
+                if entry.neg_tag is not None:
+                    add_mask(entry.neg_tag, slice_mask & false_mask)
+                if entry.unk_tag is not None:
+                    add_mask(entry.unk_tag, slice_mask & unknown_mask)
+
+        slices = {tag: Bitmap.from_mask(mask) for tag, mask in output_masks.items()}
+        context.metrics.slices_created += len(slices)
+        return relation.with_slices(slices)
+
+    def _evaluate(
+        self, relation: TaggedRelation, positions: np.ndarray, context: ExecContext
+    ) -> np.ndarray:
+        aliases = self.predicate.tables()
+        missing = aliases - set(relation.indices)
+        if missing:
+            raise ValueError(
+                f"filter predicate {self.predicate.key()} references aliases {sorted(missing)} "
+                f"not present in the input relation (aliases: {relation.aliases})"
+            )
+        indices = {alias: relation.indices[alias][positions] for alias in aliases}
+        tables = {alias: relation.tables[alias] for alias in aliases}
+        batch = RowBatch(tables, indices, cache=context.cache, iostats=context.iostats)
+        return self.predicate.evaluate(batch)
+
+
+class TaggedJoinOperator:
+    """Hash equi-join driven by a tag map (Section 2.3 / 2.5.3)."""
+
+    def __init__(self, conditions: list[JoinCondition], tag_map: JoinTagMap) -> None:
+        if not conditions:
+            raise ValueError("a tagged join requires at least one join condition")
+        self.conditions = list(conditions)
+        self.tag_map = tag_map
+
+    def execute(
+        self, left: TaggedRelation, right: TaggedRelation, context: ExecContext
+    ) -> TaggedRelation:
+        """Join ``left`` and ``right`` and return the output tagged relation.
+
+        Only slice pairings with a tag-map entry are joined; incompatible
+        pairings are never generated.  Right slices sharing the same set of
+        compatible left slices are probed together against one shared build
+        structure, mirroring Basilisk's single hash table per join.
+        """
+        context.metrics.operators_executed += 1
+
+        left_tags = [tag for tag in left.slices if tag in self.tag_map.left_tags()]
+        right_tags = [tag for tag in right.slices if tag in self.tag_map.right_tags()]
+        merged_tables = {**left.tables, **right.tables}
+
+        if not left_tags or not right_tags:
+            return TaggedRelation(merged_tables, self._empty_indices(left, right), {})
+
+        left_union = Bitmap.union_all(
+            (left.slices[tag] for tag in left_tags), size=left.num_rows
+        ).positions()
+        right_union = Bitmap.union_all(
+            (right.slices[tag] for tag in right_tags), size=right.num_rows
+        ).positions()
+
+        # Join keys, factorized once across both sides and scattered into
+        # row-position-indexed arrays (−1 = row not participating / NULL key).
+        left_subset_keys, right_subset_keys = self._join_keys(
+            left, right, left_union, right_union, context
+        )
+        left_keys = np.full(left.num_rows, -1, dtype=np.int64)
+        left_keys[left_union] = left_subset_keys
+        right_keys = np.full(right.num_rows, -1, dtype=np.int64)
+        right_keys[right_union] = right_subset_keys
+
+        # Slice identities (slices are mutually exclusive, so each row has one).
+        left_slice_of_row = self._slice_ids(left, left_tags)
+        right_slice_of_row = self._slice_ids(right, right_tags)
+
+        # Output-tag lookup table indexed by (left slice id, right slice id).
+        out_tags: list[Tag] = []
+        out_tag_index: dict[Tag, int] = {}
+        allowed = np.full((len(left_tags), len(right_tags)), -1, dtype=np.int64)
+        left_tag_index = {tag: index for index, tag in enumerate(left_tags)}
+        right_tag_index = {tag: index for index, tag in enumerate(right_tags)}
+        for (left_tag, right_tag), out_tag in self.tag_map.entries.items():
+            if left_tag not in left_tag_index or right_tag not in right_tag_index:
+                continue
+            if out_tag not in out_tag_index:
+                out_tag_index[out_tag] = len(out_tags)
+                out_tags.append(out_tag)
+            allowed[left_tag_index[left_tag], right_tag_index[right_tag]] = out_tag_index[out_tag]
+
+        # Group right slices by their compatible left-slice sets so each group
+        # is joined exactly once against exactly the rows it may match.
+        groups: dict[frozenset[int], list[int]] = {}
+        for right_index in range(len(right_tags)):
+            compatible = frozenset(np.flatnonzero(allowed[:, right_index] >= 0).tolist())
+            if compatible:
+                groups.setdefault(compatible, []).append(right_index)
+
+        matched_left_chunks: list[np.ndarray] = []
+        matched_right_chunks: list[np.ndarray] = []
+        matched_tag_chunks: list[np.ndarray] = []
+
+        for compatible_left, right_indices in groups.items():
+            left_group = Bitmap.union_all(
+                (left.slices[left_tags[index]] for index in compatible_left),
+                size=left.num_rows,
+            ).positions()
+            right_group = Bitmap.union_all(
+                (right.slices[right_tags[index]] for index in right_indices),
+                size=right.num_rows,
+            ).positions()
+            if left_group.size == 0 or right_group.size == 0:
+                continue
+            context.metrics.hash_tables_built += 1
+            context.metrics.join_build_rows += int(left_group.size)
+            context.metrics.join_probe_rows += int(right_group.size)
+
+            left_match, right_match = equi_join_indices(
+                left_keys[left_group], right_keys[right_group]
+            )
+            if left_match.size == 0:
+                continue
+            rows_left = left_group[left_match]
+            rows_right = right_group[right_match]
+            tag_indices = allowed[left_slice_of_row[rows_left], right_slice_of_row[rows_right]]
+            matched_left_chunks.append(rows_left)
+            matched_right_chunks.append(rows_right)
+            matched_tag_chunks.append(tag_indices)
+
+        if not matched_left_chunks:
+            return TaggedRelation(merged_tables, self._empty_indices(left, right), {})
+
+        kept_left_rows = np.concatenate(matched_left_chunks)
+        kept_right_rows = np.concatenate(matched_right_chunks)
+        kept_tag_indices = np.concatenate(matched_tag_chunks)
+
+        out_indices: dict[str, np.ndarray] = {}
+        for alias in left.indices:
+            out_indices[alias] = left.indices[alias][kept_left_rows]
+        for alias in right.indices:
+            out_indices[alias] = right.indices[alias][kept_right_rows]
+
+        out_slices: dict[Tag, Bitmap] = {}
+        for index, out_tag in enumerate(out_tags):
+            mask = kept_tag_indices == index
+            if mask.any():
+                out_slices[out_tag] = Bitmap.from_mask(mask)
+
+        output_rows = int(kept_left_rows.size)
+        context.metrics.join_output_rows += output_rows
+        context.metrics.tuples_materialized += output_rows
+        context.metrics.slices_created += len(out_slices)
+        return TaggedRelation(merged_tables, out_indices, out_slices)
+
+    @staticmethod
+    def _slice_ids(relation: TaggedRelation, tags: list[Tag]) -> np.ndarray:
+        """Per-row slice index (−1 for rows outside every listed slice)."""
+        slice_of_row = np.full(relation.num_rows, -1, dtype=np.int64)
+        for index, tag in enumerate(tags):
+            slice_of_row[relation.slices[tag].positions()] = index
+        return slice_of_row
+
+    def _join_keys(
+        self,
+        left: TaggedRelation,
+        right: TaggedRelation,
+        left_positions: np.ndarray,
+        right_positions: np.ndarray,
+        context: ExecContext,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        left_columns = []
+        right_columns = []
+        for condition in self.conditions:
+            left_ref, right_ref = self._orient(condition, left)
+            left_table = left.tables[left_ref.alias]
+            right_table = right.tables[right_ref.alias]
+            left_rows = left.indices[left_ref.alias][left_positions]
+            right_rows = right.indices[right_ref.alias][right_positions]
+            left_columns.append(
+                left_table.read_column_at(
+                    left_ref.column, left_rows, cache=context.cache, iostats=context.iostats
+                )
+            )
+            right_columns.append(
+                right_table.read_column_at(
+                    right_ref.column, right_rows, cache=context.cache, iostats=context.iostats
+                )
+            )
+        return composite_keys(left_columns, right_columns)
+
+    def _orient(self, condition: JoinCondition, left: TaggedRelation):
+        """Return (left-side column, right-side column) for this join's inputs."""
+        if condition.left.alias in left.indices:
+            return condition.left, condition.right
+        if condition.right.alias in left.indices:
+            return condition.right, condition.left
+        raise ValueError(
+            f"join condition {condition} does not reference the left input "
+            f"(aliases: {left.aliases})"
+        )
+
+    @staticmethod
+    def _empty_indices(left: TaggedRelation, right: TaggedRelation) -> dict[str, np.ndarray]:
+        empty = np.empty(0, dtype=np.int64)
+        out = {alias: empty for alias in left.indices}
+        out.update({alias: empty for alias in right.indices})
+        return out
+
+
+class TaggedProjectOperator:
+    """Projection: the final tag-based selection point (Section 2.4)."""
+
+    def __init__(
+        self,
+        projection: ProjectionTagSet,
+        residual_predicate: BooleanExpr | None = None,
+    ) -> None:
+        self.projection = projection
+        self.residual_predicate = residual_predicate
+
+    def execute(self, relation: TaggedRelation, context: ExecContext) -> np.ndarray:
+        """Return the row positions (into the relation) that belong to the result."""
+        context.metrics.operators_executed += 1
+        selected = Bitmap.empty(relation.num_rows)
+        for tag in self.projection.allowed:
+            if tag in relation.slices:
+                selected = selected | relation.slices[tag]
+
+        residual_tags = [tag for tag in self.projection.residual if tag in relation.slices]
+        if residual_tags:
+            if self.residual_predicate is None:
+                raise ValueError(
+                    "relation contains slices without a definite root assignment "
+                    "but no residual predicate was provided"
+                )
+            residual_bitmap = Bitmap.union_all(
+                (relation.slices[tag] for tag in residual_tags), size=relation.num_rows
+            )
+            positions = residual_bitmap.positions()
+            if positions.size:
+                aliases = self.residual_predicate.tables()
+                indices = {alias: relation.indices[alias][positions] for alias in aliases}
+                tables = {alias: relation.tables[alias] for alias in aliases}
+                batch = RowBatch(tables, indices, cache=context.cache, iostats=context.iostats)
+                truth = self.residual_predicate.evaluate(batch)
+                context.metrics.residual_rows_evaluated += int(positions.size)
+                passing = positions[tv.is_true(truth)]
+                selected = selected | Bitmap.from_positions(relation.num_rows, passing)
+
+        result_positions = selected.positions()
+        context.metrics.output_rows += int(result_positions.size)
+        return result_positions

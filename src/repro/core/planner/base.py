@@ -1,0 +1,199 @@
+"""Shared planner infrastructure.
+
+:class:`PlannerContext` bundles everything a planner needs about one query
+(the query itself, its predicate tree, statistics and estimators).
+:class:`TaggedPlanner` is the base class: subclasses implement
+:meth:`TaggedPlanner.build_plan` and inherit costing and common plan-building
+helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.planner.benefit import benefiting_order
+from repro.core.planner.cost import CostParams, estimate_plan_cost
+from repro.core.predtree import PredicateTree
+from repro.core.tagmap import PlanTagAnnotations, TagMapBuilder
+from repro.expr.ast import BooleanExpr
+from repro.expr.builders import or_
+from repro.plan.logical import FilterNode, PlanNode, ProjectNode, TableScanNode
+from repro.plan.query import Query
+from repro.stats.cardinality import CardinalityEstimator
+from repro.stats.selectivity import SelectivityEstimator
+from repro.stats.table_stats import TableStats, collect_table_stats
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class PlannerContext:
+    """Everything a planner needs to know about one query."""
+
+    query: Query
+    catalog: Catalog
+    table_stats: dict[str, TableStats]
+    selectivity: SelectivityEstimator
+    cardinality: CardinalityEstimator
+    predicate_tree: PredicateTree | None
+    cost_params: CostParams = field(default_factory=CostParams)
+    three_valued: bool = True
+    naive_tags: bool = False
+
+    @classmethod
+    def for_query(
+        cls,
+        query: Query,
+        catalog: Catalog,
+        cost_params: CostParams | None = None,
+        three_valued: bool = True,
+        naive_tags: bool = False,
+        sample_size: int = 20_000,
+        selectivity_mode: str = "measured",
+    ) -> "PlannerContext":
+        """Collect statistics and estimators for ``query``.
+
+        ``selectivity_mode`` selects how base-predicate selectivities are
+        estimated: ``"measured"`` evaluates each predicate on a sample (the
+        paper's approach), ``"histogram"`` answers simple numeric predicates
+        from per-column equi-depth histograms.
+        """
+        table_stats = {
+            table_name: collect_table_stats(catalog.get(table_name))
+            for table_name in set(query.tables.values())
+        }
+        if selectivity_mode == "measured":
+            selectivity = SelectivityEstimator(catalog, query, sample_size=sample_size)
+        elif selectivity_mode == "histogram":
+            from repro.stats.histograms import HistogramSelectivityEstimator
+
+            selectivity = HistogramSelectivityEstimator(
+                catalog, query, sample_size=sample_size
+            )
+        else:
+            raise ValueError(
+                f"unknown selectivity_mode {selectivity_mode!r}; "
+                "choose 'measured' or 'histogram'"
+            )
+        cardinality = CardinalityEstimator(query, table_stats, selectivity)
+        tree = PredicateTree(query.predicate) if query.predicate is not None else None
+        return cls(
+            query=query,
+            catalog=catalog,
+            table_stats=table_stats,
+            selectivity=selectivity,
+            cardinality=cardinality,
+            predicate_tree=tree,
+            cost_params=cost_params or CostParams(),
+            three_valued=three_valued,
+            naive_tags=naive_tags,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by the planners
+    # ------------------------------------------------------------------ #
+    def tag_map_builder(self) -> TagMapBuilder:
+        """A tag-map builder configured for this query."""
+        return TagMapBuilder(
+            self.predicate_tree, naive=self.naive_tags, three_valued=self.three_valued
+        )
+
+    def single_table_alias(self, expr: BooleanExpr) -> str | None:
+        """The single alias referenced by ``expr``, or None when it spans tables."""
+        aliases = expr.tables()
+        if len(aliases) == 1:
+            return next(iter(aliases))
+        return None
+
+    def order_filters(self, filters: list[BooleanExpr]) -> list[BooleanExpr]:
+        """Sort filters in benefiting order (Appendix A)."""
+        return benefiting_order(
+            self.predicate_tree,
+            filters,
+            self.selectivity.selectivity,
+            self.selectivity.cost_factor,
+        )
+
+    def effective_alias_rows(
+        self, alias: str, pushed: list[BooleanExpr], disjunctive: bool
+    ) -> float:
+        """Estimated rows of ``alias`` surviving its pushed filters.
+
+        In tagged execution, pushing the predicates of a disjunctive query
+        keeps every tuple that satisfies *any* of them (the others are
+        dropped by precept (1)), so the surviving fraction is the selectivity
+        of their disjunction; conjunctive pushes multiply selectivities.
+        """
+        base = self.cardinality.base_rows(alias)
+        if not pushed:
+            return base
+        if disjunctive and len(pushed) > 1:
+            return base * self.selectivity.selectivity(or_(*pushed))
+        rows = base
+        for predicate in pushed:
+            rows *= self.selectivity.selectivity(predicate)
+        return rows
+
+
+@dataclass
+class PlannerResult:
+    """A planned query: the logical plan, its tag maps and its estimated cost."""
+
+    planner_name: str
+    plan: PlanNode
+    annotations: PlanTagAnnotations
+    estimated_cost: float
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return f"{self.planner_name}: cost={self.estimated_cost:.1f}"
+
+
+class TaggedPlanner:
+    """Base class of tagged-execution planners."""
+
+    name = "tagged"
+
+    def __init__(self, context: PlannerContext) -> None:
+        self.context = context
+
+    # ------------------------------------------------------------------ #
+    # Interface
+    # ------------------------------------------------------------------ #
+    def build_plan(self) -> PlanNode:
+        """Return the logical plan chosen by this planner."""
+        raise NotImplementedError
+
+    def plan(self) -> PlannerResult:
+        """Build the plan, its tag maps and its estimated cost."""
+        logical_plan = self.build_plan()
+        annotations, cost = self.cost_plan(logical_plan)
+        return PlannerResult(self.name, logical_plan, annotations, cost)
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def cost_plan(self, plan: PlanNode) -> tuple[PlanTagAnnotations, float]:
+        """Tag maps + estimated cost for a candidate plan."""
+        annotations = self.context.tag_map_builder().build(plan)
+        breakdown = estimate_plan_cost(
+            plan,
+            annotations,
+            self.context.selectivity,
+            self.context.cardinality,
+            self.context.cost_params,
+        )
+        return annotations, breakdown.total
+
+    def scan_node(self, alias: str) -> TableScanNode:
+        """A scan node for ``alias``."""
+        return TableScanNode(alias, self.context.query.tables[alias])
+
+    def stack_filters(self, node: PlanNode, filters: list[BooleanExpr]) -> PlanNode:
+        """Wrap ``node`` in filter nodes, innermost first."""
+        for predicate in filters:
+            node = FilterNode(predicate, node)
+        return node
+
+    def finish(self, node: PlanNode) -> PlanNode:
+        """Add the projection root."""
+        return ProjectNode(node, self.context.query.select)

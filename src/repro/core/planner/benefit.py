@@ -1,0 +1,75 @@
+"""Benefit score for filter ordering (Appendix A, Algorithm 3).
+
+The benefit score of a filter operator, with respect to a set of still
+unapplied filter operators, estimates how many tuples applying it *first*
+removes from the other filters' consideration: the "AND benefit"
+``1 - selectivity`` accrues for unapplied filters below an AND parent, the
+"OR benefit" ``selectivity`` for those below an OR parent.  *Benefiting
+order* sorts filters by decreasing ``benefit / cost-factor``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.core.predtree import PredicateTree
+from repro.expr.ast import BooleanExpr
+
+
+def benefit_score(
+    tree: PredicateTree,
+    to_score: BooleanExpr,
+    unapplied: Sequence[BooleanExpr],
+    selectivity: Callable[[BooleanExpr], float],
+) -> float:
+    """Benefit of applying ``to_score`` before the ``unapplied`` filters."""
+    to_score_key = to_score.key()
+    parents = tree.parents(to_score_key) if to_score_key in tree else []
+    if not parents:
+        return 0.0
+    score_selectivity = selectivity(to_score)
+
+    benefit = 0.0
+    for other in unapplied:
+        other_key = other.key()
+        if other_key == to_score_key or other_key not in tree:
+            continue
+        is_and_descendant = True
+        is_or_descendant = True
+        for ancestor_path in tree.ancestor_paths(other_key):
+            path_ids = {id(node) for node in ancestor_path}
+            if all(id(parent) not in path_ids or parent.is_or for parent in parents):
+                is_and_descendant = False
+            if all(id(parent) not in path_ids or parent.is_and for parent in parents):
+                is_or_descendant = False
+        if is_and_descendant:
+            benefit += 1.0 - score_selectivity
+        if is_or_descendant:
+            benefit += score_selectivity
+    return benefit
+
+
+def benefiting_order(
+    tree: PredicateTree | None,
+    filters: Sequence[BooleanExpr],
+    selectivity: Callable[[BooleanExpr], float],
+    cost_factor: Callable[[BooleanExpr], float],
+) -> list[BooleanExpr]:
+    """Sort filters in decreasing ``benefit / cost-factor`` order.
+
+    Each filter is scored against the set of the *other* filters, matching
+    the paper's use of the score as a proxy for plan cost.  Ties are broken
+    by increasing selectivity (more selective first) and then by key for
+    determinism.
+    """
+    filters = list(filters)
+    if tree is None or len(filters) <= 1:
+        return sorted(filters, key=lambda expr: (selectivity(expr), expr.key()))
+
+    def sort_key(expr: BooleanExpr):
+        others = [other for other in filters if other.key() != expr.key()]
+        score = benefit_score(tree, expr, others, selectivity)
+        factor = max(cost_factor(expr), 1e-9)
+        return (-score / factor, selectivity(expr), expr.key())
+
+    return sorted(filters, key=sort_key)

@@ -1,0 +1,209 @@
+"""Cost models for tagged plans (Section 4.1).
+
+The cost of a tagged plan is the sum of its operators' costs, where each
+operator only pays for the relational slices its tag map touches:
+
+* filter: ``alpha * sum over matching slices of F_P * |slice|``
+* join:   hash-build + hash-lookup + index-build over the participating
+  slices, with the output cardinality estimated PostgreSQL-style.
+
+Per-slice cardinalities are estimated by walking the plan bottom-up with the
+same tag maps the executor will use, multiplying slice sizes by measured
+predicate selectivities under the independence assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tagmap import PlanTagAnnotations, TagMapBuilder
+from repro.core.tags import Tag
+from repro.expr.ast import BooleanExpr
+from repro.plan.logical import FilterNode, JoinNode, PlanNode, ProjectNode, TableScanNode
+from repro.plan.query import JoinCondition
+from repro.stats.cardinality import CardinalityEstimator
+from repro.stats.selectivity import SelectivityEstimator
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Cost-model calibration constants.
+
+    ``alpha`` calibrates filter costs against join costs; the ``f_*``
+    constants are the per-row cost factors of the join components.
+    """
+
+    alpha: float = 1.0
+    f_hash_lookup: float = 1.0
+    f_hash_build: float = 2.0
+    f_index_build: float = 1.0
+
+
+@dataclass
+class PlanCostBreakdown:
+    """Total plan cost plus per-operator contributions."""
+
+    total: float = 0.0
+    filter_cost: float = 0.0
+    join_cost: float = 0.0
+
+    def add_filter(self, amount: float) -> None:
+        self.filter_cost += amount
+        self.total += amount
+
+    def add_join(self, amount: float) -> None:
+        self.join_cost += amount
+        self.total += amount
+
+
+def estimate_plan_cost(
+    plan: PlanNode,
+    annotations: PlanTagAnnotations,
+    selectivity: SelectivityEstimator,
+    cardinality: CardinalityEstimator,
+    params: CostParams | None = None,
+) -> PlanCostBreakdown:
+    """Estimate the execution cost of a tagged plan.
+
+    ``annotations`` must have been produced for exactly this plan (the tag
+    maps are looked up by node id).
+    """
+    params = params or CostParams()
+    breakdown = PlanCostBreakdown()
+    _estimate_node(plan, annotations, selectivity, cardinality, params, breakdown)
+    return breakdown
+
+
+def _estimate_node(
+    node: PlanNode,
+    annotations: PlanTagAnnotations,
+    selectivity: SelectivityEstimator,
+    cardinality: CardinalityEstimator,
+    params: CostParams,
+    breakdown: PlanCostBreakdown,
+) -> dict[Tag, float]:
+    """Return estimated rows per output tag of ``node``."""
+    if isinstance(node, TableScanNode):
+        return {Tag.empty(): cardinality.base_rows(node.alias)}
+
+    if isinstance(node, FilterNode):
+        input_rows = _estimate_node(
+            node.child, annotations, selectivity, cardinality, params, breakdown
+        )
+        return _estimate_filter(node, input_rows, annotations, selectivity, params, breakdown)
+
+    if isinstance(node, JoinNode):
+        left_rows = _estimate_node(
+            node.left, annotations, selectivity, cardinality, params, breakdown
+        )
+        right_rows = _estimate_node(
+            node.right, annotations, selectivity, cardinality, params, breakdown
+        )
+        return _estimate_join(
+            node, left_rows, right_rows, annotations, cardinality, params, breakdown
+        )
+
+    if isinstance(node, ProjectNode):
+        return _estimate_node(
+            node.child, annotations, selectivity, cardinality, params, breakdown
+        )
+
+    raise TypeError(f"unknown plan node type: {type(node).__name__}")
+
+
+def _estimate_filter(
+    node: FilterNode,
+    input_rows: dict[Tag, float],
+    annotations: PlanTagAnnotations,
+    selectivity: SelectivityEstimator,
+    params: CostParams,
+    breakdown: PlanCostBreakdown,
+) -> dict[Tag, float]:
+    tag_map = annotations.filter_maps.get(node.node_id)
+    predicate = node.predicate
+    predicate_selectivity = selectivity.selectivity(predicate)
+    cost_factor = selectivity.cost_factor(predicate)
+
+    output: dict[Tag, float] = {}
+
+    def accumulate(tag: Tag, rows: float) -> None:
+        output[tag] = output.get(tag, 0.0) + rows
+
+    rows_evaluated = 0.0
+    for in_tag, rows in input_rows.items():
+        entry = tag_map.entries.get(in_tag) if tag_map is not None else None
+        if entry is None:
+            accumulate(in_tag, rows)
+            continue
+        rows_evaluated += rows
+        if entry.pos_tag is not None:
+            accumulate(entry.pos_tag, rows * predicate_selectivity)
+        if entry.neg_tag is not None:
+            accumulate(entry.neg_tag, rows * (1.0 - predicate_selectivity))
+        # UNKNOWN outputs only materialize when the data has NULLs; they are
+        # treated as negligible for costing.
+
+    breakdown.add_filter(params.alpha * cost_factor * rows_evaluated)
+    return output
+
+
+def _estimate_join(
+    node: JoinNode,
+    left_rows: dict[Tag, float],
+    right_rows: dict[Tag, float],
+    annotations: PlanTagAnnotations,
+    cardinality: CardinalityEstimator,
+    params: CostParams,
+    breakdown: PlanCostBreakdown,
+) -> dict[Tag, float]:
+    tag_map = annotations.join_maps.get(node.node_id)
+    output: dict[Tag, float] = {}
+    if tag_map is None or not tag_map.entries:
+        return output
+
+    participating_left = {tag for tag, _ in tag_map.entries} & set(left_rows)
+    participating_right = {tag for _, tag in tag_map.entries} & set(right_rows)
+    left_total = sum(left_rows[tag] for tag in participating_left)
+    right_total = sum(right_rows[tag] for tag in participating_right)
+
+    unique_left = _estimate_unique(left_total, node.conditions, cardinality, side="left")
+    hash_build = params.f_hash_lookup * left_total + params.f_hash_build * unique_left
+    hash_lookup = params.f_hash_lookup * right_total
+
+    output_total = 0.0
+    for (left_tag, right_tag), out_tag in tag_map.entries.items():
+        if left_tag not in left_rows or right_tag not in right_rows:
+            continue
+        pair_output = cardinality.join_rows_multi(
+            left_rows[left_tag], right_rows[right_tag], node.conditions
+        )
+        output[out_tag] = output.get(out_tag, 0.0) + pair_output
+        output_total += pair_output
+
+    index_build = params.f_index_build * output_total
+    breakdown.add_join(hash_build + hash_lookup + index_build)
+    return output
+
+
+def _estimate_unique(
+    rows: float,
+    conditions: list[JoinCondition],
+    cardinality: CardinalityEstimator,
+    side: str,
+) -> float:
+    """Estimated number of distinct join keys among ``rows`` input rows."""
+    if not conditions:
+        return rows
+    condition = conditions[0]
+    ref = condition.left if side == "left" else condition.right
+    distinct = cardinality.distinct_values(ref.alias, ref.column)
+    return min(rows, distinct)
+
+
+def filter_expressions_in_plan(plan: PlanNode) -> list[BooleanExpr]:
+    """Distinct filter predicates appearing in a plan (helper for planners)."""
+    seen: dict[str, BooleanExpr] = {}
+    for node in plan.walk():
+        if isinstance(node, FilterNode):
+            seen.setdefault(node.predicate.key(), node.predicate)
+    return list(seen.values())

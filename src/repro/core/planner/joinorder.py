@@ -1,0 +1,82 @@
+"""Greedy join ordering.
+
+All planners in the paper — tagged and traditional alike — order joins
+greedily: at every step, the join whose estimated output cardinality is
+smallest is performed next (Section 4.2).  The input is one plan fragment per
+alias (a scan, possibly wrapped in pushed-down filters) together with its
+estimated surviving row count; the output is a join tree covering every
+alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.plan.logical import JoinNode, PlanNode
+from repro.plan.query import Query
+from repro.stats.cardinality import CardinalityEstimator
+
+
+@dataclass
+class _Component:
+    """A connected fragment of the join graph built so far."""
+
+    aliases: frozenset[str]
+    plan: PlanNode
+    estimated_rows: float
+
+
+def greedy_join_tree(
+    query: Query,
+    leaf_plans: dict[str, PlanNode],
+    estimated_rows: dict[str, float],
+    cardinality: CardinalityEstimator,
+) -> PlanNode:
+    """Build a join tree over ``leaf_plans`` by greedy smallest-output joins.
+
+    Raises ValueError if the join graph does not connect every alias (cross
+    products are not supported, mirroring Basilisk).
+    """
+    components = [
+        _Component(frozenset({alias}), plan, max(estimated_rows.get(alias, 1.0), 1.0))
+        for alias, plan in leaf_plans.items()
+    ]
+    if not components:
+        raise ValueError("greedy_join_tree requires at least one input")
+
+    while len(components) > 1:
+        best: tuple[float, int, int, list] | None = None
+        for i in range(len(components)):
+            for j in range(i + 1, len(components)):
+                conditions = query.conditions_between(
+                    components[i].aliases, components[j].aliases
+                )
+                if not conditions:
+                    continue
+                output_rows = cardinality.join_rows_multi(
+                    components[i].estimated_rows,
+                    components[j].estimated_rows,
+                    conditions,
+                )
+                if best is None or output_rows < best[0]:
+                    best = (output_rows, i, j, conditions)
+        if best is None:
+            missing = [sorted(component.aliases) for component in components]
+            raise ValueError(
+                f"join graph is disconnected; cannot connect components {missing}"
+            )
+        output_rows, i, j, conditions = best
+        left, right = components[i], components[j]
+        merged = _Component(
+            left.aliases | right.aliases,
+            JoinNode(left.plan, right.plan, conditions),
+            max(output_rows, 1.0),
+        )
+        components = [
+            component
+            for index, component in enumerate(components)
+            if index not in (i, j)
+        ]
+        components.append(merged)
+
+    return components[0].plan

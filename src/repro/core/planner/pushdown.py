@@ -1,0 +1,51 @@
+"""TPushdown: push every base predicate to its base table (Section 4.2)."""
+
+from __future__ import annotations
+
+from repro.core.planner.base import TaggedPlanner
+from repro.core.planner.joinorder import greedy_join_tree
+from repro.expr.ast import BooleanExpr
+from repro.plan.logical import PlanNode
+
+
+class TPushdownPlanner(TaggedPlanner):
+    """Create a filter per base predicate and push it down to its table.
+
+    Filters on the same table run in benefiting order; joins are ordered
+    greedily by estimated output cardinality; base predicates that span more
+    than one table (rare) run after the joins.
+    """
+
+    name = "tpushdown"
+
+    def build_plan(self) -> PlanNode:
+        context = self.context
+        query = context.query
+
+        per_alias: dict[str, list[BooleanExpr]] = {alias: [] for alias in query.aliases}
+        multi_table: list[BooleanExpr] = []
+        if context.predicate_tree is not None:
+            for predicate in context.predicate_tree.base_predicates():
+                alias = context.single_table_alias(predicate)
+                if alias is not None and alias in per_alias:
+                    per_alias[alias].append(predicate)
+                else:
+                    multi_table.append(predicate)
+
+        leaf_plans: dict[str, PlanNode] = {}
+        estimated_rows: dict[str, float] = {}
+        for alias in query.aliases:
+            filters = context.order_filters(per_alias[alias])
+            leaf_plans[alias] = self.stack_filters(self.scan_node(alias), filters)
+            estimated_rows[alias] = context.effective_alias_rows(
+                alias, filters, disjunctive=True
+            )
+
+        if len(query.aliases) == 1:
+            joined: PlanNode = leaf_plans[query.aliases[0]]
+        else:
+            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.cardinality)
+
+        remaining = context.order_filters(multi_table)
+        joined = self.stack_filters(joined, remaining)
+        return self.finish(joined)

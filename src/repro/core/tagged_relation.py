@@ -1,0 +1,133 @@
+"""Tagged relations.
+
+Basilisk is column-oriented: intermediate relations hold *tuples of row
+indices* into the base tables rather than values, and the relational slices
+of a tagged relation are stored as a hash table of bitmaps keyed by tag
+(Section 2.5.1).  Filters only rewrite bitmaps — rows are never physically
+removed — and the actual values are reconstructed lazily by index lookups
+when an operator needs them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.tags import Tag
+from repro.storage.bitmap import Bitmap
+from repro.storage.table import Table
+
+
+class TaggedRelation:
+    """An index relation plus tag -> bitmap relational slices.
+
+    Args:
+        tables: mapping alias -> backing base table for every alias that has
+            been joined into this relation.
+        indices: mapping alias -> int64 row-index array; all arrays share the
+            same length (the number of physical rows kept in the relation,
+            including rows no longer referenced by any slice).
+        slices: mapping tag -> bitmap selecting the rows of that relational
+            slice.  Slices must be mutually exclusive.
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[str, Table],
+        indices: Mapping[str, np.ndarray],
+        slices: Mapping[Tag, Bitmap],
+    ) -> None:
+        self.tables = dict(tables)
+        self.indices = {alias: np.asarray(idx, dtype=np.int64) for alias, idx in indices.items()}
+        lengths = {idx.shape[0] for idx in self.indices.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"index arrays have differing lengths: {lengths}")
+        self._num_rows = lengths.pop() if lengths else 0
+        self.slices: dict[Tag, Bitmap] = {}
+        for tag, bitmap in slices.items():
+            if bitmap.size != self._num_rows:
+                raise ValueError(
+                    f"slice bitmap size {bitmap.size} does not match relation rows {self._num_rows}"
+                )
+            if not bitmap.is_empty():
+                self.slices[tag] = bitmap
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_base_table(cls, alias: str, table: Table) -> "TaggedRelation":
+        """Base tagged relation: all rows in one slice under the empty tag."""
+        indices = {alias: np.arange(table.num_rows, dtype=np.int64)}
+        slices = {Tag.empty(): Bitmap.full(table.num_rows)}
+        return cls({alias: table}, indices, slices)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Physical rows in the index relation (including dropped rows)."""
+        return self._num_rows
+
+    @property
+    def aliases(self) -> list[str]:
+        """Aliases joined into this relation."""
+        return list(self.indices)
+
+    def tags(self) -> list[Tag]:
+        """Tags of the (non-empty) relational slices."""
+        return list(self.slices)
+
+    def slice_bitmap(self, tag: Tag) -> Bitmap:
+        """Bitmap of the relational slice with ``tag`` (empty if absent)."""
+        return self.slices.get(tag, Bitmap.empty(self._num_rows))
+
+    def slice_cardinality(self, tag: Tag) -> int:
+        """Number of tuples in the relational slice with ``tag``."""
+        bitmap = self.slices.get(tag)
+        return bitmap.count() if bitmap is not None else 0
+
+    def active_bitmap(self) -> Bitmap:
+        """Union of every slice's bitmap (the live rows of the relation)."""
+        return Bitmap.union_all(self.slices.values(), size=self._num_rows)
+
+    def total_tuples(self) -> int:
+        """Total tuples across all relational slices."""
+        return sum(bitmap.count() for bitmap in self.slices.values())
+
+    def check_mutually_exclusive(self) -> bool:
+        """Verify that no row belongs to more than one slice."""
+        if not self.slices:
+            return True
+        counts = np.zeros(self._num_rows, dtype=np.int32)
+        for bitmap in self.slices.values():
+            counts += bitmap.mask.astype(np.int32)
+        return bool((counts <= 1).all())
+
+    def __repr__(self) -> str:
+        return (
+            f"TaggedRelation(aliases={self.aliases}, rows={self._num_rows}, "
+            f"slices={len(self.slices)}, tuples={self.total_tuples()})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def with_slices(self, slices: Mapping[Tag, Bitmap]) -> "TaggedRelation":
+        """A new tagged relation sharing this one's index columns."""
+        return TaggedRelation(self.tables, self.indices, slices)
+
+    def materialize_rows(self, tag: Tag | None = None) -> list[dict[str, int]]:
+        """Row-index tuples of one slice (or of every live row).
+
+        Intended for tests and debugging; returns one dict per tuple mapping
+        alias -> base-table row index.
+        """
+        bitmap = self.active_bitmap() if tag is None else self.slice_bitmap(tag)
+        positions = bitmap.positions()
+        return [
+            {alias: int(self.indices[alias][position]) for alias in self.indices}
+            for position in positions
+        ]

@@ -1,0 +1,15 @@
+"""Execution engine: physical execution of plans under either model.
+
+* :mod:`repro.engine.metrics` — runtime work counters and the execution
+  context threaded through every operator.
+* :mod:`repro.engine.executor` — plan walkers for tagged and traditional
+  execution.
+* :mod:`repro.engine.result` — query results returned to callers.
+* :mod:`repro.engine.session` — the high-level public API (`Session`).
+"""
+
+from repro.engine.metrics import ExecContext, ExecutionMetrics
+from repro.engine.result import QueryResult
+from repro.engine.session import Session
+
+__all__ = ["ExecContext", "ExecutionMetrics", "QueryResult", "Session"]

@@ -1,0 +1,103 @@
+"""Runtime work counters and the per-query execution context.
+
+The paper explains its speedups in terms of work avoided: predicate
+subexpressions evaluated once instead of per root clause, tuples materialized
+once instead of per clause, joins that touch only the slices named in their
+tag maps, and no final union operator.  These counters measure exactly those
+quantities so benchmarks can report them next to wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.storage.iostats import IOStats
+from repro.storage.pagecache import LFUPageCache
+
+
+@dataclass
+class ExecutionMetrics:
+    """Work counters accumulated while executing one query."""
+
+    predicate_rows_evaluated: int = 0
+    predicate_evaluations: int = 0
+    residual_rows_evaluated: int = 0
+    join_build_rows: int = 0
+    join_probe_rows: int = 0
+    join_output_rows: int = 0
+    tuples_materialized: int = 0
+    union_input_rows: int = 0
+    union_output_rows: int = 0
+    operators_executed: int = 0
+    slices_created: int = 0
+    streams_created: int = 0
+    hash_tables_built: int = 0
+    output_rows: int = 0
+
+    def merge(self, other: "ExecutionMetrics") -> None:
+        """Accumulate another metrics object into this one."""
+        self.predicate_rows_evaluated += other.predicate_rows_evaluated
+        self.predicate_evaluations += other.predicate_evaluations
+        self.residual_rows_evaluated += other.residual_rows_evaluated
+        self.join_build_rows += other.join_build_rows
+        self.join_probe_rows += other.join_probe_rows
+        self.join_output_rows += other.join_output_rows
+        self.tuples_materialized += other.tuples_materialized
+        self.union_input_rows += other.union_input_rows
+        self.union_output_rows += other.union_output_rows
+        self.operators_executed += other.operators_executed
+        self.slices_created += other.slices_created
+        self.streams_created += other.streams_created
+        self.hash_tables_built += other.hash_tables_built
+        self.output_rows += other.output_rows
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dictionary (for reports)."""
+        return {
+            "predicate_rows_evaluated": self.predicate_rows_evaluated,
+            "predicate_evaluations": self.predicate_evaluations,
+            "residual_rows_evaluated": self.residual_rows_evaluated,
+            "join_build_rows": self.join_build_rows,
+            "join_probe_rows": self.join_probe_rows,
+            "join_output_rows": self.join_output_rows,
+            "tuples_materialized": self.tuples_materialized,
+            "union_input_rows": self.union_input_rows,
+            "union_output_rows": self.union_output_rows,
+            "operators_executed": self.operators_executed,
+            "slices_created": self.slices_created,
+            "streams_created": self.streams_created,
+            "hash_tables_built": self.hash_tables_built,
+            "output_rows": self.output_rows,
+        }
+
+
+@dataclass
+class ExecContext:
+    """State threaded through operators during one query execution."""
+
+    metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
+    iostats: IOStats = field(default_factory=IOStats)
+    cache: LFUPageCache = field(default_factory=LFUPageCache)
+
+    def timer(self) -> "Stopwatch":
+        """A fresh stopwatch (convenience for callers timing phases)."""
+        return Stopwatch()
+
+
+class Stopwatch:
+    """Tiny helper measuring elapsed wall-clock time."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start
+
+    def restart(self) -> float:
+        """Return elapsed seconds and restart the stopwatch."""
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed

@@ -1,0 +1,223 @@
+"""Output shaping: aggregation, DISTINCT, ORDER BY and LIMIT.
+
+These steps run on the :class:`~repro.engine.result.OutputColumns` produced
+by the projection operator, after the execution model (traditional, tagged or
+bypass) has done its work.  They are therefore shared by every planner and do
+not interact with tag management — but they are part of the timed execution,
+just as they would be in a real engine.
+
+Grouping and ordering are implemented over the materialized column arrays.
+Output sizes at this point are the final result sizes (thousands of rows in
+the paper's workloads), so clarity is preferred over micro-optimization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.result import OutputColumns
+from repro.plan.postselect import AggregateFunction, AggregateSpec, OrderItem
+from repro.plan.query import Query
+
+
+class OutputShapingError(ValueError):
+    """Raised when an output-shaping clause references an unknown column."""
+
+
+def apply_output_shaping(output: OutputColumns, query: Query) -> OutputColumns:
+    """Apply aggregation, DISTINCT, ORDER BY and LIMIT to ``output``."""
+    if query.aggregates:
+        output = aggregate(output, query.group_by, query.aggregates)
+    if query.distinct:
+        output = distinct(output)
+    if query.order_by:
+        output = order_by(output, query.order_by)
+    if query.limit is not None:
+        output = limit(output, query.limit)
+    return output
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def _column_index(output: OutputColumns, name: str) -> int:
+    try:
+        return output.names.index(name)
+    except ValueError:
+        raise OutputShapingError(
+            f"output column {name!r} not found; available: {', '.join(output.names)}"
+        ) from None
+
+
+def _row_values(output: OutputColumns, column_positions: list[int]) -> list[tuple]:
+    """Materialize per-row tuples (NULL -> None) for the listed columns."""
+    columns = []
+    for position in column_positions:
+        values, nulls = output.columns[position]
+        python_values = values.tolist()
+        for null_position in np.flatnonzero(nulls):
+            python_values[int(null_position)] = None
+        columns.append(python_values)
+    if not columns:
+        return [() for _row in range(output.row_count)]
+    return list(zip(*columns))
+
+
+def _take(output: OutputColumns, positions: np.ndarray) -> OutputColumns:
+    """A new OutputColumns holding only the rows at ``positions``."""
+    columns = [(values[positions], nulls[positions]) for values, nulls in output.columns]
+    return OutputColumns(names=list(output.names), columns=columns, row_count=int(positions.size))
+
+
+def _column_from_python(values: list) -> tuple[np.ndarray, np.ndarray]:
+    """Build a (values, nulls) column pair from Python values (None = NULL)."""
+    nulls = np.array([value is None for value in values], dtype=np.bool_)
+    cleaned = list(values)
+    non_null = [value for value in values if value is not None]
+    if non_null and all(isinstance(value, bool) for value in non_null):
+        filler: object = False
+    elif non_null and all(isinstance(value, (int, np.integer)) for value in non_null):
+        filler = 0
+    elif non_null and all(isinstance(value, (int, float, np.integer, np.floating)) for value in non_null):
+        filler = 0.0
+    elif non_null and all(isinstance(value, str) for value in non_null):
+        filler = ""
+    else:
+        filler = None
+    for position, value in enumerate(cleaned):
+        if value is None:
+            cleaned[position] = filler
+    if filler is None:
+        data = np.array(cleaned, dtype=object)
+    else:
+        data = np.array(cleaned)
+    return data, nulls
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation
+# --------------------------------------------------------------------------- #
+def _aggregate_group(spec: AggregateSpec, values: list) -> object:
+    """Evaluate one aggregate over the (Python) values of one group."""
+    if spec.function is AggregateFunction.COUNT:
+        if spec.argument is None:
+            return len(values)
+        non_null = [value for value in values if value is not None]
+        if spec.distinct:
+            return len(set(non_null))
+        return len(non_null)
+
+    non_null = [value for value in values if value is not None]
+    if not non_null:
+        return None
+    if spec.function is AggregateFunction.SUM:
+        return sum(non_null)
+    if spec.function is AggregateFunction.AVG:
+        return sum(non_null) / len(non_null)
+    if spec.function is AggregateFunction.MIN:
+        return min(non_null)
+    if spec.function is AggregateFunction.MAX:
+        return max(non_null)
+    raise OutputShapingError(f"unsupported aggregate function {spec.function!r}")
+
+
+def aggregate(
+    output: OutputColumns,
+    group_by: list,
+    aggregates: list[AggregateSpec],
+) -> OutputColumns:
+    """GROUP BY + aggregate evaluation.
+
+    With an empty ``group_by`` the whole input forms a single group; in that
+    case SQL still produces one output row even for an empty input.
+    """
+    group_names = [column.key() for column in group_by]
+    group_positions = [_column_index(output, name) for name in group_names]
+    group_keys = _row_values(output, group_positions)
+
+    argument_values: dict[str, list] = {}
+    for spec in aggregates:
+        if spec.argument is None:
+            continue
+        name = spec.argument.key()
+        if name not in argument_values:
+            position = _column_index(output, name)
+            argument_values[name] = _row_values(output, [position])
+
+    groups: dict[tuple, list[int]] = {}
+    order: list[tuple] = []
+    for row, key in enumerate(group_keys):
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    if not group_by and not groups:
+        groups[()] = []
+        order.append(())
+
+    out_names = list(group_names) + [spec.label() for spec in aggregates]
+    group_columns: list[list] = [[] for _name in group_names]
+    aggregate_columns: list[list] = [[] for _spec in aggregates]
+    for key in order:
+        rows = groups[key]
+        for position, value in enumerate(key):
+            group_columns[position].append(value)
+        for position, spec in enumerate(aggregates):
+            if spec.argument is None:
+                values = [None] * len(rows)
+            else:
+                source = argument_values[spec.argument.key()]
+                values = [source[row][0] for row in rows]
+            aggregate_columns[position].append(_aggregate_group(spec, values))
+
+    columns = [_column_from_python(values) for values in group_columns + aggregate_columns]
+    return OutputColumns(names=out_names, columns=columns, row_count=len(order))
+
+
+# --------------------------------------------------------------------------- #
+# DISTINCT / ORDER BY / LIMIT
+# --------------------------------------------------------------------------- #
+def distinct(output: OutputColumns) -> OutputColumns:
+    """Remove duplicate rows, keeping the first occurrence of each."""
+    if output.row_count == 0:
+        return output
+    rows = _row_values(output, list(range(len(output.columns))))
+    seen: set[tuple] = set()
+    keep: list[int] = []
+    for position, row in enumerate(rows):
+        if row not in seen:
+            seen.add(row)
+            keep.append(position)
+    return _take(output, np.array(keep, dtype=np.int64))
+
+
+def order_by(output: OutputColumns, items: list[OrderItem]) -> OutputColumns:
+    """Sort the output rows; NULLs sort last for every direction."""
+    if output.row_count == 0 or not items:
+        return output
+    positions = list(range(output.row_count))
+    # Stable sorts applied from the least-significant key to the most.
+    for item in reversed(items):
+        column_position = _column_index(output, item.key)
+        values = _row_values(output, [column_position])
+
+        def sort_key(row: int, column=values) -> tuple:
+            value = column[row][0]
+            return (value is None, value)
+
+        positions.sort(key=sort_key, reverse=item.descending)
+        if item.descending:
+            # Reversing moved NULLs to the front; push them back to the end.
+            nulls = [row for row in positions if values[row][0] is None]
+            non_nulls = [row for row in positions if values[row][0] is not None]
+            positions = non_nulls + nulls
+    return _take(output, np.array(positions, dtype=np.int64))
+
+
+def limit(output: OutputColumns, count: int) -> OutputColumns:
+    """Keep only the first ``count`` rows."""
+    if count < 0:
+        raise OutputShapingError("LIMIT must be non-negative")
+    if output.row_count <= count:
+        return output
+    return _take(output, np.arange(count, dtype=np.int64))

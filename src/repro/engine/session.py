@@ -1,0 +1,229 @@
+"""The public, high-level API: :class:`Session`.
+
+A session wraps a catalog of base tables and executes queries — written in
+SQL or built programmatically as :class:`~repro.plan.query.Query` objects —
+under any of the planners evaluated in the paper:
+
+==============  ======================================================
+planner name    meaning
+==============  ======================================================
+``tcombined``   tagged execution, cheapest of the four tagged planners
+``tpushdown``   tagged execution, all base predicates pushed down
+``tpullup``     tagged execution, Algorithm 2 pull-up search
+``titerpush``   tagged execution, iterative push-down search
+``tpushconj``   tagged execution forced to mimic a conjunctive planner
+``texhaustive`` tagged execution, DP join ordering (extension beyond the paper)
+``tmin``        oracle: execute every tagged candidate planner, keep the fastest
+``bdisj``       traditional execution, per-root-clause plans + union
+``bpushconj``   traditional execution, conjunctive pushdown only
+``bypass``      bypass-technique execution (related-work comparator)
+==============  ======================================================
+
+Example::
+
+    from repro import Session
+    from repro.workloads.imdb import generate_imdb_catalog
+
+    session = Session(generate_imdb_catalog(scale=0.1, seed=7))
+    result = session.execute(
+        "SELECT * FROM title AS t JOIN movie_info_idx AS mi_idx "
+        "ON t.id = mi_idx.movie_id "
+        "WHERE (t.production_year > 2000 AND mi_idx.info > 7.0) "
+        "   OR (t.production_year > 1980 AND mi_idx.info > 8.0)",
+        planner="tcombined",
+    )
+    print(result.row_count, result.total_seconds)
+"""
+
+from __future__ import annotations
+
+from repro.baseline.planners import BDisjPlanner, BPushConjPlanner
+from repro.bypass.executor import BypassExecutor
+from repro.bypass.planner import BypassPlanner
+from repro.core.planner import PLANNER_REGISTRY, TMIN_CANDIDATES
+from repro.core.planner.base import PlannerContext
+from repro.core.planner.combined import TCombinedPlanner
+from repro.core.planner.cost import CostParams
+from repro.engine.executor import TaggedExecutor, TraditionalExecutor
+from repro.engine.metrics import ExecContext, Stopwatch
+from repro.engine.postprocess import apply_output_shaping
+from repro.engine.result import QueryResult
+from repro.plan.logical import plan_to_string
+from repro.plan.query import Query
+from repro.storage.catalog import Catalog
+
+TAGGED_PLANNERS = tuple(PLANNER_REGISTRY)
+TRADITIONAL_PLANNERS = ("bdisj", "bpushconj")
+ALL_PLANNERS = TAGGED_PLANNERS + TRADITIONAL_PLANNERS + ("tmin", "bypass")
+
+
+class Session:
+    """Executes queries against a catalog under a chosen planner."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_params: CostParams | None = None,
+        three_valued: bool = True,
+        stats_sample_size: int = 20_000,
+        selectivity_mode: str = "measured",
+    ) -> None:
+        self.catalog = catalog
+        self.cost_params = cost_params or CostParams()
+        self.three_valued = three_valued
+        self.stats_sample_size = stats_sample_size
+        self.selectivity_mode = selectivity_mode
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: Query | str,
+        planner: str = "tcombined",
+        naive_tags: bool = False,
+    ) -> QueryResult:
+        """Plan and execute a query; returns a :class:`QueryResult`."""
+        planner = planner.lower()
+        if planner not in ALL_PLANNERS:
+            raise ValueError(
+                f"unknown planner {planner!r}; choose one of {', '.join(ALL_PLANNERS)}"
+            )
+        bound = self._bind(query)
+
+        if planner == "tmin":
+            return self._execute_tmin(bound, naive_tags)
+        if planner == "bypass":
+            return self._execute_bypass(bound)
+        if planner in TRADITIONAL_PLANNERS:
+            return self._execute_traditional(bound, planner)
+        return self._execute_tagged(bound, planner, naive_tags)
+
+    def explain(
+        self, query: Query | str, planner: str = "tcombined", naive_tags: bool = False
+    ) -> str:
+        """Return the chosen plan(s) as a pretty-printed string."""
+        bound = self._bind(query)
+        planner = planner.lower()
+        context = self._planner_context(bound, naive_tags)
+        if planner in TRADITIONAL_PLANNERS:
+            planner_obj = (BDisjPlanner if planner == "bdisj" else BPushConjPlanner)(context)
+            plan = planner_obj.plan()
+            return "\n---\n".join(plan_to_string(subplan) for subplan in plan.subplans)
+        if planner == "bypass":
+            return BypassPlanner(context).plan().to_string()
+        planner_class = PLANNER_REGISTRY.get(planner, TCombinedPlanner)
+        result = planner_class(context).plan()
+        return plan_to_string(result.plan)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _bind(self, query: Query | str) -> Query:
+        if isinstance(query, Query):
+            return query
+        from repro.sql import parse_query
+
+        return parse_query(query)
+
+    def _planner_context(self, query: Query, naive_tags: bool) -> PlannerContext:
+        return PlannerContext.for_query(
+            query,
+            self.catalog,
+            cost_params=self.cost_params,
+            three_valued=self.three_valued,
+            naive_tags=naive_tags,
+            sample_size=self.stats_sample_size,
+            selectivity_mode=self.selectivity_mode,
+        )
+
+    def _execute_tagged(self, query: Query, planner: str, naive_tags: bool) -> QueryResult:
+        planning_timer = Stopwatch()
+        context = self._planner_context(query, naive_tags)
+        planner_class = PLANNER_REGISTRY[planner]
+        planned = planner_class(context).plan()
+        planning_seconds = planning_timer.elapsed()
+
+        exec_context = ExecContext()
+        executor = TaggedExecutor(
+            self.catalog, query, planned.annotations, context.predicate_tree
+        )
+        execution_timer = Stopwatch()
+        output = executor.execute(planned.plan, exec_context)
+        if query.has_output_shaping:
+            output = apply_output_shaping(output, query)
+        execution_seconds = execution_timer.elapsed()
+
+        return QueryResult(
+            planner_name=planned.planner_name,
+            output=output,
+            planning_seconds=planning_seconds,
+            execution_seconds=execution_seconds,
+            metrics=exec_context.metrics,
+            iostats=exec_context.iostats,
+            plan_description=plan_to_string(planned.plan),
+        )
+
+    def _execute_tmin(self, query: Query, naive_tags: bool) -> QueryResult:
+        """Execute every tagged candidate planner and keep the fastest run."""
+        best: QueryResult | None = None
+        for planner in TMIN_CANDIDATES:
+            result = self._execute_tagged(query, planner, naive_tags)
+            if best is None or result.total_seconds < best.total_seconds:
+                best = result
+        assert best is not None
+        best.planner_name = "tmin"
+        return best
+
+    def _execute_bypass(self, query: Query) -> QueryResult:
+        planning_timer = Stopwatch()
+        context = self._planner_context(query, naive_tags=False)
+        planned = BypassPlanner(context).plan()
+        planning_seconds = planning_timer.elapsed()
+
+        exec_context = ExecContext()
+        executor = BypassExecutor(
+            self.catalog, context.predicate_tree, three_valued=self.three_valued
+        )
+        execution_timer = Stopwatch()
+        output = executor.execute(planned.plan, exec_context)
+        if query.has_output_shaping:
+            output = apply_output_shaping(output, query)
+        execution_seconds = execution_timer.elapsed()
+
+        return QueryResult(
+            planner_name=planned.planner_name,
+            output=output,
+            planning_seconds=planning_seconds,
+            execution_seconds=execution_seconds,
+            metrics=exec_context.metrics,
+            iostats=exec_context.iostats,
+            plan_description=planned.to_string(),
+        )
+
+    def _execute_traditional(self, query: Query, planner: str) -> QueryResult:
+        planning_timer = Stopwatch()
+        context = self._planner_context(query, naive_tags=False)
+        planner_obj = (BDisjPlanner if planner == "bdisj" else BPushConjPlanner)(context)
+        planned = planner_obj.plan()
+        planning_seconds = planning_timer.elapsed()
+
+        exec_context = ExecContext()
+        executor = TraditionalExecutor(self.catalog, query)
+        execution_timer = Stopwatch()
+        output = executor.execute(planned, exec_context)
+        if query.has_output_shaping:
+            output = apply_output_shaping(output, query)
+        execution_seconds = execution_timer.elapsed()
+
+        return QueryResult(
+            planner_name=planned.planner_name,
+            output=output,
+            planning_seconds=planning_seconds,
+            execution_seconds=execution_seconds,
+            metrics=exec_context.metrics,
+            iostats=exec_context.iostats,
+            plan_description="\n---\n".join(
+                plan_to_string(subplan) for subplan in planned.subplans
+            ),
+        )

@@ -1,0 +1,58 @@
+"""Boolean expression layer: AST, vectorized evaluation, three-valued logic.
+
+Predicate expressions in queries are represented by the classes in
+:mod:`repro.expr.ast`.  Evaluation is vectorized: a predicate evaluated
+against a :class:`~repro.expr.eval.RowBatch` returns one truth value
+(TRUE / FALSE / UNKNOWN) per row, encoded per :mod:`repro.expr.three_valued`.
+
+The :mod:`repro.expr.builders` module offers a small DSL for constructing
+expressions programmatically, which the workload generators and the examples
+use; SQL text goes through :mod:`repro.sql` instead.
+"""
+
+from repro.expr.ast import (
+    AndExpr,
+    BetweenPredicate,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    Literal,
+    NotExpr,
+    OrExpr,
+    ValueExpr,
+)
+from repro.expr.builders import and_, between, col, in_, is_null, like, lit, not_, or_
+from repro.expr.eval import RowBatch
+from repro.expr.three_valued import FALSE, TRUE, UNKNOWN, TruthValue
+
+__all__ = [
+    "AndExpr",
+    "BetweenPredicate",
+    "BooleanExpr",
+    "ColumnRef",
+    "Comparison",
+    "InPredicate",
+    "IsNullPredicate",
+    "LikePredicate",
+    "Literal",
+    "NotExpr",
+    "OrExpr",
+    "RowBatch",
+    "TruthValue",
+    "ValueExpr",
+    "TRUE",
+    "FALSE",
+    "UNKNOWN",
+    "and_",
+    "between",
+    "col",
+    "in_",
+    "is_null",
+    "like",
+    "lit",
+    "not_",
+    "or_",
+]

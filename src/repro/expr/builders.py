@@ -1,0 +1,128 @@
+"""A small DSL for constructing expressions programmatically.
+
+Example::
+
+    from repro.expr import col, lit, and_, or_
+
+    predicate = or_(
+        and_(col("t", "year") > lit(2000), col("mi", "score") > lit(7.0)),
+        and_(col("t", "year") > lit(1980), col("mi", "score") > lit(8.0)),
+    )
+
+``col(...) > lit(...)`` builds a :class:`~repro.expr.ast.Comparison`; the
+other helpers wrap the remaining node types.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.expr.ast import (
+    AndExpr,
+    BetweenPredicate,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    Literal,
+    NotExpr,
+    OrExpr,
+    ValueExpr,
+    flatten,
+)
+
+
+class _ComparableColumn(ColumnRef):
+    """Column reference with comparison operators building predicates."""
+
+    def _as_value(self, other) -> ValueExpr:
+        if isinstance(other, ValueExpr):
+            return other
+        return Literal(other)
+
+    def __gt__(self, other) -> Comparison:
+        return Comparison(self, ">", self._as_value(other))
+
+    def __ge__(self, other) -> Comparison:
+        return Comparison(self, ">=", self._as_value(other))
+
+    def __lt__(self, other) -> Comparison:
+        return Comparison(self, "<", self._as_value(other))
+
+    def __le__(self, other) -> Comparison:
+        return Comparison(self, "<=", self._as_value(other))
+
+    # NB: __eq__/__ne__ are kept as structural equality (inherited); use
+    # ``eq``/``ne`` to build comparison predicates.
+    def eq(self, other) -> Comparison:
+        """Build an equality predicate ``self = other``."""
+        return Comparison(self, "=", self._as_value(other))
+
+    def ne(self, other) -> Comparison:
+        """Build an inequality predicate ``self != other``."""
+        return Comparison(self, "!=", self._as_value(other))
+
+    def __hash__(self) -> int:
+        return super().__hash__()
+
+
+def col(alias: str, column: str) -> _ComparableColumn:
+    """Reference column ``alias.column``."""
+    return _ComparableColumn(alias, column)
+
+
+def lit(value) -> Literal:
+    """A literal constant."""
+    return Literal(value)
+
+
+def and_(*children: BooleanExpr) -> BooleanExpr:
+    """Conjunction of one or more boolean expressions (flattened)."""
+    if not children:
+        raise ValueError("and_ requires at least one child")
+    if len(children) == 1:
+        return children[0]
+    return flatten(AndExpr(list(children)))
+
+
+def or_(*children: BooleanExpr) -> BooleanExpr:
+    """Disjunction of one or more boolean expressions (flattened)."""
+    if not children:
+        raise ValueError("or_ requires at least one child")
+    if len(children) == 1:
+        return children[0]
+    return flatten(OrExpr(list(children)))
+
+
+def not_(child: BooleanExpr) -> BooleanExpr:
+    """Negation (double negations collapse)."""
+    return flatten(NotExpr(child))
+
+
+def like(operand: ValueExpr, pattern: str) -> LikePredicate:
+    """Case-sensitive SQL LIKE."""
+    return LikePredicate(operand, pattern, case_insensitive=False)
+
+
+def ilike(operand: ValueExpr, pattern: str) -> LikePredicate:
+    """Case-insensitive SQL LIKE (PostgreSQL's ILIKE)."""
+    return LikePredicate(operand, pattern, case_insensitive=True)
+
+
+def in_(operand: ValueExpr, values: Sequence) -> InPredicate:
+    """``operand IN (values...)``."""
+    return InPredicate(operand, values)
+
+
+def between(operand: ValueExpr, low, high) -> BetweenPredicate:
+    """``operand BETWEEN low AND high``."""
+    low_expr = low if isinstance(low, ValueExpr) else Literal(low)
+    high_expr = high if isinstance(high, ValueExpr) else Literal(high)
+    return BetweenPredicate(operand, low_expr, high_expr)
+
+
+def is_null(operand: ValueExpr, negated: bool = False) -> IsNullPredicate:
+    """``operand IS [NOT] NULL``."""
+    return IsNullPredicate(operand, negated=negated)

@@ -1,0 +1,106 @@
+"""Evaluation context for vectorized predicate evaluation.
+
+Predicates are evaluated against a :class:`RowBatch`: a logical set of rows,
+each of which may span several base tables (after joins).  The batch exposes,
+for every referenced ``(table alias, column)`` pair, the column values and
+NULL mask aligned with the batch's rows.  Basilisk keeps only row *indices*
+in its intermediate relations and fetches values lazily (Section 2.5.1); the
+row batch is where that lazy fetch happens, so I/O accounting flows through
+the storage layer naturally.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.storage.iostats import IOStats
+from repro.storage.pagecache import LFUPageCache
+from repro.storage.table import Table
+
+
+class RowBatch:
+    """A batch of logical rows used as predicate-evaluation input.
+
+    Each logical row is described by one row index per table alias.  Columns
+    are fetched lazily from the backing base tables and memoized per
+    ``(alias, column)`` so a predicate referencing the same column twice only
+    pays for one read.
+
+    Args:
+        tables: mapping of alias -> backing base :class:`Table`.
+        indices: mapping of alias -> int64 array of row indices (all arrays
+            must be the same length).  Aliases bound to ``None`` arrays are
+            not usable in this batch.
+        cache: optional page cache used for read accounting.
+        iostats: optional I/O counter object.
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[str, Table],
+        indices: Mapping[str, np.ndarray],
+        cache: LFUPageCache | None = None,
+        iostats: IOStats | None = None,
+    ) -> None:
+        self._tables = dict(tables)
+        self._indices = {alias: np.asarray(idx, dtype=np.int64) for alias, idx in indices.items()}
+        lengths = {idx.shape[0] for idx in self._indices.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"index arrays have differing lengths: {lengths}")
+        self._num_rows = lengths.pop() if lengths else 0
+        self._cache = cache
+        self._iostats = iostats
+        self._column_cache: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def num_rows(self) -> int:
+        """Number of logical rows in the batch."""
+        return self._num_rows
+
+    @property
+    def aliases(self) -> list[str]:
+        """Table aliases addressable from this batch."""
+        return list(self._indices)
+
+    def indices_for(self, alias: str) -> np.ndarray:
+        """Row-index array for ``alias``."""
+        try:
+            return self._indices[alias]
+        except KeyError:
+            raise KeyError(
+                f"alias {alias!r} is not part of this row batch; "
+                f"available: {', '.join(self._indices)}"
+            ) from None
+
+    def column(self, alias: str, column_name: str) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(values, nulls)`` for a column, aligned with batch rows."""
+        key = (alias, column_name)
+        if key in self._column_cache:
+            return self._column_cache[key]
+        if alias not in self._tables:
+            raise KeyError(
+                f"alias {alias!r} is not bound to a table; available: {', '.join(self._tables)}"
+            )
+        table = self._tables[alias]
+        positions = self.indices_for(alias)
+        values, nulls = table.read_column_at(
+            column_name, positions, cache=self._cache, iostats=self._iostats
+        )
+        self._column_cache[key] = (values, nulls)
+        return values, nulls
+
+    @classmethod
+    def for_base_table(
+        cls,
+        alias: str,
+        table: Table,
+        positions: np.ndarray | None = None,
+        cache: LFUPageCache | None = None,
+        iostats: IOStats | None = None,
+    ) -> "RowBatch":
+        """Build a batch over (a subset of) a single base table."""
+        if positions is None:
+            positions = np.arange(table.num_rows, dtype=np.int64)
+        return cls({alias: table}, {alias: positions}, cache=cache, iostats=iostats)

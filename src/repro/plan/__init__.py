@@ -1,0 +1,29 @@
+"""Logical query descriptions and logical plans.
+
+* :mod:`repro.plan.query` — the bound form of a query: which tables it
+  touches (by alias), its equi-join conditions, its WHERE predicate and its
+  projection list.
+* :mod:`repro.plan.logical` — logical plan trees (scan / filter / join /
+  project) shared by the tagged and traditional planners.
+"""
+
+from repro.plan.logical import (
+    FilterNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    TableScanNode,
+    plan_to_string,
+)
+from repro.plan.query import JoinCondition, Query
+
+__all__ = [
+    "FilterNode",
+    "JoinCondition",
+    "JoinNode",
+    "PlanNode",
+    "ProjectNode",
+    "Query",
+    "TableScanNode",
+    "plan_to_string",
+]

@@ -1,0 +1,209 @@
+"""Logical plan trees.
+
+Both execution models share the same logical plan vocabulary: table scans,
+filters, joins and a projection root.  The tagged planner later decorates
+filter and join nodes with tag maps (see :mod:`repro.core.tagmap`); the
+traditional planner runs them directly.
+
+Plan nodes are immutable; rewrites (pulling a filter up, pushing one down)
+build new trees via the helpers at the bottom of this module.  Every node has
+a stable ``node_id`` assigned at construction so side tables (tag maps, cost
+annotations) can reference nodes without mutating them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterator
+
+from repro.expr.ast import BooleanExpr, ColumnRef
+from repro.plan.query import JoinCondition
+
+_NODE_COUNTER = itertools.count(1)
+
+
+class PlanNode:
+    """Base class of logical plan nodes."""
+
+    def __init__(self, children: list["PlanNode"]) -> None:
+        self.children = list(children)
+        self.node_id = next(_NODE_COUNTER)
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        """Table aliases produced by this subtree."""
+        result: frozenset[str] = frozenset()
+        for child in self.children:
+            result |= child.aliases
+        return result
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def label(self) -> str:
+        """Human-readable one-line description."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{self.label()} [#{self.node_id}]"
+
+
+class TableScanNode(PlanNode):
+    """Scan of a base table under an alias."""
+
+    def __init__(self, alias: str, table_name: str) -> None:
+        super().__init__([])
+        self.alias = alias
+        self.table_name = table_name
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        return frozenset({self.alias})
+
+    def label(self) -> str:
+        return f"Scan({self.table_name} AS {self.alias})"
+
+
+class FilterNode(PlanNode):
+    """Apply a predicate expression to the child's output."""
+
+    def __init__(self, predicate: BooleanExpr, child: PlanNode) -> None:
+        super().__init__([child])
+        self.predicate = predicate
+
+    @property
+    def child(self) -> PlanNode:
+        """The single input of this filter."""
+        return self.children[0]
+
+    def label(self) -> str:
+        return f"Filter({self.predicate.key()})"
+
+
+class JoinNode(PlanNode):
+    """Equi-join of two inputs on one or more conditions."""
+
+    def __init__(
+        self, left: PlanNode, right: PlanNode, conditions: list[JoinCondition]
+    ) -> None:
+        if not conditions:
+            raise ValueError("a join node requires at least one join condition")
+        super().__init__([left, right])
+        self.conditions = list(conditions)
+
+    @property
+    def left(self) -> PlanNode:
+        """Left (build-side candidate) input."""
+        return self.children[0]
+
+    @property
+    def right(self) -> PlanNode:
+        """Right (probe-side candidate) input."""
+        return self.children[1]
+
+    def label(self) -> str:
+        rendered = " AND ".join(str(condition) for condition in self.conditions)
+        return f"Join({rendered})"
+
+
+class ProjectNode(PlanNode):
+    """Projection root; also the final tag-based filtering point."""
+
+    def __init__(self, child: PlanNode, columns: list[ColumnRef] | None = None) -> None:
+        super().__init__([child])
+        self.columns = list(columns or [])
+
+    @property
+    def child(self) -> PlanNode:
+        """The single input of the projection."""
+        return self.children[0]
+
+    def label(self) -> str:
+        if not self.columns:
+            return "Project(*)"
+        return "Project(" + ", ".join(column.key() for column in self.columns) + ")"
+
+
+# --------------------------------------------------------------------------- #
+# Plan rewriting helpers
+# --------------------------------------------------------------------------- #
+def clone_plan(node: PlanNode) -> PlanNode:
+    """Deep-copy a plan tree (fresh node ids)."""
+    if isinstance(node, TableScanNode):
+        return TableScanNode(node.alias, node.table_name)
+    if isinstance(node, FilterNode):
+        return FilterNode(node.predicate, clone_plan(node.child))
+    if isinstance(node, JoinNode):
+        return JoinNode(clone_plan(node.left), clone_plan(node.right), node.conditions)
+    if isinstance(node, ProjectNode):
+        return ProjectNode(clone_plan(node.child), node.columns)
+    raise TypeError(f"unknown plan node type: {type(node).__name__}")
+
+
+def map_plan(node: PlanNode, transform: Callable[[PlanNode], PlanNode | None]) -> PlanNode:
+    """Rebuild a plan bottom-up, applying ``transform`` at every node.
+
+    ``transform`` receives a node whose children have already been rebuilt;
+    returning ``None`` keeps that node as is.
+    """
+    if isinstance(node, TableScanNode):
+        rebuilt: PlanNode = TableScanNode(node.alias, node.table_name)
+    elif isinstance(node, FilterNode):
+        rebuilt = FilterNode(node.predicate, map_plan(node.child, transform))
+    elif isinstance(node, JoinNode):
+        rebuilt = JoinNode(
+            map_plan(node.left, transform), map_plan(node.right, transform), node.conditions
+        )
+    elif isinstance(node, ProjectNode):
+        rebuilt = ProjectNode(map_plan(node.child, transform), node.columns)
+    else:
+        raise TypeError(f"unknown plan node type: {type(node).__name__}")
+    replacement = transform(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+def collect_filters(node: PlanNode) -> list[FilterNode]:
+    """All filter nodes in a plan, pre-order."""
+    return [candidate for candidate in node.walk() if isinstance(candidate, FilterNode)]
+
+
+def collect_joins(node: PlanNode) -> list[JoinNode]:
+    """All join nodes in a plan, pre-order."""
+    return [candidate for candidate in node.walk() if isinstance(candidate, JoinNode)]
+
+
+def remove_filter(node: PlanNode, target_predicate_key: str) -> PlanNode:
+    """Return a copy of the plan with the first filter on ``target_predicate_key`` removed."""
+    removed = False
+
+    def rebuild(current: PlanNode) -> PlanNode:
+        nonlocal removed
+        if isinstance(current, TableScanNode):
+            return TableScanNode(current.alias, current.table_name)
+        if isinstance(current, FilterNode):
+            child = rebuild(current.child)
+            if not removed and current.predicate.key() == target_predicate_key:
+                removed = True
+                return child
+            return FilterNode(current.predicate, child)
+        if isinstance(current, JoinNode):
+            return JoinNode(rebuild(current.left), rebuild(current.right), current.conditions)
+        if isinstance(current, ProjectNode):
+            return ProjectNode(rebuild(current.child), current.columns)
+        raise TypeError(f"unknown plan node type: {type(current).__name__}")
+
+    result = rebuild(node)
+    if not removed:
+        raise ValueError(f"no filter with predicate {target_predicate_key!r} found in plan")
+    return result
+
+
+def plan_to_string(node: PlanNode, indent: int = 0) -> str:
+    """Pretty-print a plan tree, one node per line."""
+    lines = ["  " * indent + node.label()]
+    for child in node.children:
+        lines.append(plan_to_string(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Bound query descriptions.
+
+A :class:`Query` is the planner-facing description of a SELECT statement:
+the tables it references (alias -> table name), the equi-join conditions
+connecting them, the WHERE predicate expression, and the projection list.
+It can be produced either by the SQL front end (:mod:`repro.sql`) or
+programmatically by the workload generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.expr.ast import BooleanExpr, ColumnRef, flatten, iter_base_predicates
+from repro.plan.postselect import AggregateSpec, OrderItem
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join condition ``left.column = right.column``."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def aliases(self) -> frozenset[str]:
+        """The two table aliases this condition connects."""
+        return frozenset({self.left.alias, self.right.alias})
+
+    def key(self) -> str:
+        """Canonical key (orientation-insensitive)."""
+        sides = sorted([self.left.key(), self.right.key()])
+        return f"({sides[0]} = {sides[1]})"
+
+    def side_for(self, alias: str) -> ColumnRef:
+        """The column reference belonging to ``alias``."""
+        if self.left.alias == alias:
+            return self.left
+        if self.right.alias == alias:
+            return self.right
+        raise KeyError(f"join condition {self.key()} does not involve alias {alias!r}")
+
+    def other_alias(self, alias: str) -> str:
+        """The alias on the opposite side of ``alias``."""
+        if self.left.alias == alias:
+            return self.right.alias
+        if self.right.alias == alias:
+            return self.left.alias
+        raise KeyError(f"join condition {self.key()} does not involve alias {alias!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left.key()} = {self.right.key()}"
+
+
+@dataclass
+class Query:
+    """A bound query.
+
+    Attributes:
+        tables: mapping of alias -> base table name.
+        join_conditions: equi-join conditions between aliases.
+        predicate: the WHERE expression (``None`` means no WHERE clause).
+        select: columns materialized by the execution engine; empty means
+            ``SELECT *``.  For aggregate queries this is the set of physical
+            columns the aggregates and GROUP BY need.
+        name: optional identifier used by workloads and reports.
+        distinct: apply DISTINCT to the output rows.
+        aggregates: aggregate specifications (empty for plain queries).
+        group_by: grouping columns (must be non-empty only with aggregates).
+        order_by: output ordering keys.
+        limit: maximum number of output rows (``None`` means no limit).
+    """
+
+    tables: dict[str, str]
+    join_conditions: list[JoinCondition] = field(default_factory=list)
+    predicate: BooleanExpr | None = None
+    select: list[ColumnRef] = field(default_factory=list)
+    name: str = ""
+    distinct: bool = False
+    aggregates: list[AggregateSpec] = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError("a query must reference at least one table")
+        if self.predicate is not None:
+            self.predicate = flatten(self.predicate)
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("LIMIT must be non-negative")
+        if self.group_by and not self.aggregates:
+            raise ValueError("GROUP BY requires at least one aggregate in the SELECT list")
+        self._validate_aliases()
+
+    def _validate_aliases(self) -> None:
+        known = set(self.tables)
+        for condition in self.join_conditions:
+            missing = condition.aliases() - known
+            if missing:
+                raise ValueError(
+                    f"join condition {condition} references unknown aliases {sorted(missing)}"
+                )
+        if self.predicate is not None:
+            missing = self.predicate.tables() - known
+            if missing:
+                raise ValueError(
+                    f"predicate references unknown aliases {sorted(missing)}"
+                )
+        for column in self.select:
+            if column.alias not in known:
+                raise ValueError(f"projection column {column.key()} has unknown alias")
+        for column in self.group_by:
+            if column.alias not in known:
+                raise ValueError(f"GROUP BY column {column.key()} has unknown alias")
+        for aggregate in self.aggregates:
+            if aggregate.argument is not None and aggregate.argument.alias not in known:
+                raise ValueError(
+                    f"aggregate argument {aggregate.argument.key()} has unknown alias"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Output shaping
+    # ------------------------------------------------------------------ #
+    @property
+    def has_output_shaping(self) -> bool:
+        """True when any post-projection clause must run."""
+        return bool(
+            self.distinct
+            or self.aggregates
+            or self.group_by
+            or self.order_by
+            or self.limit is not None
+        )
+
+    def output_names(self) -> list[str]:
+        """Names of the final output columns, in order."""
+        if self.aggregates:
+            names = [column.key() for column in self.group_by]
+            names.extend(aggregate.label() for aggregate in self.aggregates)
+            return names
+        if self.select:
+            return [column.key() for column in self.select]
+        return []
+
+    @property
+    def aliases(self) -> list[str]:
+        """All table aliases in declaration order."""
+        return list(self.tables)
+
+    def base_predicates(self) -> list[BooleanExpr]:
+        """Distinct base predicates appearing in the WHERE expression."""
+        if self.predicate is None:
+            return []
+        seen: dict[str, BooleanExpr] = {}
+        for predicate in iter_base_predicates(self.predicate):
+            seen.setdefault(predicate.key(), predicate)
+        return list(seen.values())
+
+    def conditions_between(self, left_aliases: frozenset[str], right_aliases: frozenset[str]) -> list[JoinCondition]:
+        """Join conditions connecting two disjoint alias sets."""
+        out = []
+        for condition in self.join_conditions:
+            left_in_left = condition.left.alias in left_aliases
+            left_in_right = condition.left.alias in right_aliases
+            right_in_left = condition.right.alias in left_aliases
+            right_in_right = condition.right.alias in right_aliases
+            if (left_in_left and right_in_right) or (left_in_right and right_in_left):
+                out.append(condition)
+        return out
+
+    def __str__(self) -> str:
+        tables = ", ".join(f"{table} AS {alias}" for alias, table in self.tables.items())
+        joins = " AND ".join(str(condition) for condition in self.join_conditions)
+        where = self.predicate.key() if self.predicate is not None else "TRUE"
+        return f"SELECT ... FROM {tables} ON {joins or 'TRUE'} WHERE {where}"

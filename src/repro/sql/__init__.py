@@ -1,0 +1,13 @@
+"""SQL front end.
+
+A tokenizer and recursive-descent parser for the SQL subset used by the
+paper's workloads: ``SELECT`` lists, ``FROM`` with inner ``JOIN ... ON``
+equi-joins, and ``WHERE`` clauses made of comparisons, ``LIKE``/``ILIKE``,
+``IN``, ``BETWEEN``, ``IS [NOT] NULL``, combined with ``AND`` / ``OR`` /
+``NOT`` and parentheses.  ``parse_query`` returns a bound
+:class:`~repro.plan.query.Query`.
+"""
+
+from repro.sql.parser import ParseError, parse_expression, parse_query
+
+__all__ = ["ParseError", "parse_expression", "parse_query"]

@@ -1,0 +1,152 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Kinds of SQL tokens."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    END = "end"
+
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "JOIN",
+    "INNER",
+    "ON",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "LIKE",
+    "ILIKE",
+    "IN",
+    "BETWEEN",
+    "IS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "DISTINCT",
+    "GROUP",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+}
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+_PUNCTUATION = "(),.*"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        """True if this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.value == keyword.upper()
+
+
+class LexError(ValueError):
+    """Raised on unrecognizable input."""
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens (ending with a synthetic END token)."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+
+    while position < length:
+        char = text[position]
+
+        if char.isspace():
+            position += 1
+            continue
+
+        if char == "'":
+            end = position + 1
+            chunks = []
+            while True:
+                if end >= length:
+                    raise LexError(f"unterminated string literal starting at {position}")
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        chunks.append("'")
+                        end += 2
+                        continue
+                    break
+                chunks.append(text[end])
+                end += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), position))
+            position = end + 1
+            continue
+
+        matched_operator = False
+        for operator in _OPERATORS:
+            if text.startswith(operator, position):
+                value = "!=" if operator == "<>" else operator
+                tokens.append(Token(TokenType.OPERATOR, value, position))
+                position += len(operator)
+                matched_operator = True
+                break
+        if matched_operator:
+            continue
+
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, position))
+            position += 1
+            continue
+
+        if char.isdigit() or (char == "-" and position + 1 < length and text[position + 1].isdigit()):
+            end = position + 1
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # A dot followed by a non-digit is punctuation, not a decimal point.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, text[position:end], position))
+            position = end
+            continue
+
+        if char.isalpha() or char == "_":
+            end = position + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, position))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, position))
+            position = end
+            continue
+
+        raise LexError(f"unexpected character {char!r} at position {position}")
+
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,454 @@
+"""Recursive-descent SQL parser producing bound queries.
+
+Grammar (informally)::
+
+    query       := SELECT [DISTINCT] select_list FROM table_ref
+                   (JOIN table_ref ON join_cond)* [WHERE expr]
+                   [GROUP BY column (',' column)*]
+                   [ORDER BY order_item (',' order_item)*]
+                   [LIMIT number]
+    select_list := '*' | select_item (',' select_item)*
+    select_item := column | aggregate
+    aggregate   := COUNT '(' ('*' | [DISTINCT] column) ')'
+                 | (SUM|AVG|MIN|MAX) '(' column ')'
+    order_item  := (column | aggregate) [ASC | DESC]
+    table_ref   := identifier [AS] identifier
+    join_cond   := column '=' column (AND column '=' column)*
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | primary
+    primary     := '(' expr ')' | predicate
+    predicate   := operand comparison | operand [NOT] LIKE/ILIKE string
+                 | operand [NOT] IN '(' literal (',' literal)* ')'
+                 | operand [NOT] BETWEEN literal AND literal
+                 | operand IS [NOT] NULL
+    operand     := column | literal
+    column      := identifier '.' identifier
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast import (
+    BetweenPredicate,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    Literal,
+    NotExpr,
+    ValueExpr,
+    flatten,
+)
+from repro.expr.builders import and_, or_
+from repro.plan.postselect import AggregateFunction, AggregateSpec, OrderItem
+from repro.plan.query import JoinCondition, Query
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_AGGREGATE_KEYWORDS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid SQL."""
+
+
+class _Parser:
+    """Token-stream cursor with the parsing routines."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------ #
+    # Cursor helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.END:
+            self._position += 1
+        return token
+
+    def _check_keyword(self, keyword: str) -> bool:
+        return self._peek().matches_keyword(keyword)
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        if self._check_keyword(keyword):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            token = self._peek()
+            raise ParseError(
+                f"expected keyword {keyword!r} at position {token.position}, got {token.value!r}"
+            )
+
+    def _accept_punctuation(self, value: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punctuation(self, value: str) -> None:
+        if not self._accept_punctuation(value):
+            token = self._peek()
+            raise ParseError(
+                f"expected {value!r} at position {token.position}, got {token.value!r}"
+            )
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise ParseError(
+                f"expected identifier at position {token.position}, got {token.value!r}"
+            )
+        self._advance()
+        return token.value
+
+    # ------------------------------------------------------------------ #
+    # Query
+    # ------------------------------------------------------------------ #
+    def parse_query(self) -> Query:
+        """Parse a full SELECT statement."""
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        plain_columns, aggregates = self._parse_select_list()
+
+        self._expect_keyword("FROM")
+        tables: dict[str, str] = {}
+        table_name, alias = self._parse_table_ref()
+        tables[alias] = table_name
+
+        join_conditions: list[JoinCondition] = []
+        while self._check_keyword("JOIN") or self._check_keyword("INNER"):
+            self._accept_keyword("INNER")
+            self._expect_keyword("JOIN")
+            table_name, alias = self._parse_table_ref()
+            if alias in tables:
+                raise ParseError(f"duplicate table alias {alias!r}")
+            tables[alias] = table_name
+            self._expect_keyword("ON")
+            join_conditions.extend(self._parse_join_conditions())
+
+        predicate: BooleanExpr | None = None
+        if self._accept_keyword("WHERE"):
+            predicate = flatten(self._parse_expression())
+
+        group_by = self._parse_group_by()
+        order_by = self._parse_order_by()
+        limit = self._parse_limit()
+
+        trailing = self._peek()
+        if trailing.type is not TokenType.END:
+            raise ParseError(
+                f"unexpected trailing input at position {trailing.position}: {trailing.value!r}"
+            )
+
+        select = self._resolve_physical_select(plain_columns, aggregates, group_by, order_by)
+
+        return Query(
+            tables=tables,
+            join_conditions=join_conditions,
+            predicate=predicate,
+            select=select,
+            distinct=distinct,
+            aggregates=aggregates,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _parse_select_list(self) -> tuple[list[ColumnRef], list[AggregateSpec]]:
+        if self._accept_punctuation("*"):
+            return [], []
+        plain_columns: list[ColumnRef] = []
+        aggregates: list[AggregateSpec] = []
+
+        def parse_item() -> None:
+            if self._peek_aggregate_keyword():
+                aggregates.append(self._parse_aggregate())
+            else:
+                plain_columns.append(self._parse_column())
+
+        parse_item()
+        while self._accept_punctuation(","):
+            parse_item()
+        return plain_columns, aggregates
+
+    def _peek_aggregate_keyword(self) -> bool:
+        token = self._peek()
+        next_token = self._peek(1)
+        return (
+            token.type is TokenType.KEYWORD
+            and token.value in _AGGREGATE_KEYWORDS
+            and next_token.type is TokenType.PUNCTUATION
+            and next_token.value == "("
+        )
+
+    def _parse_aggregate(self) -> AggregateSpec:
+        token = self._advance()
+        function = AggregateFunction(token.value)
+        self._expect_punctuation("(")
+        distinct = False
+        argument: ColumnRef | None = None
+        if function is AggregateFunction.COUNT and self._accept_punctuation("*"):
+            argument = None
+        else:
+            distinct = self._accept_keyword("DISTINCT")
+            argument = self._parse_column()
+        self._expect_punctuation(")")
+        try:
+            return AggregateSpec(function, argument, distinct=distinct)
+        except ValueError as error:
+            raise ParseError(str(error)) from None
+
+    def _parse_group_by(self) -> list[ColumnRef]:
+        if not self._accept_keyword("GROUP"):
+            return []
+        self._expect_keyword("BY")
+        columns = [self._parse_column()]
+        while self._accept_punctuation(","):
+            columns.append(self._parse_column())
+        return columns
+
+    def _parse_order_by(self) -> list[OrderItem]:
+        if not self._accept_keyword("ORDER"):
+            return []
+        self._expect_keyword("BY")
+        items = [self._parse_order_item()]
+        while self._accept_punctuation(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        if self._peek_aggregate_keyword():
+            key = self._parse_aggregate().label()
+        else:
+            key = self._parse_column().key()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(key, descending=descending)
+
+    def _parse_limit(self) -> int | None:
+        if not self._accept_keyword("LIMIT"):
+            return None
+        token = self._peek()
+        if token.type is not TokenType.NUMBER or "." in token.value:
+            raise ParseError(f"LIMIT requires an integer at position {token.position}")
+        self._advance()
+        return int(token.value)
+
+    def _resolve_physical_select(
+        self,
+        plain_columns: list[ColumnRef],
+        aggregates: list[AggregateSpec],
+        group_by: list[ColumnRef],
+        order_by: list[OrderItem],
+    ) -> list[ColumnRef]:
+        """The columns the execution engine must materialize.
+
+        For aggregate queries the engine materializes the GROUP BY columns and
+        every aggregate argument; the plain SELECT columns must all appear in
+        the GROUP BY clause (standard SQL).  For plain queries the engine
+        materializes the SELECT list, and ORDER BY keys must be among the
+        output columns (trivially true for ``SELECT *``).
+        """
+        if aggregates:
+            group_keys = {column.key() for column in group_by}
+            for column in plain_columns:
+                if column.key() not in group_keys:
+                    raise ParseError(
+                        f"column {column.key()} must appear in the GROUP BY clause"
+                    )
+            physical: list[ColumnRef] = []
+            seen: set[str] = set()
+            for column in list(group_by) + [
+                aggregate.argument for aggregate in aggregates if aggregate.argument is not None
+            ]:
+                if column.key() not in seen:
+                    seen.add(column.key())
+                    physical.append(column)
+            allowed_order_keys = group_keys | {aggregate.label() for aggregate in aggregates}
+            for item in order_by:
+                if item.key not in allowed_order_keys:
+                    raise ParseError(
+                        f"ORDER BY key {item.key!r} must be a GROUP BY column or a "
+                        f"selected aggregate"
+                    )
+            return physical
+
+        if plain_columns:
+            selected_keys = {column.key() for column in plain_columns}
+            for item in order_by:
+                if item.key not in selected_keys:
+                    raise ParseError(
+                        f"ORDER BY key {item.key!r} is not in the SELECT list"
+                    )
+        return plain_columns
+
+    def _parse_table_ref(self) -> tuple[str, str]:
+        table_name = self._expect_identifier()
+        alias = table_name
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return table_name, alias
+
+    def _parse_join_conditions(self) -> list[JoinCondition]:
+        conditions = [self._parse_single_join_condition()]
+        while self._accept_keyword("AND"):
+            conditions.append(self._parse_single_join_condition())
+        return conditions
+
+    def _parse_single_join_condition(self) -> JoinCondition:
+        left = self._parse_column()
+        token = self._peek()
+        if token.type is not TokenType.OPERATOR or token.value != "=":
+            raise ParseError(
+                f"join conditions must be equalities; got {token.value!r} at {token.position}"
+            )
+        self._advance()
+        right = self._parse_column()
+        return JoinCondition(left, right)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _parse_expression(self) -> BooleanExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> BooleanExpr:
+        operands = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            operands.append(self._parse_and())
+        return operands[0] if len(operands) == 1 else or_(*operands)
+
+    def _parse_and(self) -> BooleanExpr:
+        operands = [self._parse_not()]
+        while self._accept_keyword("AND"):
+            operands.append(self._parse_not())
+        return operands[0] if len(operands) == 1 else and_(*operands)
+
+    def _parse_not(self) -> BooleanExpr:
+        if self._accept_keyword("NOT"):
+            return flatten(NotExpr(self._parse_not()))
+        return self._parse_primary()
+
+    def _parse_primary(self) -> BooleanExpr:
+        if self._accept_punctuation("("):
+            expr = self._parse_expression()
+            self._expect_punctuation(")")
+            return expr
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> BooleanExpr:
+        operand = self._parse_operand()
+
+        negated = self._accept_keyword("NOT")
+
+        if self._accept_keyword("LIKE") or self._check_keyword("ILIKE"):
+            case_insensitive = self._accept_keyword("ILIKE")
+            pattern_token = self._peek()
+            if pattern_token.type is not TokenType.STRING:
+                raise ParseError(
+                    f"LIKE pattern must be a string literal at position {pattern_token.position}"
+                )
+            self._advance()
+            predicate: BooleanExpr = LikePredicate(
+                operand, pattern_token.value, case_insensitive=case_insensitive
+            )
+            return flatten(NotExpr(predicate)) if negated else predicate
+
+        if self._accept_keyword("IN"):
+            self._expect_punctuation("(")
+            values = [self._parse_literal_value()]
+            while self._accept_punctuation(","):
+                values.append(self._parse_literal_value())
+            self._expect_punctuation(")")
+            predicate = InPredicate(operand, values)
+            return flatten(NotExpr(predicate)) if negated else predicate
+
+        if self._accept_keyword("BETWEEN"):
+            low = Literal(self._parse_literal_value())
+            self._expect_keyword("AND")
+            high = Literal(self._parse_literal_value())
+            predicate = BetweenPredicate(operand, low, high)
+            return flatten(NotExpr(predicate)) if negated else predicate
+
+        if negated:
+            token = self._peek()
+            raise ParseError(
+                f"expected LIKE/ILIKE, IN or BETWEEN after NOT at position {token.position}"
+            )
+
+        if self._accept_keyword("IS"):
+            is_negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNullPredicate(operand, negated=is_negated)
+
+        token = self._peek()
+        if token.type is TokenType.OPERATOR:
+            self._advance()
+            right = self._parse_operand()
+            return Comparison(operand, token.value, right)
+
+        raise ParseError(f"expected a predicate at position {token.position}")
+
+    def _parse_operand(self) -> ValueExpr:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_column()
+        if token.type in (TokenType.NUMBER, TokenType.STRING) or token.matches_keyword(
+            "NULL"
+        ) or token.matches_keyword("TRUE") or token.matches_keyword("FALSE"):
+            return Literal(self._parse_literal_value())
+        raise ParseError(f"expected column or literal at position {token.position}")
+
+    def _parse_column(self) -> ColumnRef:
+        alias = self._expect_identifier()
+        self._expect_punctuation(".")
+        column = self._expect_identifier()
+        return ColumnRef(alias, column)
+
+    def _parse_literal_value(self):
+        token = self._advance()
+        if token.type is TokenType.NUMBER:
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.STRING:
+            return token.value
+        if token.matches_keyword("NULL"):
+            return None
+        if token.matches_keyword("TRUE"):
+            return True
+        if token.matches_keyword("FALSE"):
+            return False
+        raise ParseError(f"expected a literal at position {token.position}")
+
+
+def parse_query(sql: str) -> Query:
+    """Parse a SELECT statement into a bound :class:`~repro.plan.query.Query`."""
+    return _Parser(tokenize(sql)).parse_query()
+
+
+def parse_expression(sql: str) -> BooleanExpr:
+    """Parse a standalone boolean expression (useful in tests and workloads)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser._parse_expression()
+    trailing = parser._peek()
+    if trailing.type is not TokenType.END:
+        raise ParseError(
+            f"unexpected trailing input at position {trailing.position}: {trailing.value!r}"
+        )
+    return flatten(expr)

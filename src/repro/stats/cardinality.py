@@ -1,0 +1,87 @@
+"""Cardinality estimation for scans, filters and joins.
+
+Join output sizes use the textbook / PostgreSQL formula
+
+    |L join R|  =  |L| * |R| / max(ndv(L.key), ndv(R.key))
+
+scaled by the fraction of each input surviving earlier filters.  Filter
+output sizes multiply the input cardinality by the predicate selectivity
+(with independence across predicates).  These estimates feed the planner cost
+models of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast import BooleanExpr
+from repro.plan.query import JoinCondition, Query
+from repro.stats.selectivity import SelectivityEstimator
+from repro.stats.table_stats import TableStats
+
+
+class CardinalityEstimator:
+    """Estimates row counts for plan fragments of one query."""
+
+    def __init__(
+        self,
+        query: Query,
+        table_stats: dict[str, TableStats],
+        selectivity: SelectivityEstimator,
+    ) -> None:
+        self._query = query
+        self._table_stats = table_stats
+        self._selectivity = selectivity
+
+    # ------------------------------------------------------------------ #
+    # Base quantities
+    # ------------------------------------------------------------------ #
+    def base_rows(self, alias: str) -> float:
+        """Number of rows in the base table bound to ``alias``."""
+        table_name = self._query.tables[alias]
+        return float(self._table_stats[table_name].num_rows)
+
+    def distinct_values(self, alias: str, column: str) -> float:
+        """Distinct-value count of ``alias.column``."""
+        table_name = self._query.tables[alias]
+        return float(self._table_stats[table_name].distinct_count(column))
+
+    def predicate_selectivity(self, expr: BooleanExpr) -> float:
+        """Selectivity of an arbitrary predicate expression."""
+        return self._selectivity.selectivity(expr)
+
+    # ------------------------------------------------------------------ #
+    # Composite estimates
+    # ------------------------------------------------------------------ #
+    def filtered_rows(self, alias: str, predicates: list[BooleanExpr]) -> float:
+        """Rows of ``alias`` surviving the given (conjunctive) predicates."""
+        rows = self.base_rows(alias)
+        for predicate in predicates:
+            rows *= self.predicate_selectivity(predicate)
+        return rows
+
+    def join_rows(
+        self,
+        left_rows: float,
+        right_rows: float,
+        condition: JoinCondition,
+    ) -> float:
+        """Estimated output size of an equi-join."""
+        left_ndv = self.distinct_values(condition.left.alias, condition.left.column)
+        right_ndv = self.distinct_values(condition.right.alias, condition.right.column)
+        denominator = max(left_ndv, right_ndv, 1.0)
+        return left_rows * right_rows / denominator
+
+    def join_rows_multi(
+        self,
+        left_rows: float,
+        right_rows: float,
+        conditions: list[JoinCondition],
+    ) -> float:
+        """Join estimate for multiple equi-conditions (independence across keys)."""
+        if not conditions:
+            return left_rows * right_rows
+        result = left_rows * right_rows
+        for condition in conditions:
+            left_ndv = self.distinct_values(condition.left.alias, condition.left.column)
+            right_ndv = self.distinct_values(condition.right.alias, condition.right.column)
+            result /= max(left_ndv, right_ndv, 1.0)
+        return result

@@ -1,0 +1,143 @@
+"""Predicate selectivity estimation.
+
+Following the paper (Section 4.1), base-predicate selectivities are
+*measured*: the predicate is evaluated on a sample of its base table and the
+observed pass rate is cached.  Selectivities of complex expressions are
+combined under the independence assumption:
+
+* ``sel(AND) = product of child selectivities``
+* ``sel(OR)  = 1 - product of (1 - child selectivities)``
+* ``sel(NOT) = 1 - child selectivity``
+
+Predicates spanning several tables (which cannot be evaluated on a single
+base table) fall back to a fixed default selectivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.expr import three_valued as tv
+from repro.expr.ast import (
+    AndExpr,
+    BooleanExpr,
+    LikePredicate,
+    NotExpr,
+    OrExpr,
+)
+from repro.expr.eval import RowBatch
+from repro.plan.query import Query
+from repro.storage.catalog import Catalog
+from repro.storage.iostats import IOStats
+
+#: Selectivity assumed for predicates that cannot be measured.
+DEFAULT_SELECTIVITY = 0.33
+
+#: Maximum number of rows sampled per table when measuring selectivities.
+DEFAULT_SAMPLE_SIZE = 20_000
+
+
+class SelectivityEstimator:
+    """Measures and caches base-predicate selectivities for one query.
+
+    Args:
+        catalog: base tables.
+        query: the query whose predicates are being estimated (supplies the
+            alias -> table mapping).
+        sample_size: number of rows (per table) used for measurement.
+        seed: RNG seed used to draw the sample.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: Query,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+        seed: int = 0,
+    ) -> None:
+        self._catalog = catalog
+        self._query = query
+        self._sample_size = sample_size
+        self._rng = np.random.default_rng(seed)
+        self._cache: dict[str, float] = {}
+        self._sample_batches: dict[str, RowBatch] = {}
+        # Selectivity measurement is a planning activity; it must not pollute
+        # the runtime I/O counters, so it gets a private scratch counter.
+        self._scratch_io = IOStats()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def selectivity(self, expr: BooleanExpr) -> float:
+        """Estimated fraction of rows satisfying ``expr``."""
+        key = expr.key()
+        if key in self._cache:
+            return self._cache[key]
+        estimate = self._estimate(expr)
+        estimate = min(max(estimate, 0.0), 1.0)
+        self._cache[key] = estimate
+        return estimate
+
+    def set_selectivity(self, expr: BooleanExpr, value: float) -> None:
+        """Override the estimate for an expression (used by tests/ablations)."""
+        self._cache[expr.key()] = min(max(value, 0.0), 1.0)
+
+    def cost_factor(self, expr: BooleanExpr) -> float:
+        """Relative per-row evaluation cost of a predicate (``F_P``).
+
+        Pattern-matching predicates (LIKE / ILIKE) are an order of magnitude
+        more expensive per row than comparisons, matching the role regex
+        predicates play in the paper's TPullup/TIterPush discussion.
+        """
+        if isinstance(expr, LikePredicate):
+            return 10.0
+        if expr.is_base_predicate():
+            return 1.0
+        children = expr.children()
+        return sum(self.cost_factor(child) for child in children) or 1.0
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _estimate(self, expr: BooleanExpr) -> float:
+        if isinstance(expr, AndExpr):
+            product = 1.0
+            for child in expr.children():
+                product *= self.selectivity(child)
+            return product
+        if isinstance(expr, OrExpr):
+            product = 1.0
+            for child in expr.children():
+                product *= 1.0 - self.selectivity(child)
+            return 1.0 - product
+        if isinstance(expr, NotExpr):
+            return 1.0 - self.selectivity(expr.child)
+        return self._measure_base(expr)
+
+    def _measure_base(self, expr: BooleanExpr) -> float:
+        aliases = expr.tables()
+        if len(aliases) != 1:
+            return DEFAULT_SELECTIVITY
+        alias = next(iter(aliases))
+        if alias not in self._query.tables:
+            return DEFAULT_SELECTIVITY
+        batch = self._sample_batch(alias)
+        if batch.num_rows == 0:
+            return DEFAULT_SELECTIVITY
+        truth = expr.evaluate(batch)
+        return float(tv.is_true(truth).sum()) / batch.num_rows
+
+    def _sample_batch(self, alias: str) -> RowBatch:
+        if alias in self._sample_batches:
+            return self._sample_batches[alias]
+        table = self._catalog.get(self._query.tables[alias])
+        num_rows = table.num_rows
+        if num_rows <= self._sample_size:
+            positions = np.arange(num_rows, dtype=np.int64)
+        else:
+            positions = np.sort(
+                self._rng.choice(num_rows, size=self._sample_size, replace=False)
+            ).astype(np.int64)
+        batch = RowBatch({alias: table}, {alias: positions}, iostats=self._scratch_io)
+        self._sample_batches[alias] = batch
+        return batch

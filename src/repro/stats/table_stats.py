@@ -1,0 +1,78 @@
+"""Per-table and per-column statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics of one column."""
+
+    name: str
+    num_rows: int
+    distinct_count: int
+    null_count: int
+    min_value: object | None
+    max_value: object | None
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of rows that are NULL."""
+        if self.num_rows == 0:
+            return 0.0
+        return self.null_count / self.num_rows
+
+
+@dataclass
+class TableStats:
+    """Summary statistics of one table."""
+
+    table_name: str
+    num_rows: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats:
+        """Statistics for a column; raises KeyError if not collected."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no statistics for column {name!r} of table {self.table_name!r}"
+            ) from None
+
+    def distinct_count(self, column_name: str) -> int:
+        """Distinct-value count, defaulting to the row count when unknown."""
+        if column_name in self.columns:
+            return max(1, self.columns[column_name].distinct_count)
+        return max(1, self.num_rows)
+
+
+def collect_table_stats(table: Table) -> TableStats:
+    """Compute statistics for every column of a table."""
+    stats = TableStats(table_name=table.name, num_rows=table.num_rows)
+    for column in table.columns():
+        bounds = column.min_max()
+        min_value, max_value = (None, None) if bounds is None else bounds
+        stats.columns[column.name] = ColumnStats(
+            name=column.name,
+            num_rows=len(column),
+            distinct_count=column.distinct_count(),
+            null_count=int(column.null_mask.sum()),
+            min_value=min_value if min_value is None else _to_python(min_value),
+            max_value=max_value if max_value is None else _to_python(max_value),
+        )
+    return stats
+
+
+def collect_catalog_stats(catalog: Catalog) -> dict[str, TableStats]:
+    """Compute statistics for every table in a catalog."""
+    return {table.name: collect_table_stats(table) for table in catalog}
+
+
+def _to_python(value):
+    """Convert NumPy scalars to plain Python values for readability."""
+    return value.item() if hasattr(value, "item") else value

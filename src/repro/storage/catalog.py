@@ -1,0 +1,60 @@
+"""Catalog: the set of base tables known to an engine."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.storage.table import Table
+
+
+class Catalog:
+    """A named registry of base tables.
+
+    The catalog is the unit handed to an engine/session: queries reference
+    tables by name (or alias) and the binder resolves them here.
+    """
+
+    def __init__(self, tables: Iterable[Table] = ()) -> None:
+        self._tables: dict[str, Table] = {}
+        for table in tables:
+            self.add(table)
+
+    def add(self, table: Table) -> None:
+        """Register a table; raises ValueError on a duplicate name."""
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+
+    def replace(self, table: Table) -> None:
+        """Register a table, overwriting any existing one with the same name."""
+        self._tables[table.name] = table
+
+    def get(self, name: str) -> Table:
+        """Look up a table by name; raises KeyError with a helpful message."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown table {name!r}; known tables: {', '.join(sorted(self._tables)) or '(none)'}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    @property
+    def table_names(self) -> list[str]:
+        """Registered table names, in registration order."""
+        return list(self._tables)
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(table.num_rows for table in self._tables.values())
+
+    def __repr__(self) -> str:
+        return f"Catalog(tables={self.table_names})"

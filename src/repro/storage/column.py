@@ -1,0 +1,256 @@
+"""Typed columns with simulated page-granular reads.
+
+A :class:`Column` owns a NumPy array of values plus an optional NULL mask.
+Reads go through :meth:`Column.read` / :meth:`Column.read_at`, which account
+page traffic against an :class:`~repro.storage.iostats.IOStats` object via an
+LFU page cache — the same structure Basilisk uses (Section 5, "System"):
+low-selectivity bitmaps trigger page-by-page reads of only the relevant pages,
+while high-selectivity bitmaps fall back to a sequential scan of the column.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.storage.bitmap import Bitmap
+from repro.storage.iostats import GLOBAL_IO_STATS, IOStats
+from repro.storage.pagecache import LFUPageCache
+
+#: Number of values per simulated disk page.
+DEFAULT_PAGE_SIZE = 1024
+
+#: Bitmaps selecting more than this fraction of a column are read with a
+#: sequential scan instead of page-by-page random reads (Section 5).
+SEQUENTIAL_SCAN_THRESHOLD = 0.2
+
+
+class ColumnType(enum.Enum):
+    """Supported column value types."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The NumPy dtype used to store values of this type."""
+        mapping = {
+            ColumnType.INT: np.dtype(np.int64),
+            ColumnType.FLOAT: np.dtype(np.float64),
+            ColumnType.STRING: np.dtype(object),
+            ColumnType.BOOL: np.dtype(np.bool_),
+        }
+        return mapping[self]
+
+
+def _infer_type(values: Sequence) -> ColumnType:
+    """Infer a column type from a sample of Python values."""
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return ColumnType.BOOL
+        if isinstance(value, (int, np.integer)):
+            return ColumnType.INT
+        if isinstance(value, (float, np.floating)):
+            return ColumnType.FLOAT
+        if isinstance(value, str):
+            return ColumnType.STRING
+        raise TypeError(f"unsupported column value: {value!r}")
+    return ColumnType.STRING
+
+
+class Column:
+    """A single named, typed column of values.
+
+    Args:
+        name: column name (unqualified).
+        values: the column data; NULLs may be expressed as ``None`` entries
+            (for object columns) or via an explicit ``null_mask``.
+        ctype: value type; inferred from the data when omitted.
+        null_mask: boolean array marking NULL positions.
+        page_size: number of values per simulated disk page.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        values: Sequence | np.ndarray,
+        ctype: ColumnType | None = None,
+        null_mask: np.ndarray | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.name = name
+        self.page_size = page_size
+
+        values_list = list(values) if not isinstance(values, np.ndarray) else values
+        if ctype is None:
+            sample = values_list if not isinstance(values_list, np.ndarray) else values_list[:64]
+            ctype = _infer_type(list(sample))
+        self.ctype = ctype
+
+        inferred_nulls = np.zeros(len(values_list), dtype=np.bool_)
+        if not isinstance(values_list, np.ndarray):
+            cleaned = []
+            for i, value in enumerate(values_list):
+                if value is None:
+                    inferred_nulls[i] = True
+                    cleaned.append(self._null_placeholder())
+                else:
+                    cleaned.append(value)
+            data = np.array(cleaned, dtype=ctype.numpy_dtype)
+        else:
+            data = values_list.astype(ctype.numpy_dtype, copy=False)
+
+        self._data = data
+        if null_mask is not None:
+            null_mask = np.array(null_mask, dtype=np.bool_, copy=True)
+            if null_mask.shape[0] != data.shape[0]:
+                raise ValueError("null_mask length does not match values length")
+            self._nulls = null_mask | inferred_nulls
+        else:
+            self._nulls = inferred_nulls
+
+    def _null_placeholder(self):
+        """Placeholder stored for NULL cells (never observed by callers)."""
+        if self.ctype is ColumnType.STRING:
+            return ""
+        if self.ctype is ColumnType.FLOAT:
+            return float("nan")
+        if self.ctype is ColumnType.BOOL:
+            return False
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self._data.shape[0])
+
+    @property
+    def num_pages(self) -> int:
+        """Number of simulated disk pages occupied by the column."""
+        return -(-len(self) // self.page_size) if len(self) else 0
+
+    @property
+    def data(self) -> np.ndarray:
+        """Raw value array (NULL positions hold placeholders)."""
+        return self._data
+
+    @property
+    def null_mask(self) -> np.ndarray:
+        """Boolean array marking NULL positions."""
+        return self._nulls
+
+    def has_nulls(self) -> bool:
+        """Whether any cell is NULL."""
+        return bool(self._nulls.any())
+
+    def distinct_count(self) -> int:
+        """Number of distinct non-NULL values."""
+        valid = self._data[~self._nulls]
+        if valid.size == 0:
+            return 0
+        return int(len(np.unique(valid)))
+
+    def min_max(self) -> tuple | None:
+        """(min, max) of non-NULL values, or None for an all-NULL column."""
+        valid = self._data[~self._nulls]
+        if valid.size == 0:
+            return None
+        return valid.min(), valid.max()
+
+    # ------------------------------------------------------------------ #
+    # Simulated reads
+    # ------------------------------------------------------------------ #
+    def read(
+        self,
+        bitmap: Bitmap | None = None,
+        cache: LFUPageCache | None = None,
+        iostats: IOStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read the values selected by ``bitmap`` (or all values).
+
+        Returns ``(values, nulls)`` aligned with the set positions of the
+        bitmap (ascending row order).  Page traffic is accounted against
+        ``iostats``; reads of highly selective bitmaps touch only the pages
+        containing selected rows, otherwise the full column is scanned.
+        """
+        iostats = iostats if iostats is not None else GLOBAL_IO_STATS
+        if bitmap is None:
+            positions = np.arange(len(self), dtype=np.int64)
+            self._account_sequential(iostats)
+        else:
+            if bitmap.size != len(self):
+                raise ValueError(
+                    f"bitmap size {bitmap.size} does not match column length {len(self)}"
+                )
+            positions = bitmap.positions()
+            self._account_bitmap_read(positions, cache, iostats)
+        iostats.record_values(int(positions.size))
+        return self._data[positions], self._nulls[positions]
+
+    def read_at(
+        self,
+        positions: np.ndarray | Sequence[int],
+        cache: LFUPageCache | None = None,
+        iostats: IOStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read the values at explicit row positions (possibly repeated)."""
+        iostats = iostats if iostats is not None else GLOBAL_IO_STATS
+        positions = np.asarray(positions, dtype=np.int64)
+        unique_positions = np.unique(positions) if positions.size else positions
+        self._account_bitmap_read(unique_positions, cache, iostats)
+        iostats.record_values(int(positions.size))
+        return self._data[positions], self._nulls[positions]
+
+    def _account_sequential(self, iostats: IOStats) -> None:
+        iostats.record_sequential_scan(self.num_pages)
+
+    def _account_bitmap_read(
+        self,
+        positions: np.ndarray,
+        cache: LFUPageCache | None,
+        iostats: IOStats,
+    ) -> None:
+        if len(self) == 0 or positions.size == 0:
+            return
+        selectivity = positions.size / len(self)
+        if selectivity > SEQUENTIAL_SCAN_THRESHOLD:
+            self._account_sequential(iostats)
+            return
+        iostats.record_selective_read()
+        pages = np.unique(positions // self.page_size)
+        if cache is None:
+            iostats.record_pages(misses=int(pages.size), hits=0)
+            return
+        misses, hits = cache.access_many(
+            (self.name, int(page)) for page in pages
+        )
+        iostats.record_pages(misses=misses, hits=hits)
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def values_list(self) -> list:
+        """All values as a Python list with ``None`` for NULLs."""
+        out: list = self._data.tolist()
+        for position in np.flatnonzero(self._nulls):
+            out[int(position)] = None
+        return out
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, type={self.ctype.value}, rows={len(self)})"
+
+
+def column_from_iterable(
+    name: str, values: Iterable, ctype: ColumnType | None = None
+) -> Column:
+    """Build a column from any iterable of Python values."""
+    return Column(name, list(values), ctype=ctype)

@@ -1,0 +1,194 @@
+"""On-disk catalogs: save and load tables as a directory of column files.
+
+Basilisk stores its data on disk and reads it with direct I/O through an LFU
+page cache; this repository simulates the paged reads (see
+:mod:`repro.storage.column` and :mod:`repro.storage.pagecache`) but keeps the
+arrays in memory.  For workflows that need datasets to persist between runs —
+the CLI's ``generate`` / ``query`` commands, long benchmark campaigns — this
+module provides a simple columnar on-disk format:
+
+```
+<root>/
+  catalog.json              # manifest: tables, columns, types, row counts
+  <table>/<column>.values.npy
+  <table>/<column>.nulls.npy
+```
+
+Values are stored with ``numpy.save`` (strings as fixed-width unicode, never
+pickled); NULL masks are stored alongside.  A CSV import/export pair is
+included for interoperability with external tools.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column, ColumnType
+from repro.storage.table import Table
+
+#: Manifest file name inside a catalog directory.
+MANIFEST_NAME = "catalog.json"
+
+#: Format version written into manifests (bump on incompatible changes).
+FORMAT_VERSION = 1
+
+
+class CatalogFormatError(ValueError):
+    """Raised when an on-disk catalog is missing or malformed."""
+
+
+# --------------------------------------------------------------------------- #
+# Saving
+# --------------------------------------------------------------------------- #
+def _values_for_save(column: Column) -> np.ndarray:
+    if column.ctype is ColumnType.STRING:
+        return column.data.astype(str)
+    return column.data
+
+
+def save_table(table: Table, directory: Path) -> None:
+    """Write one table's column files into ``directory``."""
+    directory.mkdir(parents=True, exist_ok=True)
+    for column in table.columns():
+        np.save(directory / f"{column.name}.values.npy", _values_for_save(column))
+        np.save(directory / f"{column.name}.nulls.npy", column.null_mask)
+
+
+def save_catalog(catalog: Catalog, root: str | Path) -> Path:
+    """Write every table of ``catalog`` under ``root`` and return the root path."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+
+    manifest = {"format_version": FORMAT_VERSION, "tables": []}
+    for table in catalog:
+        save_table(table, root / table.name)
+        manifest["tables"].append(
+            {
+                "name": table.name,
+                "num_rows": table.num_rows,
+                "columns": [
+                    {"name": column.name, "type": column.ctype.value}
+                    for column in table.columns()
+                ],
+            }
+        )
+
+    with open(root / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return root
+
+
+# --------------------------------------------------------------------------- #
+# Loading
+# --------------------------------------------------------------------------- #
+def _load_column(directory: Path, name: str, ctype: ColumnType) -> Column:
+    values_path = directory / f"{name}.values.npy"
+    nulls_path = directory / f"{name}.nulls.npy"
+    if not values_path.exists() or not nulls_path.exists():
+        raise CatalogFormatError(f"missing column files for {directory.name}.{name}")
+    values = np.load(values_path, allow_pickle=False)
+    nulls = np.load(nulls_path, allow_pickle=False)
+    if ctype is ColumnType.STRING:
+        values = values.astype(object)
+    return Column(name, values, ctype=ctype, null_mask=nulls)
+
+
+def load_catalog(root: str | Path) -> Catalog:
+    """Load a catalog previously written by :func:`save_catalog`."""
+    root = Path(root)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CatalogFormatError(f"no {MANIFEST_NAME} found in {root}")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise CatalogFormatError(
+            f"unsupported catalog format version {version!r} (expected {FORMAT_VERSION})"
+        )
+
+    tables = []
+    for table_entry in manifest.get("tables", []):
+        name = table_entry["name"]
+        directory = root / name
+        columns = [
+            _load_column(directory, column_entry["name"], ColumnType(column_entry["type"]))
+            for column_entry in table_entry["columns"]
+        ]
+        table = Table(name, columns)
+        if table.num_rows != table_entry.get("num_rows", table.num_rows):
+            raise CatalogFormatError(
+                f"table {name!r} has {table.num_rows} rows on disk but the manifest "
+                f"records {table_entry['num_rows']}"
+            )
+        tables.append(table)
+    return Catalog(tables)
+
+
+# --------------------------------------------------------------------------- #
+# CSV interoperability
+# --------------------------------------------------------------------------- #
+def export_table_csv(table: Table, path: str | Path) -> None:
+    """Write a table as CSV (NULLs become empty cells)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.rows():
+            writer.writerow(
+                ["" if row[name] is None else row[name] for name in table.column_names]
+            )
+
+
+def import_table_csv(
+    name: str,
+    path: str | Path,
+    types: dict[str, ColumnType] | None = None,
+) -> Table:
+    """Read a CSV file (with a header row) into a table.
+
+    Empty cells become NULL.  Column types are taken from ``types`` when
+    given; otherwise values are parsed as int, then float, then kept as
+    strings.
+    """
+    types = types or {}
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise CatalogFormatError(f"CSV file {path} is empty") from None
+        raw_rows = [row for row in reader if row]
+
+    def parse(text: str, ctype: ColumnType | None):
+        if text == "":
+            return None
+        if ctype is ColumnType.STRING:
+            return text
+        if ctype is ColumnType.INT:
+            return int(text)
+        if ctype is ColumnType.FLOAT:
+            return float(text)
+        if ctype is ColumnType.BOOL:
+            return text.lower() in ("1", "true", "t", "yes")
+        try:
+            return int(text)
+        except ValueError:
+            pass
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+    data = {
+        column_name: [parse(row[position], types.get(column_name)) for row in raw_rows]
+        for position, column_name in enumerate(header)
+    }
+    return Table.from_dict(name, data, types=types)

@@ -1,0 +1,100 @@
+"""I/O accounting for the simulated storage layer.
+
+Basilisk reads column data from disk with direct I/O and routes the reads
+through an LFU page cache; which pages get touched depends on the bitmaps
+driving each read (Section 2.5 of the paper).  Real disk I/O is out of scope
+for a pure-Python reproduction, so instead every column read is *accounted*:
+the number of pages touched, the number of cache hits/misses, and whether the
+read fell back to a full sequential scan are all recorded here.
+
+The counters let benchmarks compare how much "I/O work" the tagged and
+traditional execution models cause, independently of Python's constant
+factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable counters describing simulated storage traffic.
+
+    Attributes:
+        pages_read: pages fetched from "disk" (cache misses).
+        pages_hit: pages served from the page cache.
+        sequential_scans: number of reads that fell back to scanning the
+            whole column sequentially (high-selectivity bitmaps).
+        selective_reads: number of reads served page-by-page from a
+            low-selectivity bitmap.
+        values_read: total number of individual cell values materialized.
+    """
+
+    pages_read: int = 0
+    pages_hit: int = 0
+    sequential_scans: int = 0
+    selective_reads: int = 0
+    values_read: int = 0
+    _checkpoints: dict[str, "IOStats"] = field(default_factory=dict, repr=False)
+
+    def record_pages(self, misses: int, hits: int) -> None:
+        """Record the outcome of a page-granular read."""
+        self.pages_read += misses
+        self.pages_hit += hits
+
+    def record_sequential_scan(self, num_pages: int) -> None:
+        """Record a full-column sequential scan of ``num_pages`` pages."""
+        self.sequential_scans += 1
+        self.pages_read += num_pages
+
+    def record_selective_read(self) -> None:
+        """Record a bitmap-driven selective read."""
+        self.selective_reads += 1
+
+    def record_values(self, count: int) -> None:
+        """Record that ``count`` cell values were materialized."""
+        self.values_read += count
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.pages_read = 0
+        self.pages_hit = 0
+        self.sequential_scans = 0
+        self.selective_reads = 0
+        self.values_read = 0
+
+    def snapshot(self) -> "IOStats":
+        """Return an immutable-ish copy of the current counters."""
+        return IOStats(
+            pages_read=self.pages_read,
+            pages_hit=self.pages_hit,
+            sequential_scans=self.sequential_scans,
+            selective_reads=self.selective_reads,
+            values_read=self.values_read,
+        )
+
+    def diff(self, earlier: "IOStats") -> "IOStats":
+        """Return the counter deltas accumulated since ``earlier``."""
+        return IOStats(
+            pages_read=self.pages_read - earlier.pages_read,
+            pages_hit=self.pages_hit - earlier.pages_hit,
+            sequential_scans=self.sequential_scans - earlier.sequential_scans,
+            selective_reads=self.selective_reads - earlier.selective_reads,
+            values_read=self.values_read - earlier.values_read,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary (for reports)."""
+        return {
+            "pages_read": self.pages_read,
+            "pages_hit": self.pages_hit,
+            "sequential_scans": self.sequential_scans,
+            "selective_reads": self.selective_reads,
+            "values_read": self.values_read,
+        }
+
+
+#: Process-wide default accounting object.  Engines may create their own
+#: private instance; columns fall back to this one when none is supplied.
+GLOBAL_IO_STATS = IOStats()

@@ -1,0 +1,93 @@
+"""A least-frequently-used page cache simulation.
+
+Basilisk sits an LFU page cache between its execution engine and the disk
+(Section 5, "System").  The cache here tracks *page identities* only — no
+actual bytes are cached, since the column data already lives in memory — but
+hit/miss behaviour matches what a real LFU cache of the configured capacity
+would do, which is what the I/O accounting needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Hashable, Iterable
+
+
+class LFUPageCache:
+    """Least-frequently-used cache over opaque page identifiers.
+
+    The cache holds at most ``capacity`` pages.  ``access`` returns whether a
+    page was already resident (hit) and makes it resident, evicting the least
+    frequently used page when the cache is full.  Ties between equally
+    frequent pages are broken by least-recent insertion, which mirrors the
+    common LFU-with-aging implementation.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        self._frequencies: dict[Hashable, int] = {}
+        self._heap: list[tuple[int, int, Hashable]] = []
+        self._counter = itertools.count()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident pages."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._frequencies)
+
+    def __contains__(self, page_id: Hashable) -> bool:
+        return page_id in self._frequencies
+
+    def access(self, page_id: Hashable) -> bool:
+        """Access ``page_id``; return True on a cache hit.
+
+        On a miss the page becomes resident, evicting the LFU page if the
+        cache is at capacity.  A zero-capacity cache never hits.
+        """
+        if self._capacity == 0:
+            return False
+        if page_id in self._frequencies:
+            self._frequencies[page_id] += 1
+            heapq.heappush(
+                self._heap, (self._frequencies[page_id], next(self._counter), page_id)
+            )
+            return True
+        if len(self._frequencies) >= self._capacity:
+            self._evict_one()
+        self._frequencies[page_id] = 1
+        heapq.heappush(self._heap, (1, next(self._counter), page_id))
+        return False
+
+    def access_many(self, page_ids: Iterable[Hashable]) -> tuple[int, int]:
+        """Access a batch of pages; return ``(misses, hits)``."""
+        misses = 0
+        hits = 0
+        for page_id in page_ids:
+            if self.access(page_id):
+                hits += 1
+            else:
+                misses += 1
+        return misses, hits
+
+    def clear(self) -> None:
+        """Drop every resident page and reset frequencies."""
+        self._frequencies.clear()
+        self._heap.clear()
+
+    def _evict_one(self) -> None:
+        """Evict the least-frequently-used resident page."""
+        while self._heap:
+            freq, _order, page_id = heapq.heappop(self._heap)
+            current = self._frequencies.get(page_id)
+            if current is None:
+                continue  # stale heap entry for an already-evicted page
+            if current != freq:
+                continue  # stale entry; a fresher one exists further down
+            del self._frequencies[page_id]
+            return
+        # Heap exhausted without finding a victim: nothing resident.

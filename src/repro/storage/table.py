@@ -1,0 +1,151 @@
+"""Tables: named collections of equal-length columns."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.storage.bitmap import Bitmap
+from repro.storage.column import Column, ColumnType
+from repro.storage.iostats import IOStats
+from repro.storage.pagecache import LFUPageCache
+
+
+class Table:
+    """A base table stored column by column.
+
+    Args:
+        name: table name as referenced by queries.
+        columns: mapping or sequence of :class:`Column` objects, all the same
+            length.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column] | Mapping[str, Column]) -> None:
+        self.name = name
+        if isinstance(columns, Mapping):
+            column_list = list(columns.values())
+        else:
+            column_list = list(columns)
+        if not column_list:
+            raise ValueError(f"table {name!r} must have at least one column")
+        lengths = {len(column) for column in column_list}
+        if len(lengths) > 1:
+            raise ValueError(f"table {name!r} has columns of differing lengths: {lengths}")
+        self._columns: dict[str, Column] = {}
+        for column in column_list:
+            if column.name in self._columns:
+                raise ValueError(f"duplicate column {column.name!r} in table {name!r}")
+            self._columns[column.name] = column
+        self._num_rows = lengths.pop()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in declaration order."""
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name``; raise KeyError if absent."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {', '.join(self._columns)}"
+            ) from None
+
+    def columns(self) -> list[Column]:
+        """All columns, in declaration order."""
+        return list(self._columns.values())
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, columns={self.column_names})"
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def read_column(
+        self,
+        column_name: str,
+        bitmap: Bitmap | None = None,
+        cache: LFUPageCache | None = None,
+        iostats: IOStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read one column, optionally restricted by a bitmap."""
+        return self.column(column_name).read(bitmap, cache=cache, iostats=iostats)
+
+    def read_column_at(
+        self,
+        column_name: str,
+        positions: np.ndarray,
+        cache: LFUPageCache | None = None,
+        iostats: IOStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read one column at explicit (possibly repeated) row positions."""
+        return self.column(column_name).read_at(positions, cache=cache, iostats=iostats)
+
+    def row(self, position: int) -> dict[str, object]:
+        """Materialize a single row as a dict (NULLs become ``None``)."""
+        out: dict[str, object] = {}
+        for name, column in self._columns.items():
+            if column.null_mask[position]:
+                out[name] = None
+            else:
+                value = column.data[position]
+                out[name] = value.item() if isinstance(value, np.generic) else value
+        return out
+
+    def rows(self, positions: Sequence[int] | np.ndarray | None = None) -> list[dict[str, object]]:
+        """Materialize several rows (all rows when ``positions`` is None)."""
+        if positions is None:
+            positions = range(self._num_rows)
+        return [self.row(int(position)) for position in positions]
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(
+        cls,
+        name: str,
+        data: Mapping[str, Sequence],
+        types: Mapping[str, ColumnType] | None = None,
+    ) -> "Table":
+        """Build a table from ``{column_name: values}``."""
+        types = types or {}
+        columns = [
+            Column(column_name, values, ctype=types.get(column_name))
+            for column_name, values in data.items()
+        ]
+        return cls(name, columns)
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        rows: Sequence[Mapping[str, object]],
+        types: Mapping[str, ColumnType] | None = None,
+    ) -> "Table":
+        """Build a table from a list of row dictionaries."""
+        if not rows:
+            raise ValueError("from_rows requires at least one row")
+        column_names = list(rows[0])
+        data = {
+            column_name: [row.get(column_name) for row in rows]
+            for column_name in column_names
+        }
+        return cls.from_dict(name, data, types=types)

@@ -1,0 +1,101 @@
+"""Seeded random catalogs for differential testing.
+
+The generated schema mirrors the synthetic workload of Section 5.2: a fact
+table ``F`` whose ``id`` column is the primary key, and ``num_dimension``
+dimension tables ``D1 .. Dn`` whose ``fid`` columns reference it with a
+Zipf-skewed distribution.  Every table carries a handful of numeric and
+categorical attributes so query generation has predicates to choose from, and
+a configurable fraction of attribute values is NULL so three-valued logic is
+exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+#: Categories used for string attributes.
+_CATEGORIES = ("action", "drama", "comedy", "horror", "romance", "thriller", "weird")
+
+
+@dataclass
+class RandomCatalogConfig:
+    """Knobs for :func:`generate_random_catalog`."""
+
+    seed: int = 0
+    num_dimensions: int = 2
+    fact_rows: int = 200
+    dimension_rows: int = 300
+    num_numeric_attributes: int = 3
+    null_fraction: float = 0.05
+    zipf_shape: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.num_dimensions < 1:
+            raise ValueError("num_dimensions must be at least 1")
+        if self.fact_rows < 1 or self.dimension_rows < 1:
+            raise ValueError("tables must have at least one row")
+        if not 0.0 <= self.null_fraction < 1.0:
+            raise ValueError("null_fraction must be in [0, 1)")
+        if self.num_numeric_attributes < 1:
+            raise ValueError("num_numeric_attributes must be at least 1")
+
+
+def _zipf_keys(rng: np.random.Generator, size: int, max_value: int, shape: float) -> np.ndarray:
+    """Foreign keys in [1, max_value] following a (clipped) Zipf distribution."""
+    raw = rng.zipf(shape, size=size)
+    return np.clip(raw, 1, max_value).astype(np.int64)
+
+
+def _with_nulls(rng: np.random.Generator, values: list, null_fraction: float) -> list:
+    """Replace a random fraction of values with None."""
+    if null_fraction <= 0.0:
+        return values
+    out = list(values)
+    mask = rng.random(len(values)) < null_fraction
+    for position in np.flatnonzero(mask):
+        out[int(position)] = None
+    return out
+
+
+def _attribute_columns(
+    rng: np.random.Generator, rows: int, config: RandomCatalogConfig
+) -> list[Column]:
+    """Numeric attributes A1..An plus a categorical attribute."""
+    columns = []
+    for index in range(1, config.num_numeric_attributes + 1):
+        values = rng.random(rows).round(4).tolist()
+        columns.append(Column(f"A{index}", _with_nulls(rng, values, config.null_fraction)))
+    categories = rng.choice(_CATEGORIES, size=rows).tolist()
+    columns.append(Column("category", _with_nulls(rng, categories, config.null_fraction)))
+    return columns
+
+
+def generate_random_catalog(config: RandomCatalogConfig | None = None) -> Catalog:
+    """Generate a random star-schema catalog.
+
+    The fact table is named ``F``; dimension tables are ``D1`` .. ``Dn``.
+    Join them with ``F.id = Dk.fid``.
+    """
+    config = config or RandomCatalogConfig()
+    rng = np.random.default_rng(config.seed)
+
+    fact_columns = [Column("id", np.arange(1, config.fact_rows + 1, dtype=np.int64))]
+    fact_columns.extend(_attribute_columns(rng, config.fact_rows, config))
+    tables = [Table("F", fact_columns)]
+
+    for dimension in range(1, config.num_dimensions + 1):
+        rows = config.dimension_rows
+        columns = [
+            Column("id", np.arange(1, rows + 1, dtype=np.int64)),
+            Column("fid", _zipf_keys(rng, rows, config.fact_rows, config.zipf_shape)),
+        ]
+        columns.extend(_attribute_columns(rng, rows, config))
+        tables.append(Table(f"D{dimension}", columns))
+
+    return Catalog(tables)

@@ -1,0 +1,167 @@
+"""Seeded random disjunctive queries for differential testing.
+
+Generated queries target the star schema of :mod:`repro.testing.datagen`:
+``F`` joined with ``D1 .. Dn`` on ``F.id = Dk.fid``, with a randomly nested
+WHERE expression.  Generation is biased toward the situations the paper cares
+about:
+
+* predicates from *different* tables mixed inside the same clause (the case
+  traditional planners cannot push down);
+* clauses sharing common subexpressions — with some probability a previously
+  generated base predicate is reused verbatim, exercising the "Duplicates"
+  treatment of Section 3.2;
+* NOT nodes and both CNF- and DNF-leaning shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.expr.ast import BooleanExpr
+from repro.expr.builders import and_, between, col, ilike, in_, is_null, lit, not_, or_
+from repro.plan.query import JoinCondition, Query
+from repro.storage.catalog import Catalog
+
+_CATEGORY_VALUES = ("action", "drama", "comedy", "horror", "romance", "thriller", "weird")
+_LIKE_PATTERNS = ("%a%", "%om%", "dr%", "%er", "%ri%")
+
+
+@dataclass
+class RandomQueryConfig:
+    """Knobs for :func:`generate_random_query`."""
+
+    seed: int = 0
+    max_depth: int = 3
+    max_fanout: int = 3
+    reuse_probability: float = 0.25
+    not_probability: float = 0.1
+    null_test_probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if self.max_fanout < 2:
+            raise ValueError("max_fanout must be at least 2")
+
+
+class _PredicateFactory:
+    """Builds random base predicates over the star-schema attributes."""
+
+    def __init__(self, aliases: list[str], numeric_attributes: list[str], rng: np.random.Generator,
+                 config: RandomQueryConfig) -> None:
+        self._aliases = aliases
+        self._numeric_attributes = numeric_attributes
+        self._rng = rng
+        self._config = config
+        self._history: list[BooleanExpr] = []
+
+    def base_predicate(self) -> BooleanExpr:
+        """A fresh or (with some probability) previously used base predicate."""
+        if self._history and self._rng.random() < self._config.reuse_probability:
+            return self._history[int(self._rng.integers(len(self._history)))]
+        predicate = self._fresh_predicate()
+        self._history.append(predicate)
+        return predicate
+
+    def _fresh_predicate(self) -> BooleanExpr:
+        rng = self._rng
+        alias = self._aliases[int(rng.integers(len(self._aliases)))]
+        if rng.random() < self._config.null_test_probability:
+            attribute = self._numeric_attributes[int(rng.integers(len(self._numeric_attributes)))]
+            return is_null(col(alias, attribute), negated=bool(rng.random() < 0.5))
+
+        kind = rng.random()
+        if kind < 0.55:
+            attribute = self._numeric_attributes[int(rng.integers(len(self._numeric_attributes)))]
+            operator = rng.choice(["<", "<=", ">", ">=", "="])
+            threshold = round(float(rng.random()), 2)
+            column = col(alias, attribute)
+            if operator == "<":
+                return column < lit(threshold)
+            if operator == "<=":
+                return column <= lit(threshold)
+            if operator == ">":
+                return column > lit(threshold)
+            if operator == ">=":
+                return column >= lit(threshold)
+            return column.eq(lit(threshold))
+        if kind < 0.7:
+            attribute = self._numeric_attributes[int(rng.integers(len(self._numeric_attributes)))]
+            low = round(float(rng.uniform(0.0, 0.5)), 2)
+            high = round(float(rng.uniform(low, 1.0)), 2)
+            return between(col(alias, attribute), low, high)
+        if kind < 0.85:
+            count = int(rng.integers(1, 4))
+            values = list(rng.choice(_CATEGORY_VALUES, size=count, replace=False))
+            return in_(col(alias, "category"), [str(value) for value in values])
+        pattern = str(rng.choice(_LIKE_PATTERNS))
+        return ilike(col(alias, "category"), pattern)
+
+
+def _random_expression(
+    factory: _PredicateFactory,
+    rng: np.random.Generator,
+    config: RandomQueryConfig,
+    depth: int,
+    prefer_or: bool,
+) -> BooleanExpr:
+    """Recursively build a random predicate expression."""
+    if depth >= config.max_depth or rng.random() < 0.3:
+        predicate = factory.base_predicate()
+        if rng.random() < config.not_probability:
+            return not_(predicate)
+        return predicate
+
+    fanout = int(rng.integers(2, config.max_fanout + 1))
+    children = [
+        _random_expression(factory, rng, config, depth + 1, not prefer_or)
+        for _child in range(fanout)
+    ]
+    combined = or_(*children) if prefer_or else and_(*children)
+    if rng.random() < config.not_probability:
+        return not_(combined)
+    return combined
+
+
+def generate_random_query(
+    catalog: Catalog, config: RandomQueryConfig | None = None
+) -> Query:
+    """Generate a random disjunctive query over a star-schema catalog.
+
+    The catalog must contain the tables produced by
+    :func:`repro.testing.datagen.generate_random_catalog` (a fact table ``F``
+    and dimension tables ``D1`` ..).
+    """
+    config = config or RandomQueryConfig()
+    rng = np.random.default_rng(config.seed)
+
+    dimension_names = sorted(name for name in catalog.table_names if name.startswith("D"))
+    if "F" not in catalog or not dimension_names:
+        raise ValueError("expected a star-schema catalog with tables F and D1..Dn")
+
+    tables = {"f": "F"}
+    joins: list[JoinCondition] = []
+    for position, name in enumerate(dimension_names, start=1):
+        alias = f"d{position}"
+        tables[alias] = name
+        joins.append(JoinCondition(col("f", "id"), col(alias, "fid")))
+
+    fact_table = catalog.get("F")
+    numeric_attributes = [
+        column_name for column_name in fact_table.column_names if column_name.startswith("A")
+    ]
+    factory = _PredicateFactory(list(tables), numeric_attributes, rng, config)
+
+    prefer_or = bool(rng.random() < 0.5)
+    predicate = _random_expression(factory, rng, config, depth=1, prefer_or=prefer_or)
+
+    select = [col("f", "id")] + [col(alias, "id") for alias in tables if alias != "f"]
+    return Query(
+        tables=tables,
+        join_conditions=joins,
+        predicate=predicate,
+        select=select,
+        name=f"fuzz_seed_{config.seed}",
+    )

@@ -1,0 +1,6 @@
+"""Shared low-level utilities (vectorized join kernels, key encoding)."""
+
+from repro.utils.join import equi_join_indices
+from repro.utils.keys import composite_keys
+
+__all__ = ["composite_keys", "equi_join_indices"]

@@ -1,0 +1,58 @@
+"""Vectorized equi-join kernel.
+
+Both execution models implement their joins as hash joins (Section 2.5.3 and
+Section 4.1).  In Python the equivalent vectorized kernel is sort +
+binary-search: sort one side's keys, locate each key of the other side with
+``searchsorted``, and expand the matching ranges.  The result — all matching
+``(left, right)`` index pairs — is exactly what a hash join produces, with the
+same output cardinality, so the work accounting downstream is unaffected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def equi_join_indices(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return index pairs ``(left_idx, right_idx)`` where keys are equal.
+
+    Both inputs must be integer key arrays (use
+    :func:`repro.utils.keys.composite_keys` to encode arbitrary columns).
+    Negative keys are treated as "never matches" (the encoding for NULL join
+    keys, which SQL joins drop).
+    """
+    left_keys = np.asarray(left_keys)
+    right_keys = np.asarray(right_keys)
+    if left_keys.size == 0 or right_keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    left_valid = np.flatnonzero(left_keys >= 0)
+    right_valid = np.flatnonzero(right_keys >= 0)
+    if left_valid.size == 0 or right_valid.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    left_subset = left_keys[left_valid]
+    right_subset = right_keys[right_valid]
+
+    order = np.argsort(left_subset, kind="stable")
+    sorted_left = left_subset[order]
+
+    lo = np.searchsorted(sorted_left, right_subset, side="left")
+    hi = np.searchsorted(sorted_left, right_subset, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    right_expanded = np.repeat(np.arange(right_subset.size, dtype=np.int64), counts)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    within_group = np.arange(total, dtype=np.int64) - offsets
+    sorted_positions = np.repeat(lo, counts) + within_group
+    left_expanded = order[sorted_positions]
+
+    return left_valid[left_expanded], right_valid[right_expanded]

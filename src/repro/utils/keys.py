@@ -1,0 +1,72 @@
+"""Encoding of (possibly composite, possibly non-integer) join keys.
+
+The join kernel works on non-negative int64 keys.  ``composite_keys`` maps
+one or more value columns — of any type — into such keys, assigning equal
+tuples equal codes across both inputs.  NULL keys are encoded as ``-1`` so the
+kernel drops them, matching SQL equi-join semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def _factorize_pair(
+    left_values: np.ndarray, right_values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Map two value arrays onto shared integer codes.
+
+    Returns ``(left_codes, right_codes, num_codes)``; equal values get equal
+    codes regardless of which side they came from.
+    """
+    combined = np.concatenate([left_values, right_values])
+    _unique, inverse = np.unique(combined, return_inverse=True)
+    left_codes = inverse[: left_values.size].astype(np.int64)
+    right_codes = inverse[left_values.size:].astype(np.int64)
+    return left_codes, right_codes, int(_unique.size)
+
+
+def composite_keys(
+    left_columns: Sequence[tuple[np.ndarray, np.ndarray]],
+    right_columns: Sequence[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode one or more join columns into int64 keys for both sides.
+
+    Args:
+        left_columns: per join condition, ``(values, nulls)`` for the left
+            input's column.
+        right_columns: per join condition, ``(values, nulls)`` for the right
+            input's column (same order as ``left_columns``).
+
+    Returns:
+        ``(left_keys, right_keys)`` where NULL rows carry key ``-1``.
+    """
+    if len(left_columns) != len(right_columns):
+        raise ValueError("left and right column lists must have the same length")
+    if not left_columns:
+        raise ValueError("at least one join column is required")
+
+    left_size = left_columns[0][0].shape[0]
+    right_size = right_columns[0][0].shape[0]
+    left_keys = np.zeros(left_size, dtype=np.int64)
+    right_keys = np.zeros(right_size, dtype=np.int64)
+    left_nulls = np.zeros(left_size, dtype=np.bool_)
+    right_nulls = np.zeros(right_size, dtype=np.bool_)
+
+    for (left_values, left_null_mask), (right_values, right_null_mask) in zip(
+        left_columns, right_columns
+    ):
+        left_codes, right_codes, num_codes = _factorize_pair(
+            np.asarray(left_values), np.asarray(right_values)
+        )
+        stride = max(num_codes, 1)
+        left_keys = left_keys * stride + left_codes
+        right_keys = right_keys * stride + right_codes
+        left_nulls |= np.asarray(left_null_mask, dtype=np.bool_)
+        right_nulls |= np.asarray(right_null_mask, dtype=np.bool_)
+
+    left_keys[left_nulls] = -1
+    right_keys[right_nulls] = -1
+    return left_keys, right_keys

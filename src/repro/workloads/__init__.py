@@ -1,0 +1,28 @@
+"""Workloads: datasets and queries used by the paper's evaluation.
+
+* :mod:`repro.workloads.synthetic` — the Section 5.2 synthetic workload:
+  three Zipf-keyed tables and parameterized DNF/CNF queries.
+* :mod:`repro.workloads.imdb` — a synthetic IMDB-like dataset with the Join
+  Order Benchmark schema (substitute for the real IMDB dump, which cannot be
+  shipped).
+* :mod:`repro.workloads.job` — 33 disjunctive query groups over that schema,
+  mirroring how the paper combines the queries of each JOB group.
+"""
+
+from repro.workloads.imdb import generate_imdb_catalog
+from repro.workloads.job import job_query_groups
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_synthetic_catalog,
+    make_cnf_query,
+    make_dnf_query,
+)
+
+__all__ = [
+    "SyntheticConfig",
+    "generate_imdb_catalog",
+    "generate_synthetic_catalog",
+    "job_query_groups",
+    "make_cnf_query",
+    "make_dnf_query",
+]

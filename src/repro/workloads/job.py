@@ -1,0 +1,243 @@
+"""Disjunctive query groups in the style of the Join Order Benchmark.
+
+The paper builds its workload by taking each of JOB's 33 query groups and
+OR-ing together the predicate expressions of the queries inside the group
+(Section 5.1).  The real JOB queries reference the licensed IMDB dump, so
+this module defines 33 *analogue* query groups over the synthetic IMDB-like
+schema of :mod:`repro.workloads.imdb`.  Each group follows the same recipe as
+the paper's combined queries:
+
+* all clauses share the group's join graph (2-4 tables);
+* the clauses share one or more *common subexpressions* (the group's theme —
+  a keyword, a kind, an info type), which is what makes the Figure 3b
+  factoring experiment meaningful;
+* the varying parts mix cheap comparisons with expensive pattern-matching
+  predicates, and span more than one table, so conjunctive planners cannot
+  push them down.
+
+``job_query_groups()`` returns the 33 queries, named ``job01`` .. ``job33``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expr.ast import BooleanExpr
+from repro.expr.builders import and_, col, ilike, in_, lit, or_
+from repro.plan.query import JoinCondition, Query
+
+
+@dataclass(frozen=True)
+class QueryGroupSpec:
+    """Parameters of one JOB-style query group."""
+
+    index: int
+    template: str
+    years: tuple[int, ...]
+    ratings: tuple[float, ...]
+    patterns: tuple[str, ...]
+    keywords: tuple[str, ...]
+    countries: tuple[str, ...] = ("[us]", "[gb]")
+
+
+# --------------------------------------------------------------------------- #
+# Templates
+# --------------------------------------------------------------------------- #
+def _rating_year_group(spec: QueryGroupSpec) -> Query:
+    """title x movie_info_idx: year/rating disjunction (Query 1 style)."""
+    tables = {"t": "title", "mi_idx": "movie_info_idx"}
+    joins = [JoinCondition(col("t", "id"), col("mi_idx", "movie_id"))]
+    common = col("mi_idx", "info_type_id").eq(99)
+    clauses = [
+        and_(common, col("t", "production_year") > lit(spec.years[0]),
+             col("mi_idx", "info") > lit(spec.ratings[0])),
+        and_(common, col("t", "production_year") > lit(spec.years[1]),
+             col("mi_idx", "info") > lit(spec.ratings[1])),
+    ]
+    if len(spec.patterns) > 0:
+        clauses.append(
+            and_(common, ilike(col("t", "title"), spec.patterns[0]),
+                 col("mi_idx", "info") > lit(spec.ratings[1]))
+        )
+    return Query(tables, joins, or_(*clauses), name=f"job{spec.index:02d}")
+
+
+def _keyword_theme_group(spec: QueryGroupSpec) -> Query:
+    """title x movie_keyword x keyword: themed keyword plus varying clauses."""
+    tables = {"t": "title", "mk": "movie_keyword", "k": "keyword"}
+    joins = [
+        JoinCondition(col("t", "id"), col("mk", "movie_id")),
+        JoinCondition(col("mk", "keyword_id"), col("k", "id")),
+    ]
+    common = in_(col("k", "keyword"), list(spec.keywords))
+    clauses = [
+        and_(common, col("t", "production_year") > lit(spec.years[0]),
+             ilike(col("t", "title"), spec.patterns[0])),
+        and_(common, col("t", "production_year") > lit(spec.years[1]),
+             col("t", "kind_id").eq(1)),
+    ]
+    return Query(tables, joins, or_(*clauses), name=f"job{spec.index:02d}")
+
+
+def _character_group(spec: QueryGroupSpec) -> Query:
+    """title x cast_info x char_name: superhero-style character clauses."""
+    tables = {"t": "title", "ci": "cast_info", "chn": "char_name"}
+    joins = [
+        JoinCondition(col("t", "id"), col("ci", "movie_id")),
+        JoinCondition(col("ci", "person_role_id"), col("chn", "id")),
+    ]
+    common = col("t", "kind_id").eq(1)
+    clauses = [
+        and_(common, col("t", "production_year") > lit(spec.years[0]),
+             col("chn", "name").eq(spec.keywords[0])),
+        and_(common, col("t", "production_year") > lit(spec.years[1]),
+             ilike(col("chn", "name"), spec.patterns[0])),
+    ]
+    if len(spec.patterns) > 1:
+        clauses.append(
+            and_(common, ilike(col("chn", "name"), spec.patterns[1]),
+                 col("t", "production_year") > lit(spec.years[1]))
+        )
+    return Query(tables, joins, or_(*clauses), name=f"job{spec.index:02d}")
+
+
+def _company_group(spec: QueryGroupSpec) -> Query:
+    """title x movie_companies x company_name: production-company clauses."""
+    tables = {"t": "title", "mc": "movie_companies", "cn": "company_name"}
+    joins = [
+        JoinCondition(col("t", "id"), col("mc", "movie_id")),
+        JoinCondition(col("mc", "company_id"), col("cn", "id")),
+    ]
+    common = col("mc", "company_type_id").eq(1)
+    clauses = [
+        and_(common, col("cn", "country_code").eq(spec.countries[0]),
+             col("t", "production_year") > lit(spec.years[0])),
+        and_(common, ilike(col("cn", "name"), spec.patterns[0]),
+             col("t", "production_year") > lit(spec.years[1])),
+    ]
+    return Query(tables, joins, or_(*clauses), name=f"job{spec.index:02d}")
+
+
+def _rating_keyword_group(spec: QueryGroupSpec) -> Query:
+    """title x movie_info_idx x movie_keyword x keyword: four-table group."""
+    tables = {
+        "t": "title",
+        "mi_idx": "movie_info_idx",
+        "mk": "movie_keyword",
+        "k": "keyword",
+    }
+    joins = [
+        JoinCondition(col("t", "id"), col("mi_idx", "movie_id")),
+        JoinCondition(col("t", "id"), col("mk", "movie_id")),
+        JoinCondition(col("mk", "keyword_id"), col("k", "id")),
+    ]
+    common = in_(col("k", "keyword"), list(spec.keywords))
+    clauses = [
+        and_(common, col("mi_idx", "info") > lit(spec.ratings[0]),
+             col("t", "production_year") > lit(spec.years[0])),
+        and_(common, col("mi_idx", "info") > lit(spec.ratings[1]),
+             ilike(col("t", "title"), spec.patterns[0])),
+    ]
+    return Query(tables, joins, or_(*clauses), name=f"job{spec.index:02d}")
+
+
+def _person_group(spec: QueryGroupSpec) -> Query:
+    """title x cast_info x name: actor-centric clauses."""
+    tables = {"t": "title", "ci": "cast_info", "n": "name"}
+    joins = [
+        JoinCondition(col("t", "id"), col("ci", "movie_id")),
+        JoinCondition(col("ci", "person_id"), col("n", "id")),
+    ]
+    common = col("ci", "role_id").eq(1)
+    clauses = [
+        and_(common, col("n", "gender").eq("f"),
+             col("t", "production_year") > lit(spec.years[0])),
+        and_(common, ilike(col("n", "name"), spec.patterns[0]),
+             col("t", "production_year") > lit(spec.years[1])),
+    ]
+    return Query(tables, joins, or_(*clauses), name=f"job{spec.index:02d}")
+
+
+_TEMPLATES = {
+    "rating_year": _rating_year_group,
+    "keyword_theme": _keyword_theme_group,
+    "character": _character_group,
+    "company": _company_group,
+    "rating_keyword": _rating_keyword_group,
+    "person": _person_group,
+}
+
+
+# --------------------------------------------------------------------------- #
+# The 33 groups
+# --------------------------------------------------------------------------- #
+_GROUP_SPECS: list[QueryGroupSpec] = [
+    QueryGroupSpec(1, "rating_year", (2000, 1980), (7.0, 8.0), ("%dark%",), ()),
+    QueryGroupSpec(2, "keyword_theme", (1995, 2005), (), ("%love%",), ("love", "romantic")),
+    QueryGroupSpec(3, "company", (1990, 2000), (), ("%films%",), (), ("[us]", "[gb]")),
+    QueryGroupSpec(4, "rating_keyword", (2000, 1985), (6.5, 8.5), ("%war%",), ("world-war-ii", "revenge")),
+    QueryGroupSpec(5, "person", (1995, 2005), (), ("%smith%",), ()),
+    QueryGroupSpec(6, "character", (1950, 2000), (), ("%man%", "%woman%"), ("Iron Man",)),
+    QueryGroupSpec(7, "rating_year", (1990, 1970), (6.0, 7.5), ("%love%",), ()),
+    QueryGroupSpec(8, "keyword_theme", (1980, 2000), (), ("%king%",), ("based-on-novel", "sequel")),
+    QueryGroupSpec(9, "person", (1985, 2000), (), ("%garcia%",), ()),
+    QueryGroupSpec(10, "company", (1995, 2010), (), ("%studios%",), (), ("[de]", "[fr]")),
+    QueryGroupSpec(11, "rating_keyword", (1995, 1980), (7.5, 9.0), ("%night%",), ("murder", "serial-killer")),
+    QueryGroupSpec(12, "rating_year", (2005, 1990), (7.5, 8.5), ("%world%",), ()),
+    QueryGroupSpec(13, "keyword_theme", (1975, 1995), (), ("%dead%",), ("zombie", "vampire")),
+    QueryGroupSpec(14, "character", (1970, 1995), (), ("%doctor%", "%captain%"), ("Superman",)),
+    QueryGroupSpec(15, "company", (2000, 2010), (), ("%entertainment%",), (), ("[us]", "[jp]")),
+    QueryGroupSpec(16, "person", (2000, 2010), (), ("%johnson%",), ()),
+    QueryGroupSpec(17, "keyword_theme", (1990, 2005), (), ("%man%",), ("character-name-in-title",)),
+    QueryGroupSpec(18, "rating_keyword", (2005, 1995), (8.0, 9.0), ("%star%",), ("space", "alien")),
+    QueryGroupSpec(19, "person", (1990, 2005), (), ("%williams%",), ()),
+    QueryGroupSpec(20, "character", (1950, 2000), (), ("%man%",), ("Iron Man",)),
+    QueryGroupSpec(21, "company", (1985, 2000), (), ("%bros%",), (), ("[us]", "[ca]")),
+    QueryGroupSpec(22, "rating_year", (1995, 1975), (6.5, 8.0), ("%city%",), ()),
+    QueryGroupSpec(23, "keyword_theme", (2000, 2010), (), ("%game%",), ("dystopia", "time-travel")),
+    QueryGroupSpec(24, "rating_keyword", (1990, 1975), (7.0, 8.5), ("%blood%",), ("martial-arts", "boxing")),
+    QueryGroupSpec(25, "person", (1975, 1995), (), ("%miller%",), ()),
+    QueryGroupSpec(26, "character", (1985, 2005), (), ("%agent%", "%detective%"), ("Batman",)),
+    QueryGroupSpec(27, "company", (1995, 2005), (), ("%pictures%",), (), ("[gb]", "[fr]")),
+    QueryGroupSpec(28, "keyword_theme", (1985, 2000), (), ("%house%",), ("ghost", "haunted"),),
+    QueryGroupSpec(29, "rating_year", (2010, 1995), (7.0, 8.8), ("%secret%",), ()),
+    QueryGroupSpec(30, "rating_keyword", (2000, 1990), (7.5, 8.8), ("%lord%",), ("wizard", "dragon")),
+    QueryGroupSpec(31, "person", (1995, 2010), (), ("%davis%",), ()),
+    QueryGroupSpec(32, "keyword_theme", (1995, 2008), (), ("%fire%",), ("heist", "robbery")),
+    QueryGroupSpec(33, "character", (1960, 1990), (), ("%king%", "%queen%"), ("Wonder Woman",)),
+]
+
+
+def job_query_groups() -> list[Query]:
+    """The 33 combined disjunctive queries, in group order."""
+    queries = []
+    for spec in _GROUP_SPECS:
+        builder = _TEMPLATES[spec.template]
+        queries.append(builder(spec))
+    return queries
+
+
+def job_query(group_index: int) -> Query:
+    """The combined query of one group (1-based index, matching the paper)."""
+    if not 1 <= group_index <= len(_GROUP_SPECS):
+        raise ValueError(f"group index must be in 1..{len(_GROUP_SPECS)}, got {group_index}")
+    spec = _GROUP_SPECS[group_index - 1]
+    return _TEMPLATES[spec.template](spec)
+
+
+def common_subexpression_keys(query: Query) -> set[str]:
+    """Keys of the subexpressions shared by every root clause of ``query``.
+
+    Used by tests to confirm each group has a factorable common theme.
+    """
+    predicate = query.predicate
+    if predicate is None or not predicate.children():
+        return set()
+    clause_keysets = []
+    for clause in predicate.children():
+        parts = clause.children() if clause.children() else (clause,)
+        clause_keysets.append({part.key() for part in parts})
+    common = set(clause_keysets[0])
+    for keyset in clause_keysets[1:]:
+        common &= keyset
+    return common

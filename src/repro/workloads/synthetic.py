@@ -1,0 +1,167 @@
+"""The synthetic workload of Section 5.2.
+
+Three tables ``T0``, ``T1``, ``T2``:
+
+* ``T0.id`` is a primary key with unique values ``1 .. N``;
+* ``T1.fid`` and ``T2.fid`` are foreign keys drawn from a Zipf distribution
+  with shape 1.5 (truncated to ``1 .. N``);
+* predicate attributes ``A1 .. Ak`` are uniform in ``[0, 1)``.
+
+The DNF base query is::
+
+    SELECT * FROM T0 JOIN T1 ON T0.id = T1.fid JOIN T2 ON T0.id = T2.fid
+    WHERE (T1.A1 < s AND T2.A1 < s) OR (T1.A2 < s AND T2.A2 < s)
+
+and the CNF version swaps ANDs and ORs.  ``make_dnf_query`` /
+``make_cnf_query`` generalize both to a configurable number of root clauses,
+selectivity, and an optional *outer conjunctive factor* (an additional
+``T0.A1 < f`` term, conjoined for CNF and added to every clause for DNF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.expr.ast import BooleanExpr
+from repro.expr.builders import and_, col, lit, or_
+from repro.plan.query import JoinCondition, Query
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column, ColumnType
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the synthetic dataset."""
+
+    table_size: int = 10_000
+    num_attributes: int = 7
+    zipf_shape: float = 1.5
+    seed: int = 42
+
+
+def _zipf_foreign_keys(rng: np.random.Generator, size: int, max_value: int, shape: float) -> np.ndarray:
+    """Zipf-distributed foreign keys truncated to ``1 .. max_value``."""
+    keys = np.empty(size, dtype=np.int64)
+    filled = 0
+    while filled < size:
+        draw = rng.zipf(shape, size=size)
+        draw = draw[draw <= max_value]
+        take = min(size - filled, draw.size)
+        keys[filled:filled + take] = draw[:take]
+        filled += take
+    return keys
+
+
+def generate_synthetic_catalog(config: SyntheticConfig | None = None) -> Catalog:
+    """Generate the T0/T1/T2 synthetic dataset."""
+    config = config or SyntheticConfig()
+    rng = np.random.default_rng(config.seed)
+    size = config.table_size
+
+    def attribute_columns(prefix_rng: np.random.Generator) -> list[Column]:
+        return [
+            Column(f"A{index}", prefix_rng.random(size), ctype=ColumnType.FLOAT)
+            for index in range(1, config.num_attributes + 1)
+        ]
+
+    t0_columns = [Column("id", np.arange(1, size + 1), ctype=ColumnType.INT)]
+    t0_columns.extend(attribute_columns(rng))
+
+    t1_columns = [
+        Column(
+            "fid",
+            _zipf_foreign_keys(rng, size, size, config.zipf_shape),
+            ctype=ColumnType.INT,
+        )
+    ]
+    t1_columns.extend(attribute_columns(rng))
+
+    t2_columns = [
+        Column(
+            "fid",
+            _zipf_foreign_keys(rng, size, size, config.zipf_shape),
+            ctype=ColumnType.INT,
+        )
+    ]
+    t2_columns.extend(attribute_columns(rng))
+
+    return Catalog(
+        [
+            Table("T0", t0_columns),
+            Table("T1", t1_columns),
+            Table("T2", t2_columns),
+        ]
+    )
+
+
+def _synthetic_query_skeleton() -> tuple[dict[str, str], list[JoinCondition]]:
+    tables = {"T0": "T0", "T1": "T1", "T2": "T2"}
+    joins = [
+        JoinCondition(col("T0", "id"), col("T1", "fid")),
+        JoinCondition(col("T0", "id"), col("T2", "fid")),
+    ]
+    return tables, joins
+
+
+def make_dnf_query(
+    num_root_clauses: int = 2,
+    selectivity: float = 0.2,
+    outer_factor: float | None = None,
+    name: str = "",
+) -> Query:
+    """The DNF synthetic query with the given parameters."""
+    if num_root_clauses < 1:
+        raise ValueError("num_root_clauses must be at least 1")
+    tables, joins = _synthetic_query_skeleton()
+
+    clauses: list[BooleanExpr] = []
+    for index in range(1, num_root_clauses + 1):
+        parts = [
+            col("T1", f"A{index}") < lit(selectivity),
+            col("T2", f"A{index}") < lit(selectivity),
+        ]
+        if outer_factor is not None:
+            parts.insert(0, col("T0", "A1") < lit(outer_factor))
+        clauses.append(and_(*parts))
+
+    predicate = clauses[0] if len(clauses) == 1 else or_(*clauses)
+    return Query(
+        tables=tables,
+        join_conditions=joins,
+        predicate=predicate,
+        name=name or f"synthetic_dnf_k{num_root_clauses}_s{selectivity}",
+    )
+
+
+def make_cnf_query(
+    num_root_clauses: int = 2,
+    selectivity: float = 0.2,
+    outer_factor: float | None = None,
+    name: str = "",
+) -> Query:
+    """The CNF synthetic query with the given parameters."""
+    if num_root_clauses < 1:
+        raise ValueError("num_root_clauses must be at least 1")
+    tables, joins = _synthetic_query_skeleton()
+
+    clauses: list[BooleanExpr] = []
+    for index in range(1, num_root_clauses + 1):
+        clauses.append(
+            or_(
+                col("T1", f"A{index}") < lit(selectivity),
+                col("T2", f"A{index}") < lit(selectivity),
+            )
+        )
+    if outer_factor is not None:
+        clauses.insert(0, col("T0", "A1") < lit(outer_factor))
+
+    predicate = clauses[0] if len(clauses) == 1 else and_(*clauses)
+    return Query(
+        tables=tables,
+        join_conditions=joins,
+        predicate=predicate,
+        name=name or f"synthetic_cnf_k{num_root_clauses}_s{selectivity}",
+    )

@@ -1,0 +1,180 @@
+"""Unit tests for the traditional execution operators and planners."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.operators import FilterOperator, HashJoinOperator, ScanOperator, UnionOperator
+from repro.baseline.planners import BDisjPlanner, BPushConjPlanner
+from repro.baseline.relation import Relation
+from repro.core.planner.base import PlannerContext
+from repro.engine.metrics import ExecContext
+from repro.expr.builders import and_, col, lit, or_
+from repro.plan.logical import FilterNode, JoinNode, ProjectNode, TableScanNode, collect_filters
+from repro.plan.query import JoinCondition, Query
+
+
+@pytest.fixture
+def title_relation(paper_catalog):
+    return Relation.from_base_table("t", paper_catalog.get("title"))
+
+
+@pytest.fixture
+def mi_relation(paper_catalog):
+    return Relation.from_base_table("mi_idx", paper_catalog.get("movie_info_idx"))
+
+
+class TestRelation:
+    def test_from_base_table(self, title_relation):
+        assert title_relation.num_rows == 7
+        assert title_relation.aliases == ["t"]
+
+    def test_take(self, title_relation):
+        subset = title_relation.take(np.array([1, 3]))
+        assert subset.num_rows == 2
+        assert subset.indices["t"].tolist() == [1, 3]
+
+    def test_row_keys_shape(self, title_relation):
+        keys = title_relation.row_keys()
+        assert keys.shape == (7, 1)
+
+    def test_mismatched_lengths_rejected(self, paper_catalog):
+        table = paper_catalog.get("title")
+        with pytest.raises(ValueError):
+            Relation({"a": table, "b": table}, {"a": np.array([0]), "b": np.array([0, 1])})
+
+
+class TestOperators:
+    def test_scan(self, paper_catalog):
+        context = ExecContext()
+        relation = ScanOperator("t", paper_catalog.get("title")).execute(context)
+        assert relation.num_rows == 7
+        assert context.metrics.tuples_materialized == 7
+
+    def test_filter_keeps_only_true_rows(self, title_relation):
+        context = ExecContext()
+        predicate = col("t", "production_year") > lit(2000)
+        output = FilterOperator(predicate).execute(title_relation, context)
+        assert output.num_rows == 3
+        assert context.metrics.predicate_rows_evaluated == 7
+
+    def test_filter_on_empty_relation(self, title_relation):
+        empty = title_relation.take(np.array([], dtype=np.int64))
+        output = FilterOperator(col("t", "production_year") > lit(2000)).execute(
+            empty, ExecContext()
+        )
+        assert output.num_rows == 0
+
+    def test_filter_missing_alias_raises(self, mi_relation):
+        with pytest.raises(ValueError):
+            FilterOperator(col("t", "production_year") > lit(2000)).execute(
+                mi_relation, ExecContext()
+            )
+
+    def test_hash_join(self, title_relation, mi_relation):
+        context = ExecContext()
+        condition = JoinCondition(col("t", "id"), col("mi_idx", "movie_id"))
+        output = HashJoinOperator([condition]).execute(title_relation, mi_relation, context)
+        assert output.num_rows == 6  # every movie_info_idx row has a matching title
+        assert set(output.aliases) == {"t", "mi_idx"}
+        assert context.metrics.join_output_rows == 6
+
+    def test_hash_join_with_empty_side(self, title_relation, mi_relation):
+        empty = mi_relation.take(np.array([], dtype=np.int64))
+        condition = JoinCondition(col("t", "id"), col("mi_idx", "movie_id"))
+        output = HashJoinOperator([condition]).execute(title_relation, empty, ExecContext())
+        assert output.num_rows == 0
+
+    def test_hash_join_requires_condition(self):
+        with pytest.raises(ValueError):
+            HashJoinOperator([])
+
+    def test_union_deduplicates(self, title_relation):
+        first = title_relation.take(np.array([0, 1, 2]))
+        second = title_relation.take(np.array([2, 3]))
+        context = ExecContext()
+        output = UnionOperator().execute([first, second], context)
+        assert output.num_rows == 4
+        assert context.metrics.union_input_rows == 5
+        assert context.metrics.union_output_rows == 4
+
+    def test_union_requires_same_alias_sets(self, title_relation, mi_relation):
+        with pytest.raises(ValueError, match="alias sets"):
+            UnionOperator().execute([title_relation, mi_relation], ExecContext())
+
+    def test_union_of_nothing_raises(self):
+        with pytest.raises(ValueError):
+            UnionOperator().execute([], ExecContext())
+
+
+class TestBDisjPlanner:
+    def test_one_subplan_per_root_clause(self, paper_catalog, paper_query):
+        context = PlannerContext.for_query(paper_query, paper_catalog)
+        plan = BDisjPlanner(context).plan()
+        assert plan.planner_name == "bdisj"
+        assert len(plan.subplans) == 2
+        assert plan.needs_union
+
+    def test_clause_predicates_pushed_to_their_tables(self, paper_catalog, paper_query):
+        context = PlannerContext.for_query(paper_query, paper_catalog)
+        plan = BDisjPlanner(context).plan()
+        for subplan in plan.subplans:
+            filters = collect_filters(subplan)
+            # Each clause has one predicate per table, both pushed below the join.
+            assert len(filters) == 2
+            for filter_node in filters:
+                assert isinstance(filter_node.child, TableScanNode)
+
+    def test_non_or_root_gives_single_subplan(self, paper_catalog):
+        query = Query(
+            tables={"t": "title"},
+            predicate=col("t", "production_year") > lit(2000),
+        )
+        context = PlannerContext.for_query(query, paper_catalog)
+        plan = BDisjPlanner(context).plan()
+        assert len(plan.subplans) == 1
+        assert not plan.needs_union
+
+    def test_no_predicate(self, paper_catalog, paper_query):
+        query = Query(
+            tables=dict(paper_query.tables),
+            join_conditions=list(paper_query.join_conditions),
+            predicate=None,
+        )
+        context = PlannerContext.for_query(query, paper_catalog)
+        plan = BDisjPlanner(context).plan()
+        assert len(plan.subplans) == 1
+
+
+class TestBPushConjPlanner:
+    def test_or_root_cannot_push_anything(self, paper_catalog, paper_query):
+        context = PlannerContext.for_query(paper_query, paper_catalog)
+        plan = BPushConjPlanner(context).plan()
+        assert len(plan.subplans) == 1
+        subplan = plan.subplans[0]
+        # The whole disjunction sits above the join as a single filter.
+        filters = collect_filters(subplan)
+        assert len(filters) == 1
+        assert isinstance(filters[0].child, JoinNode)
+
+    def test_and_root_pushes_single_table_clauses(self, paper_catalog):
+        predicate = and_(
+            col("t", "production_year") > lit(2000),
+            or_(col("t", "production_year") > lit(1980), col("mi_idx", "info") > lit(8.0)),
+        )
+        query = Query(
+            tables={"t": "title", "mi_idx": "movie_info_idx"},
+            join_conditions=[JoinCondition(col("t", "id"), col("mi_idx", "movie_id"))],
+            predicate=predicate,
+        )
+        context = PlannerContext.for_query(query, paper_catalog)
+        plan = BPushConjPlanner(context).plan()
+        filters = collect_filters(plan.subplans[0])
+        pushed = [f for f in filters if isinstance(f.child, TableScanNode)]
+        unpushed = [f for f in filters if isinstance(f.child, JoinNode)]
+        assert len(pushed) == 1
+        assert len(unpushed) == 1
+
+    def test_projection_root(self, paper_catalog, paper_query):
+        context = PlannerContext.for_query(paper_query, paper_catalog)
+        plan = BPushConjPlanner(context).plan()
+        assert isinstance(plan.subplans[0], ProjectNode)

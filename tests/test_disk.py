@@ -1,0 +1,139 @@
+"""Tests for on-disk catalog persistence (repro.storage.disk)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Column, ColumnType, Session, Table
+from repro.storage.disk import (
+    MANIFEST_NAME,
+    CatalogFormatError,
+    export_table_csv,
+    import_table_csv,
+    load_catalog,
+    save_catalog,
+)
+from repro.workloads.synthetic import SyntheticConfig, generate_synthetic_catalog, make_dnf_query
+
+from tests.conftest import PAPER_QUERY_MATCHES, PAPER_QUERY_SQL
+
+
+class TestSaveLoadRoundtrip:
+    def test_roundtrip_preserves_values_and_nulls(self, tmp_path):
+        table = Table(
+            "movies",
+            [
+                Column("id", [1, 2, 3]),
+                Column("title", ["Alpha", None, "Gamma"]),
+                Column("score", [9.1, 8.0, None]),
+                Column("recent", [True, False, True]),
+            ],
+        )
+        save_catalog(Catalog([table]), tmp_path)
+        loaded = load_catalog(tmp_path)
+
+        reloaded = loaded.get("movies")
+        assert reloaded.num_rows == 3
+        assert reloaded.column_names == ["id", "title", "score", "recent"]
+        assert reloaded.column("id").ctype is ColumnType.INT
+        assert reloaded.column("title").ctype is ColumnType.STRING
+        assert reloaded.column("score").ctype is ColumnType.FLOAT
+        assert reloaded.column("recent").ctype is ColumnType.BOOL
+        assert reloaded.rows() == table.rows()
+
+    def test_roundtrip_of_paper_catalog_still_answers_query(self, tmp_path, paper_catalog):
+        save_catalog(paper_catalog, tmp_path)
+        session = Session(load_catalog(tmp_path))
+        result = session.execute(PAPER_QUERY_SQL)
+        assert {row[0] for row in result.rows} == PAPER_QUERY_MATCHES
+
+    def test_roundtrip_of_synthetic_catalog(self, tmp_path):
+        catalog = generate_synthetic_catalog(SyntheticConfig(table_size=300, seed=2))
+        save_catalog(catalog, tmp_path / "synthetic")
+        loaded = load_catalog(tmp_path / "synthetic")
+        original = Session(catalog).execute(make_dnf_query(selectivity=0.3))
+        reloaded = Session(loaded).execute(make_dnf_query(selectivity=0.3))
+        assert reloaded.sorted_rows() == original.sorted_rows()
+
+    def test_manifest_contents(self, tmp_path, paper_catalog):
+        root = save_catalog(paper_catalog, tmp_path)
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == 1
+        assert {entry["name"] for entry in manifest["tables"]} == {
+            "title",
+            "movie_info_idx",
+        }
+
+    def test_save_returns_root_path(self, tmp_path, paper_catalog):
+        root = save_catalog(paper_catalog, tmp_path / "nested" / "dir")
+        assert (root / MANIFEST_NAME).exists()
+
+    def test_no_pickle_files_written(self, tmp_path, paper_catalog):
+        root = save_catalog(paper_catalog, tmp_path)
+        for npy_file in root.rglob("*.npy"):
+            np.load(npy_file, allow_pickle=False)  # must not raise
+
+
+class TestLoadErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CatalogFormatError, match="catalog.json"):
+            load_catalog(tmp_path)
+
+    def test_wrong_format_version(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format_version": 99, "tables": []}))
+        with pytest.raises(CatalogFormatError, match="version"):
+            load_catalog(tmp_path)
+
+    def test_missing_column_file(self, tmp_path, paper_catalog):
+        root = save_catalog(paper_catalog, tmp_path)
+        (root / "title" / "id.values.npy").unlink()
+        with pytest.raises(CatalogFormatError, match="missing column files"):
+            load_catalog(root)
+
+    def test_row_count_mismatch_detected(self, tmp_path, paper_catalog):
+        root = save_catalog(paper_catalog, tmp_path)
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        manifest["tables"][0]["num_rows"] = 99
+        (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(CatalogFormatError, match="rows"):
+            load_catalog(root)
+
+
+class TestCsv:
+    def test_csv_roundtrip(self, tmp_path):
+        table = Table(
+            "people",
+            [
+                Column("id", [1, 2, 3]),
+                Column("name", ["Ada", None, "Grace"]),
+                Column("score", [1.5, 2.0, None]),
+            ],
+        )
+        path = tmp_path / "people.csv"
+        export_table_csv(table, path)
+        loaded = import_table_csv("people", path)
+        assert loaded.rows() == table.rows()
+
+    def test_csv_type_inference(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,ratio,label\n1,0.5,yes\n2,0.25,no\n")
+        table = import_table_csv("data", path)
+        assert table.column("id").ctype is ColumnType.INT
+        assert table.column("ratio").ctype is ColumnType.FLOAT
+        assert table.column("label").ctype is ColumnType.STRING
+
+    def test_csv_explicit_types(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,flag\n1,true\n2,false\n")
+        table = import_table_csv("data", path, types={"flag": ColumnType.BOOL})
+        assert table.column("flag").ctype is ColumnType.BOOL
+        assert [row["flag"] for row in table.rows()] == [True, False]
+
+    def test_empty_csv_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(CatalogFormatError, match="empty"):
+            import_table_csv("empty", path)

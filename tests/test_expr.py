@@ -1,0 +1,226 @@
+"""Unit tests for the expression AST, builders and vectorized evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.expr import three_valued as tv
+from repro.expr.ast import (
+    AndExpr,
+    Comparison,
+    ExprError,
+    InPredicate,
+    Literal,
+    NotExpr,
+    OrExpr,
+    count_nodes,
+    flatten,
+    iter_base_predicates,
+)
+from repro.expr.builders import and_, between, col, ilike, in_, is_null, like, lit, not_, or_
+from repro.expr.eval import RowBatch
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def batch() -> RowBatch:
+    table = Table.from_dict(
+        "t",
+        {
+            "year": [2008, 2001, 1994, None],
+            "score": [9.0, None, 8.9, 7.5],
+            "title": ["The Dark Knight", "Evolution", "Pulp Fiction", "Beetlejuice"],
+        },
+    )
+    return RowBatch.for_base_table("t", table)
+
+
+def truth(expr, batch):
+    return [tv.TruthValue(int(v)) for v in expr.evaluate(batch)]
+
+
+class TestValueExprs:
+    def test_column_ref_key_and_tables(self):
+        ref = col("t", "year")
+        assert ref.key() == "t.year"
+        assert ref.tables() == frozenset({"t"})
+
+    def test_literal_keys(self):
+        assert lit(5).key() == "5"
+        assert lit("abc").key() == "'abc'"
+
+    def test_literal_evaluate_null(self, batch):
+        values, nulls = lit(None).evaluate(batch)
+        assert nulls.all()
+        assert len(values) == batch.num_rows
+
+    def test_structural_equality_and_hash(self):
+        assert col("t", "year") == col("t", "year")
+        assert hash(col("t", "year")) == hash(col("t", "year"))
+        assert col("t", "year") != col("t", "score")
+
+
+class TestComparisons:
+    def test_greater_than(self, batch):
+        assert truth(col("t", "year") > lit(2000), batch) == [
+            tv.TRUE, tv.TRUE, tv.FALSE, tv.UNKNOWN,
+        ]
+
+    def test_less_equal(self, batch):
+        assert truth(col("t", "score") <= lit(8.9), batch) == [
+            tv.FALSE, tv.UNKNOWN, tv.TRUE, tv.TRUE,
+        ]
+
+    def test_equality_builder(self, batch):
+        assert truth(col("t", "year").eq(1994), batch) == [
+            tv.FALSE, tv.FALSE, tv.TRUE, tv.UNKNOWN,
+        ]
+
+    def test_inequality_builder(self, batch):
+        assert truth(col("t", "year").ne(1994), batch)[2] is tv.FALSE
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ExprError):
+            Comparison(col("t", "year"), "~", lit(3))
+
+    def test_key_includes_operator(self):
+        assert (col("t", "year") > lit(2000)).key() == "(t.year > 2000)"
+
+    def test_tables_union_of_sides(self):
+        expr = Comparison(col("a", "x"), "=", col("b", "y"))
+        assert expr.tables() == frozenset({"a", "b"})
+
+
+class TestOtherPredicates:
+    def test_like_case_sensitive(self, batch):
+        assert truth(like(col("t", "title"), "%Dark%"), batch) == [
+            tv.TRUE, tv.FALSE, tv.FALSE, tv.FALSE,
+        ]
+
+    def test_ilike_case_insensitive(self, batch):
+        assert truth(ilike(col("t", "title"), "%dark%"), batch)[0] is tv.TRUE
+
+    def test_like_underscore_wildcard(self, batch):
+        assert truth(like(col("t", "title"), "Evolutio_"), batch)[1] is tv.TRUE
+
+    def test_like_escapes_regex_metacharacters(self, batch):
+        # A '.' in the pattern must not act as a regex wildcard.
+        assert truth(like(col("t", "title"), "Pulp.Fiction"), batch)[2] is tv.FALSE
+
+    def test_in_predicate(self, batch):
+        assert truth(in_(col("t", "year"), [1994, 2008]), batch) == [
+            tv.TRUE, tv.FALSE, tv.TRUE, tv.UNKNOWN,
+        ]
+
+    def test_in_predicate_requires_values(self):
+        with pytest.raises(ExprError):
+            InPredicate(col("t", "year"), [])
+
+    def test_between(self, batch):
+        assert truth(between(col("t", "year"), 1990, 2005), batch) == [
+            tv.FALSE, tv.TRUE, tv.TRUE, tv.UNKNOWN,
+        ]
+
+    def test_is_null(self, batch):
+        assert truth(is_null(col("t", "score")), batch) == [
+            tv.FALSE, tv.TRUE, tv.FALSE, tv.FALSE,
+        ]
+
+    def test_is_not_null(self, batch):
+        assert truth(is_null(col("t", "score"), negated=True), batch)[1] is tv.FALSE
+
+
+class TestBooleanCombinators:
+    def test_and_evaluation(self, batch):
+        expr = and_(col("t", "year") > lit(2000), col("t", "score") > lit(8.0))
+        # Row 3 has year=NULL but score=7.5, and UNKNOWN AND FALSE = FALSE.
+        assert truth(expr, batch) == [tv.TRUE, tv.UNKNOWN, tv.FALSE, tv.FALSE]
+
+    def test_or_evaluation(self, batch):
+        expr = or_(col("t", "year") > lit(2000), col("t", "score") > lit(8.0))
+        assert truth(expr, batch) == [tv.TRUE, tv.TRUE, tv.TRUE, tv.UNKNOWN]
+
+    def test_not_evaluation(self, batch):
+        expr = not_(col("t", "year") > lit(2000))
+        assert truth(expr, batch) == [tv.FALSE, tv.FALSE, tv.TRUE, tv.UNKNOWN]
+
+    def test_nary_requires_two_children(self):
+        with pytest.raises(ExprError):
+            AndExpr([col("t", "year") > lit(2000)])
+
+    def test_commutative_keys_are_canonical(self):
+        a = col("t", "year") > lit(2000)
+        b = col("t", "score") > lit(8.0)
+        assert and_(a, b).key() == and_(b, a).key()
+
+    def test_single_child_builders_collapse(self):
+        predicate = col("t", "year") > lit(2000)
+        assert and_(predicate) is predicate
+        assert or_(predicate) is predicate
+
+    def test_builders_require_children(self):
+        with pytest.raises(ValueError):
+            and_()
+        with pytest.raises(ValueError):
+            or_()
+
+
+class TestStructuralHelpers:
+    def test_flatten_merges_nested_ands(self):
+        a, b, c = (col("t", "year") > lit(y) for y in (1, 2, 3))
+        nested = AndExpr([a, AndExpr([b, c])])
+        flattened = flatten(nested)
+        assert isinstance(flattened, AndExpr)
+        assert len(flattened.children()) == 3
+
+    def test_flatten_merges_nested_ors(self):
+        a, b, c = (col("t", "year") > lit(y) for y in (1, 2, 3))
+        flattened = flatten(OrExpr([OrExpr([a, b]), c]))
+        assert len(flattened.children()) == 3
+
+    def test_flatten_removes_double_negation(self):
+        predicate = col("t", "year") > lit(2000)
+        assert flatten(NotExpr(NotExpr(predicate))) == predicate
+
+    def test_flatten_preserves_mixed_nesting(self):
+        a, b, c = (col("t", "year") > lit(y) for y in (1, 2, 3))
+        expr = flatten(OrExpr([AndExpr([a, b]), c]))
+        assert isinstance(expr, OrExpr)
+        assert len(expr.children()) == 2
+
+    def test_iter_base_predicates_counts_duplicates(self):
+        a = col("t", "year") > lit(2000)
+        b = col("t", "score") > lit(8.0)
+        expr = or_(and_(a, b), and_(a, col("t", "score") > lit(7.0)))
+        keys = [predicate.key() for predicate in iter_base_predicates(expr)]
+        assert keys.count(a.key()) == 2
+
+    def test_count_nodes(self):
+        a = col("t", "year") > lit(2000)
+        b = col("t", "score") > lit(8.0)
+        assert count_nodes(and_(a, b)) == 3
+
+
+class TestRowBatch:
+    def test_alias_validation(self, batch):
+        with pytest.raises(KeyError):
+            batch.column("missing", "year")
+
+    def test_column_memoization(self, batch):
+        first = batch.column("t", "year")
+        second = batch.column("t", "year")
+        assert first[0] is second[0]
+
+    def test_indices_for_unknown_alias(self, batch):
+        with pytest.raises(KeyError):
+            batch.indices_for("zzz")
+
+    def test_mismatched_index_lengths_rejected(self):
+        table = Table.from_dict("t", {"x": [1, 2]})
+        with pytest.raises(ValueError):
+            RowBatch({"a": table, "b": table}, {"a": np.array([0]), "b": np.array([0, 1])})
+
+    def test_for_base_table_subset(self):
+        table = Table.from_dict("t", {"x": [10, 20, 30]})
+        batch = RowBatch.for_base_table("t", table, positions=np.array([2]))
+        values, _ = batch.column("t", "x")
+        assert list(values) == [30]

@@ -1,0 +1,155 @@
+"""Unit tests for common-subexpression factoring and predicate implication."""
+
+import pytest
+
+from repro.core.factor import factor_common_subexpressions
+from repro.core.implication import implied_truth_value, implies, negate, refutes
+from repro.expr.ast import AndExpr, OrExpr
+from repro.expr.builders import and_, between, col, ilike, in_, lit, or_
+from repro.expr.three_valued import FALSE, TRUE, UNKNOWN
+
+
+def p(column, op, value):
+    ref = col("t", column)
+    return {"<": ref < lit(value), ">": ref > lit(value), ">=": ref >= lit(value),
+            "<=": ref <= lit(value), "=": ref.eq(value), "!=": ref.ne(value)}[op]
+
+
+class TestFactoring:
+    def test_common_parts_pulled_out(self):
+        a = p("a", ">", 1)
+        b = p("b", ">", 2)
+        c = p("c", ">", 3)
+        d = p("d", ">", 4)
+        expr = or_(and_(a, b, c), and_(a, b, d))
+        factored = factor_common_subexpressions(expr)
+        assert isinstance(factored, AndExpr)
+        child_keys = {child.key() for child in factored.children()}
+        assert a.key() in child_keys
+        assert b.key() in child_keys
+        assert or_(c, d).key() in child_keys
+
+    def test_no_common_parts_returns_original(self):
+        expr = or_(and_(p("a", ">", 1), p("b", ">", 2)), and_(p("c", ">", 3), p("d", ">", 4)))
+        assert factor_common_subexpressions(expr) == expr
+
+    def test_non_or_root_unchanged(self):
+        expr = and_(p("a", ">", 1), p("b", ">", 2))
+        assert factor_common_subexpressions(expr) == expr
+
+    def test_fully_common_clause_subsumes_residual(self):
+        a = p("a", ">", 1)
+        b = p("b", ">", 2)
+        # (a) OR (a AND b)  ==  a
+        expr = or_(a, and_(a, b))
+        assert factor_common_subexpressions(expr) == a
+
+    def test_single_residual_clause_not_wrapped_in_or(self):
+        a = p("a", ">", 1)
+        b = p("b", ">", 2)
+        c = p("c", ">", 3)
+        expr = or_(and_(a, b), and_(a, b, c))
+        factored = factor_common_subexpressions(expr)
+        # (a AND b) OR (a AND b AND c) == a AND b
+        assert factored == and_(a, b)
+
+    def test_semantics_preserved_on_paper_query(self, paper_session, paper_query):
+        factored_predicate = factor_common_subexpressions(paper_query.predicate)
+        from repro.plan.query import Query
+
+        factored_query = Query(
+            tables=dict(paper_query.tables),
+            join_conditions=list(paper_query.join_conditions),
+            predicate=factored_predicate,
+        )
+        original = paper_session.execute(paper_query, planner="tcombined")
+        rewritten = paper_session.execute(factored_query, planner="tcombined")
+        assert original.row_count == rewritten.row_count
+
+
+class TestImplies:
+    @pytest.mark.parametrize(
+        "left, right, expected",
+        [
+            (p("year", ">", 2000), p("year", ">", 1980), True),
+            (p("year", ">", 1980), p("year", ">", 2000), False),
+            (p("year", ">", 2000), p("year", ">=", 2000), True),
+            (p("year", ">=", 2000), p("year", ">", 2000), False),
+            (p("year", ">=", 2001), p("year", ">", 2000), True),
+            (p("year", "<", 1950), p("year", "<", 1980), True),
+            (p("year", "<", 1980), p("year", "<=", 1980), True),
+            (p("year", "<=", 1979), p("year", "<", 1980), True),
+            (p("year", "=", 1994), p("year", ">", 1980), True),
+            (p("year", "=", 1994), p("year", ">", 1994), False),
+            (p("year", "=", 1994), p("year", "!=", 2000), True),
+            (p("year", "!=", 2000), p("year", "!=", 2000), True),
+            (p("year", ">", 2000), p("year", "!=", 1999), True),
+            (p("year", ">", 2000), p("year", "!=", 2001), False),
+        ],
+    )
+    def test_comparison_implication_table(self, left, right, expected):
+        assert implies(left, right) is expected
+
+    def test_identical_predicates_imply_each_other(self):
+        assert implies(p("year", ">", 2000), p("year", ">", 2000))
+
+    def test_different_columns_never_imply(self):
+        assert not implies(p("year", ">", 2000), p("score", ">", 1980))
+
+    def test_string_comparisons(self):
+        assert implies(col("t", "s") > lit("m"), col("t", "s") > lit("a"))
+        assert not implies(col("t", "s") > lit("a"), col("t", "s") > lit("m"))
+
+    def test_mixed_types_are_not_compared(self):
+        assert not implies(col("t", "s") > lit("m"), col("t", "s") > lit(3))
+
+    def test_in_implies_comparison(self):
+        assert implies(in_(col("t", "year"), [1994, 1999]), p("year", ">", 1990))
+        assert not implies(in_(col("t", "year"), [1985, 1999]), p("year", ">", 1990))
+
+    def test_in_subset_implies_superset(self):
+        assert implies(in_(col("t", "k"), ["a"]), in_(col("t", "k"), ["a", "b"]))
+        assert not implies(in_(col("t", "k"), ["a", "c"]), in_(col("t", "k"), ["a", "b"]))
+
+    def test_equality_implies_in(self):
+        assert implies(col("t", "k").eq("a"), in_(col("t", "k"), ["a", "b"]))
+
+    def test_between_implies_bounds(self):
+        predicate = between(col("t", "year"), 1990, 2000)
+        assert implies(predicate, p("year", ">", 1980))
+        assert implies(predicate, p("year", "<", 2010))
+        assert not implies(predicate, p("year", ">", 1995))
+
+    def test_like_is_never_implied(self):
+        assert not implies(p("year", ">", 2000), ilike(col("t", "title"), "%x%"))
+
+
+class TestRefutesAndImpliedValue:
+    def test_refutes_disjoint_ranges(self):
+        assert refutes(p("year", ">", 2000), p("year", "<", 1990))
+        assert refutes(p("year", "<", 1990), p("year", ">", 2000))
+        assert not refutes(p("year", ">", 2000), p("year", ">", 1990))
+
+    def test_refutes_equality(self):
+        assert refutes(p("year", "=", 1994), p("year", "=", 1995))
+        assert not refutes(p("year", "=", 1994), p("year", "=", 1994))
+
+    def test_negate(self):
+        assert negate(p("year", ">", 2000)).key() == p("year", "<=", 2000).key()
+        assert negate(ilike(col("t", "title"), "%x%")) is None
+
+    def test_implied_truth_value_from_true_fact(self):
+        facts = [(p("year", ">", 2000), TRUE)]
+        assert implied_truth_value(p("year", ">", 1980), facts) is TRUE
+        assert implied_truth_value(p("year", "<", 1990), facts) is FALSE
+        assert implied_truth_value(p("score", ">", 5), facts) is None
+
+    def test_implied_truth_value_from_false_fact(self):
+        # year > 1980 = FALSE means year <= 1980, which refutes year > 2000.
+        facts = [(p("year", ">", 1980), FALSE)]
+        assert implied_truth_value(p("year", ">", 2000), facts) is FALSE
+        assert implied_truth_value(p("year", "<", 1985), facts) is TRUE
+
+    def test_unknown_facts_are_ignored(self):
+        facts = [(p("year", ">", 2000), UNKNOWN)]
+        assert implied_truth_value(p("year", ">", 1980), facts) is None

@@ -1,0 +1,153 @@
+"""Tests for equi-depth histograms and histogram-based selectivity estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Catalog, Column, Session, Table
+from repro.expr.builders import and_, between, col, ilike, lit, or_
+from repro.plan.query import JoinCondition, Query
+from repro.stats.histograms import EquiDepthHistogram, HistogramSelectivityEstimator
+from repro.workloads.synthetic import SyntheticConfig, generate_synthetic_catalog, make_dnf_query
+
+from tests.conftest import PAPER_QUERY_MATCHES, PAPER_QUERY_SQL
+
+
+def _uniform_column(rows: int = 2_000, seed: int = 0) -> Column:
+    rng = np.random.default_rng(seed)
+    return Column("x", rng.random(rows))
+
+
+class TestEquiDepthHistogram:
+    def test_bucket_fractions_sum_to_one(self):
+        histogram = EquiDepthHistogram.from_column(_uniform_column())
+        assert sum(bucket.fraction for bucket in histogram.buckets) == pytest.approx(1.0)
+        assert histogram.null_fraction == 0.0
+
+    def test_range_estimate_on_uniform_data(self):
+        histogram = EquiDepthHistogram.from_column(_uniform_column())
+        assert histogram.estimate_range(0.0, 0.5) == pytest.approx(0.5, abs=0.05)
+        assert histogram.estimate_range(0.2, 0.3) == pytest.approx(0.1, abs=0.05)
+
+    def test_comparison_estimates(self):
+        histogram = EquiDepthHistogram.from_column(_uniform_column())
+        assert histogram.estimate_comparison("<", 0.25) == pytest.approx(0.25, abs=0.05)
+        assert histogram.estimate_comparison(">", 0.75) == pytest.approx(0.25, abs=0.05)
+        assert 0.0 <= histogram.estimate_comparison("=", 0.5) <= 0.05
+
+    def test_skewed_data_gets_fine_buckets_in_dense_region(self):
+        rng = np.random.default_rng(1)
+        values = np.concatenate([rng.random(1_900) * 0.1, rng.random(100) * 0.9 + 0.1])
+        histogram = EquiDepthHistogram(values, np.zeros(2_000, dtype=np.bool_))
+        # 95% of rows are below 0.1; the histogram should know that.
+        assert histogram.estimate_comparison("<", 0.1) == pytest.approx(0.95, abs=0.05)
+
+    def test_null_fraction_excluded_from_buckets(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        nulls = np.array([False, False, True, True])
+        histogram = EquiDepthHistogram(values, nulls, num_buckets=2)
+        assert histogram.null_fraction == pytest.approx(0.5)
+        assert sum(bucket.fraction for bucket in histogram.buckets) == pytest.approx(0.5)
+
+    def test_empty_and_all_null_columns(self):
+        empty = EquiDepthHistogram(np.empty(0), np.empty(0, dtype=np.bool_))
+        assert empty.estimate_range(0.0, 1.0) == 0.0
+        all_null = EquiDepthHistogram(np.zeros(4), np.ones(4, dtype=np.bool_))
+        assert all_null.estimate_comparison("<", 10.0) == 0.0
+
+    def test_not_equal_estimate(self):
+        histogram = EquiDepthHistogram.from_column(_uniform_column())
+        assert histogram.estimate_comparison("!=", 0.5) == pytest.approx(1.0, abs=0.05)
+
+    def test_string_column_rejected(self):
+        column = Column("s", ["a", "b"])
+        with pytest.raises(ValueError, match="numeric"):
+            EquiDepthHistogram.from_column(column)
+
+    def test_invalid_operator_rejected(self):
+        histogram = EquiDepthHistogram.from_column(_uniform_column(rows=50))
+        with pytest.raises(ValueError):
+            histogram.estimate_comparison("~", 0.5)
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            EquiDepthHistogram(np.array([1.0]), np.array([False]), num_buckets=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        low=st.floats(min_value=0.0, max_value=1.0),
+        high=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_range_estimates_are_valid_fractions(self, low, high):
+        histogram = EquiDepthHistogram.from_column(_uniform_column(rows=500, seed=3))
+        estimate = histogram.estimate_range(min(low, high), max(low, high))
+        assert 0.0 <= estimate <= 1.0 + 1e-9
+
+
+class TestHistogramSelectivityEstimator:
+    @pytest.fixture(scope="class")
+    def catalog_and_query(self):
+        catalog = generate_synthetic_catalog(SyntheticConfig(table_size=2_000, seed=11))
+        query = make_dnf_query(num_root_clauses=2, selectivity=0.2)
+        return catalog, query
+
+    def test_simple_comparison_close_to_truth(self, catalog_and_query):
+        catalog, query = catalog_and_query
+        estimator = HistogramSelectivityEstimator(catalog, query)
+        predicate = col("T1", "A1") < lit(0.2)
+        assert estimator.selectivity(predicate) == pytest.approx(0.2, abs=0.05)
+
+    def test_between_close_to_truth(self, catalog_and_query):
+        catalog, query = catalog_and_query
+        estimator = HistogramSelectivityEstimator(catalog, query)
+        predicate = between(col("T1", "A1"), 0.3, 0.6)
+        assert estimator.selectivity(predicate) == pytest.approx(0.3, abs=0.06)
+
+    def test_flipped_literal_comparison(self, catalog_and_query):
+        catalog, query = catalog_and_query
+        estimator = HistogramSelectivityEstimator(catalog, query)
+        predicate = lit(0.8) < col("T1", "A1")
+        assert estimator.selectivity(predicate) == pytest.approx(0.2, abs=0.05)
+
+    def test_composite_expressions_use_independence(self, catalog_and_query):
+        catalog, query = catalog_and_query
+        estimator = HistogramSelectivityEstimator(catalog, query)
+        conjunct = and_(col("T1", "A1") < lit(0.5), col("T1", "A2") < lit(0.5))
+        disjunct = or_(col("T1", "A1") < lit(0.5), col("T1", "A2") < lit(0.5))
+        assert estimator.selectivity(conjunct) == pytest.approx(0.25, abs=0.07)
+        assert estimator.selectivity(disjunct) == pytest.approx(0.75, abs=0.07)
+
+    def test_non_numeric_predicate_falls_back_to_measurement(self):
+        catalog = Catalog(
+            [
+                Table.from_dict(
+                    "t", {"id": [1, 2, 3, 4], "name": ["alpha", "beta", "gamma", "delta"]}
+                )
+            ]
+        )
+        query = Query(tables={"t": "t"}, predicate=ilike(col("t", "name"), "%a%"))
+        estimator = HistogramSelectivityEstimator(catalog, query)
+        measured = estimator.selectivity(ilike(col("t", "name"), "%a%"))
+        assert measured == pytest.approx(1.0)
+
+    def test_session_histogram_mode_same_answers(self):
+        catalog = generate_synthetic_catalog(SyntheticConfig(table_size=800, seed=4))
+        query = make_dnf_query(num_root_clauses=2, selectivity=0.3)
+        measured = Session(catalog, stats_sample_size=800).execute(query)
+        histogram = Session(
+            catalog, stats_sample_size=800, selectivity_mode="histogram"
+        ).execute(query)
+        assert histogram.sorted_rows() == measured.sorted_rows()
+
+    def test_session_histogram_mode_paper_query(self, paper_catalog):
+        session = Session(paper_catalog, selectivity_mode="histogram")
+        result = session.execute(PAPER_QUERY_SQL)
+        assert {row[0] for row in result.rows} == PAPER_QUERY_MATCHES
+
+    def test_unknown_selectivity_mode_rejected(self, paper_catalog):
+        session = Session(paper_catalog, selectivity_mode="bogus")
+        with pytest.raises(ValueError, match="selectivity_mode"):
+            session.execute(PAPER_QUERY_SQL)

@@ -1,0 +1,118 @@
+"""Cross-planner equivalence on the generated workloads, plus bench-harness smoke tests.
+
+These are the heavyweight integration tests: every planner must produce the
+same result set on JOB-style and synthetic disjunctive queries, with and
+without tag generalization, because the execution model must never change
+query semantics.
+"""
+
+import pytest
+
+from repro.bench.job_bench import factor_query, run_job_figure
+from repro.bench.report import format_table, geometric_mean
+from repro.bench.runner import time_query
+from repro.bench.synthetic_bench import run_selectivity_sweep
+from repro.workloads.job import job_query_groups
+from repro.workloads.synthetic import make_cnf_query, make_dnf_query
+
+#: JOB groups exercised in CI-style integration tests (one per template).
+JOB_SAMPLE = (1, 2, 3, 4, 5, 6)
+
+
+class TestJobEquivalence:
+    @pytest.mark.parametrize("group", JOB_SAMPLE)
+    def test_all_planners_agree_on_job_group(self, imdb_session, group):
+        query = job_query_groups()[group - 1]
+        reference = imdb_session.execute(query, planner="bdisj").sorted_rows()
+        for planner in ("bpushconj", "tpushdown", "tpullup", "titerpush", "tpushconj", "tcombined"):
+            result = imdb_session.execute(query, planner=planner)
+            assert result.sorted_rows() == reference, (query.name, planner)
+
+    @pytest.mark.parametrize("group", (1, 6))
+    def test_factored_queries_agree_with_originals(self, imdb_session, group):
+        query = job_query_groups()[group - 1]
+        factored = factor_query(query)
+        original_rows = imdb_session.execute(query, planner="tcombined").sorted_rows()
+        factored_rows = imdb_session.execute(factored, planner="bpushconj").sorted_rows()
+        assert original_rows == factored_rows
+
+    @pytest.mark.parametrize("group", (1, 4))
+    def test_naive_tags_agree_on_job_group(self, imdb_session, group):
+        query = job_query_groups()[group - 1]
+        generalized = imdb_session.execute(query, planner="tpushdown").sorted_rows()
+        naive = imdb_session.execute(query, planner="tpushdown", naive_tags=True).sorted_rows()
+        assert generalized == naive
+
+
+class TestSyntheticEquivalence:
+    @pytest.mark.parametrize("clauses", (2, 3))
+    def test_dnf_planners_agree(self, synthetic_session, clauses):
+        query = make_dnf_query(num_root_clauses=clauses, selectivity=0.3)
+        reference = synthetic_session.execute(query, planner="bdisj")
+        tagged = synthetic_session.execute(query, planner="tcombined")
+        assert reference.row_count == tagged.row_count
+        assert reference.sorted_rows() == tagged.sorted_rows()
+
+    @pytest.mark.parametrize("clauses", (2, 3))
+    def test_cnf_planners_agree(self, synthetic_session, clauses):
+        query = make_cnf_query(num_root_clauses=clauses, selectivity=0.3)
+        reference = synthetic_session.execute(query, planner="bpushconj")
+        tagged = synthetic_session.execute(query, planner="tcombined")
+        assert reference.row_count == tagged.row_count
+
+    def test_outer_factor_query_agrees(self, synthetic_session):
+        query = make_cnf_query(num_root_clauses=2, selectivity=0.3, outer_factor=0.5)
+        reference = synthetic_session.execute(query, planner="bpushconj")
+        tagged = synthetic_session.execute(query, planner="tcombined")
+        assert reference.row_count == tagged.row_count
+
+    def test_tagged_join_work_shrinks_versus_traditional_cnf(self, synthetic_session):
+        """The headline mechanism of Figure 4b: selective tag maps mean the
+        tagged join materializes fewer output tuples than the traditional
+        join-then-filter pipeline."""
+        query = make_cnf_query(num_root_clauses=2, selectivity=0.2)
+        tagged = synthetic_session.execute(query, planner="tpushdown")
+        traditional = synthetic_session.execute(query, planner="bpushconj")
+        assert tagged.metrics.join_output_rows < traditional.metrics.join_output_rows
+        assert tagged.row_count == traditional.row_count
+
+
+class TestBenchHarness:
+    def test_run_job_figure_smoke(self, imdb_session):
+        result = run_job_figure("3a", groups=[1, 3], repetitions=1, session=imdb_session)
+        assert len(result.rows) == 2
+        assert result.average_speedup > 0
+        table = result.to_table()
+        assert "Figure 3a" in table
+        assert "speedup" in table
+
+    def test_run_job_figure_overhead_variant(self, imdb_session):
+        result = run_job_figure("fig3d", groups=[1], repetitions=1, session=imdb_session)
+        assert result.baseline_planner == "bpushconj"
+        assert result.tagged_planner == "tpushconj"
+
+    def test_run_job_figure_rejects_unknown(self, imdb_session):
+        with pytest.raises(ValueError):
+            run_job_figure("9z", session=imdb_session)
+
+    def test_selectivity_sweep_smoke(self):
+        result = run_selectivity_sweep(selectivities=(0.2,), table_size=300, repetitions=1)
+        assert len(result.rows) == 1
+        assert result.rows[0].baseline.row_count == result.rows[0].tagged.row_count
+        assert "Figure 4a" in result.to_table()
+
+    def test_time_query_averages(self, paper_session, paper_query):
+        measurement = time_query(paper_session, paper_query, "tcombined", repetitions=2)
+        assert measurement.repetitions == 2
+        assert measurement.row_count == 4
+        assert measurement.total_seconds > 0
+
+    def test_time_query_rejects_zero_repetitions(self, paper_session, paper_query):
+        with pytest.raises(ValueError):
+            time_query(paper_session, paper_query, "tcombined", repetitions=0)
+
+    def test_report_helpers(self):
+        table = format_table(["a", "b"], [[1, 2.5], ["x", 3]], title="T")
+        assert "T" in table and "2.500" in table
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0

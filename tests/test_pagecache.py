@@ -1,0 +1,86 @@
+"""Unit tests for the LFU page cache."""
+
+import pytest
+
+from repro.storage.pagecache import LFUPageCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LFUPageCache(capacity=2)
+        assert cache.access("a") is False
+        assert cache.access("a") is True
+
+    def test_contains_and_len(self):
+        cache = LFUPageCache(capacity=2)
+        cache.access("a")
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_capacity_property(self):
+        assert LFUPageCache(capacity=7).capacity == 7
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LFUPageCache(capacity=-1)
+
+    def test_zero_capacity_never_hits(self):
+        cache = LFUPageCache(capacity=0)
+        assert cache.access("a") is False
+        assert cache.access("a") is False
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = LFUPageCache(capacity=2)
+        cache.access("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.access("a") is False
+
+
+class TestEviction:
+    def test_least_frequent_is_evicted(self):
+        cache = LFUPageCache(capacity=2)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")  # evicts b (frequency 1) rather than a (frequency 2)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_capacity_never_exceeded(self):
+        cache = LFUPageCache(capacity=3)
+        for index in range(10):
+            cache.access(index)
+        assert len(cache) <= 3
+
+    def test_frequency_survives_eviction_pressure(self):
+        cache = LFUPageCache(capacity=2)
+        for _ in range(5):
+            cache.access("hot")
+        for index in range(5):
+            cache.access(("cold", index))
+        assert "hot" in cache
+
+    def test_ties_evict_oldest_insertion(self):
+        cache = LFUPageCache(capacity=2)
+        cache.access("first")
+        cache.access("second")
+        cache.access("third")  # both candidates have frequency 1; "first" goes
+        assert "first" not in cache
+        assert "second" in cache
+        assert "third" in cache
+
+
+class TestBatchAccess:
+    def test_access_many_counts(self):
+        cache = LFUPageCache(capacity=10)
+        misses, hits = cache.access_many(["a", "b", "a"])
+        assert misses == 2
+        assert hits == 1
+
+    def test_access_many_empty(self):
+        cache = LFUPageCache(capacity=10)
+        assert cache.access_many([]) == (0, 0)

@@ -1,0 +1,179 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.expr.ast import AndExpr, Comparison, InPredicate, LikePredicate, NotExpr, OrExpr
+from repro.sql.lexer import LexError, TokenType, tokenize
+from repro.sql.parser import ParseError, parse_expression, parse_query
+
+
+class TestLexer:
+    def test_keywords_are_uppercased(self):
+        tokens = tokenize("select From wHere")
+        assert [token.value for token in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(token.type is TokenType.KEYWORD for token in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("movie_Info_idx")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "movie_Info_idx"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [token.value for token in tokens[:-1]] == ["42", "3.14"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = tokenize("<= >= != <> = < >")
+        assert [token.value for token in tokens[:-1]] == ["<=", ">=", "!=", "!=", "=", "<", ">"]
+
+    def test_punctuation_and_dot(self):
+        values = [token.value for token in tokenize("t.year, (x)")[:-1]]
+        assert values == ["t", ".", "year", ",", "(", "x", ")"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_end_token_present(self):
+        assert tokenize("select")[-1].type is TokenType.END
+
+
+class TestParseExpression:
+    def test_simple_comparison(self):
+        expr = parse_expression("t.year > 2000")
+        assert isinstance(expr, Comparison)
+        assert expr.key() == "(t.year > 2000)"
+
+    def test_string_comparison(self):
+        expr = parse_expression("t.name = 'Iron Man'")
+        assert expr.key() == "(t.name = 'Iron Man')"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("t.a > 1 AND t.b > 2 OR t.c > 3")
+        assert isinstance(expr, OrExpr)
+        and_child = [child for child in expr.children() if isinstance(child, AndExpr)]
+        assert len(and_child) == 1
+
+    def test_parentheses_override_precedence(self):
+        expr = parse_expression("t.a > 1 AND (t.b > 2 OR t.c > 3)")
+        assert isinstance(expr, AndExpr)
+
+    def test_not(self):
+        expr = parse_expression("NOT t.a > 1")
+        assert isinstance(expr, NotExpr)
+
+    def test_double_not_collapses(self):
+        expr = parse_expression("NOT NOT t.a > 1")
+        assert isinstance(expr, Comparison)
+
+    def test_like_and_ilike(self):
+        like_expr = parse_expression("t.title LIKE '%man%'")
+        ilike_expr = parse_expression("t.title ILIKE '%man%'")
+        assert isinstance(like_expr, LikePredicate)
+        assert not like_expr.case_insensitive
+        assert isinstance(ilike_expr, LikePredicate)
+        assert ilike_expr.case_insensitive
+
+    def test_not_like(self):
+        expr = parse_expression("t.title NOT LIKE '%man%'")
+        assert isinstance(expr, NotExpr)
+
+    def test_in_list(self):
+        expr = parse_expression("t.kind IN ('movie', 'tv series')")
+        assert isinstance(expr, InPredicate)
+        assert expr.values == ("movie", "tv series")
+
+    def test_between(self):
+        expr = parse_expression("t.year BETWEEN 1990 AND 2000")
+        assert "BETWEEN" in expr.key()
+
+    def test_is_null_and_is_not_null(self):
+        assert "IS NULL" in parse_expression("t.year IS NULL").key()
+        assert "IS NOT NULL" in parse_expression("t.year IS NOT NULL").key()
+
+    def test_like_pattern_must_be_string(self):
+        with pytest.raises(ParseError):
+            parse_expression("t.title LIKE 42")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("t.a > 1 banana")
+
+    def test_nested_flattening(self):
+        expr = parse_expression("t.a > 1 OR (t.b > 2 OR t.c > 3)")
+        assert isinstance(expr, OrExpr)
+        assert len(expr.children()) == 3
+
+
+class TestParseQuery:
+    def test_simple_join_query(self):
+        query = parse_query(
+            "SELECT * FROM title AS t JOIN movie_info_idx AS mi ON t.id = mi.movie_id "
+            "WHERE t.production_year > 2000"
+        )
+        assert query.tables == {"t": "title", "mi": "movie_info_idx"}
+        assert len(query.join_conditions) == 1
+        assert query.predicate is not None
+        assert query.select == []
+
+    def test_alias_without_as(self):
+        query = parse_query("SELECT * FROM title t WHERE t.production_year > 2000")
+        assert query.tables == {"t": "title"}
+
+    def test_table_without_alias_uses_name(self):
+        query = parse_query("SELECT * FROM title WHERE title.production_year > 1990")
+        assert query.tables == {"title": "title"}
+
+    def test_select_list(self):
+        query = parse_query("SELECT t.id, t.title FROM title AS t")
+        assert [column.key() for column in query.select] == ["t.id", "t.title"]
+
+    def test_multiple_joins(self):
+        query = parse_query(
+            "SELECT * FROM a AS x JOIN b AS y ON x.id = y.xid JOIN c AS z ON y.id = z.yid"
+        )
+        assert len(query.join_conditions) == 2
+
+    def test_multi_condition_join(self):
+        query = parse_query("SELECT * FROM a AS x JOIN b AS y ON x.id = y.xid AND x.k = y.k")
+        assert len(query.join_conditions) == 2
+
+    def test_inner_join_keyword(self):
+        query = parse_query("SELECT * FROM a AS x INNER JOIN b AS y ON x.id = y.xid")
+        assert len(query.join_conditions) == 2 - 1
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM a AS x JOIN b AS x ON x.id = x.id")
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM a AS x JOIN b AS y ON x.id > y.xid")
+
+    def test_where_binds_against_known_aliases(self):
+        with pytest.raises(ValueError, match="unknown aliases"):
+            parse_query("SELECT * FROM a AS x WHERE z.col > 1")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * FROM a AS x EXTRA TOKENS")
+
+    def test_paper_query_roundtrip(self, paper_query_sql):
+        query = parse_query(paper_query_sql)
+        assert set(query.tables.values()) == {"title", "movie_info_idx"}
+        assert query.predicate is not None
+        # OR-rooted predicate with two AND clauses.
+        children = query.predicate.children()
+        assert len(children) == 2

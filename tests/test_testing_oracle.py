@@ -1,0 +1,234 @@
+"""Tests for the differential-testing toolkit itself (datagen, querygen, oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, Table
+from repro.expr.builders import and_, between, col, ilike, in_, is_null, lit, not_, or_
+from repro.expr.three_valued import FALSE, TRUE, UNKNOWN
+from repro.plan.query import JoinCondition, Query
+from repro.testing.datagen import RandomCatalogConfig, generate_random_catalog
+from repro.testing.oracle import OracleError, evaluate_oracle, evaluate_predicate_row
+from repro.testing.querygen import RandomQueryConfig, generate_random_query
+
+
+# --------------------------------------------------------------------------- #
+# Data generation
+# --------------------------------------------------------------------------- #
+class TestDatagen:
+    def test_schema_shape(self):
+        catalog = generate_random_catalog(RandomCatalogConfig(seed=1, num_dimensions=3))
+        assert set(catalog.table_names) == {"F", "D1", "D2", "D3"}
+        fact = catalog.get("F")
+        assert "id" in fact.column_names
+        assert "A1" in fact.column_names and "category" in fact.column_names
+        dimension = catalog.get("D1")
+        assert "fid" in dimension.column_names
+
+    def test_deterministic_for_same_seed(self):
+        first = generate_random_catalog(RandomCatalogConfig(seed=7))
+        second = generate_random_catalog(RandomCatalogConfig(seed=7))
+        assert first.get("D1").column("fid").values_list() == second.get("D1").column(
+            "fid"
+        ).values_list()
+
+    def test_different_seeds_differ(self):
+        first = generate_random_catalog(RandomCatalogConfig(seed=1))
+        second = generate_random_catalog(RandomCatalogConfig(seed=2))
+        assert first.get("D1").column("fid").values_list() != second.get("D1").column(
+            "fid"
+        ).values_list()
+
+    def test_null_fraction_respected(self):
+        catalog = generate_random_catalog(
+            RandomCatalogConfig(seed=3, null_fraction=0.5, fact_rows=400)
+        )
+        column = catalog.get("F").column("A1")
+        null_count = int(column.null_mask.sum())
+        assert 100 < null_count < 300
+
+    def test_zero_null_fraction(self):
+        catalog = generate_random_catalog(RandomCatalogConfig(seed=3, null_fraction=0.0))
+        assert not catalog.get("F").column("A1").has_nulls()
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            RandomCatalogConfig(num_dimensions=0)
+        with pytest.raises(ValueError):
+            RandomCatalogConfig(null_fraction=1.0)
+        with pytest.raises(ValueError):
+            RandomCatalogConfig(fact_rows=0)
+
+
+# --------------------------------------------------------------------------- #
+# Query generation
+# --------------------------------------------------------------------------- #
+class TestQuerygen:
+    @pytest.fixture(scope="class")
+    def star_catalog(self) -> Catalog:
+        return generate_random_catalog(RandomCatalogConfig(seed=5, num_dimensions=2))
+
+    def test_query_targets_star_schema(self, star_catalog):
+        query = generate_random_query(star_catalog, RandomQueryConfig(seed=1))
+        assert query.tables == {"f": "F", "d1": "D1", "d2": "D2"}
+        assert len(query.join_conditions) == 2
+        assert query.predicate is not None
+
+    def test_deterministic_for_same_seed(self, star_catalog):
+        first = generate_random_query(star_catalog, RandomQueryConfig(seed=9))
+        second = generate_random_query(star_catalog, RandomQueryConfig(seed=9))
+        assert first.predicate.key() == second.predicate.key()
+
+    def test_different_seeds_give_different_predicates(self, star_catalog):
+        keys = {
+            generate_random_query(star_catalog, RandomQueryConfig(seed=seed)).predicate.key()
+            for seed in range(8)
+        }
+        assert len(keys) > 1
+
+    def test_reuse_probability_produces_duplicates(self, star_catalog):
+        from repro.expr.ast import iter_base_predicates
+
+        config = RandomQueryConfig(seed=3, reuse_probability=0.9, max_depth=4, max_fanout=3)
+        found_duplicate = False
+        for seed in range(12):
+            query = generate_random_query(
+                star_catalog,
+                RandomQueryConfig(
+                    seed=seed, reuse_probability=0.9, max_depth=4, max_fanout=3
+                ),
+            )
+            occurrences = [expr.key() for expr in iter_base_predicates(query.predicate)]
+            if len(occurrences) != len(set(occurrences)):
+                found_duplicate = True
+                break
+        assert found_duplicate, config
+
+    def test_requires_star_catalog(self):
+        plain = Catalog([Table.from_dict("x", {"id": [1]})])
+        with pytest.raises(ValueError, match="star-schema"):
+            generate_random_query(plain)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            RandomQueryConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            RandomQueryConfig(max_fanout=1)
+
+
+# --------------------------------------------------------------------------- #
+# Scalar predicate evaluation
+# --------------------------------------------------------------------------- #
+class TestScalarEvaluation:
+    def test_comparison_and_nulls(self):
+        expr = col("t", "x") > lit(5)
+        assert evaluate_predicate_row(expr, {("t", "x"): 6}) is TRUE
+        assert evaluate_predicate_row(expr, {("t", "x"): 3}) is FALSE
+        assert evaluate_predicate_row(expr, {("t", "x"): None}) is UNKNOWN
+
+    def test_and_or_three_valued(self):
+        left = col("t", "x") > lit(5)
+        right = col("t", "y") > lit(5)
+        both = and_(left, right)
+        either = or_(left, right)
+        row = {("t", "x"): 10, ("t", "y"): None}
+        assert evaluate_predicate_row(both, row) is UNKNOWN
+        assert evaluate_predicate_row(either, row) is TRUE
+        row = {("t", "x"): 1, ("t", "y"): None}
+        assert evaluate_predicate_row(both, row) is FALSE
+        assert evaluate_predicate_row(either, row) is UNKNOWN
+
+    def test_not_unknown_stays_unknown(self):
+        expr = not_(col("t", "x") > lit(5))
+        assert evaluate_predicate_row(expr, {("t", "x"): None}) is UNKNOWN
+        assert evaluate_predicate_row(expr, {("t", "x"): 1}) is TRUE
+
+    def test_is_null(self):
+        assert evaluate_predicate_row(is_null(col("t", "x")), {("t", "x"): None}) is TRUE
+        assert (
+            evaluate_predicate_row(is_null(col("t", "x"), negated=True), {("t", "x"): None})
+            is FALSE
+        )
+
+    def test_between_in_like(self):
+        assert (
+            evaluate_predicate_row(between(col("t", "x"), 1, 3), {("t", "x"): 2}) is TRUE
+        )
+        assert (
+            evaluate_predicate_row(in_(col("t", "s"), ["a", "b"]), {("t", "s"): "c"}) is FALSE
+        )
+        assert (
+            evaluate_predicate_row(ilike(col("t", "s"), "%AR%"), {("t", "s"): "dark"}) is TRUE
+        )
+
+    def test_missing_column_raises(self):
+        with pytest.raises(OracleError):
+            evaluate_predicate_row(col("t", "x") > lit(1), {("t", "y"): 2})
+
+
+# --------------------------------------------------------------------------- #
+# Full oracle evaluation
+# --------------------------------------------------------------------------- #
+class TestOracle:
+    def test_oracle_matches_paper_example(self, paper_catalog, paper_query):
+        rows = evaluate_oracle(paper_catalog, paper_query)
+        assert len(rows) == 4
+
+    def test_oracle_matches_engine_on_paper_query(
+        self, paper_catalog, paper_query, paper_session
+    ):
+        expected = evaluate_oracle(paper_catalog, paper_query)
+        result = paper_session.execute(paper_query, planner="tcombined")
+        assert result.sorted_rows() == expected
+
+    def test_oracle_respects_projection(self, paper_catalog, paper_query):
+        projected = Query(
+            tables=paper_query.tables,
+            join_conditions=paper_query.join_conditions,
+            predicate=paper_query.predicate,
+            select=[col("t", "title")],
+        )
+        rows = evaluate_oracle(paper_catalog, projected)
+        assert all(len(row) == 1 for row in rows)
+        assert {row[0] for row in rows} == {
+            "The Dark Knight",
+            "Avatar",
+            "The Shawshank Redemption",
+            "Pulp Fiction",
+        }
+
+    def test_oracle_null_join_keys_never_match(self):
+        catalog = Catalog(
+            [
+                Table.from_dict("a", {"id": [1, None, 3]}),
+                Table.from_dict("b", {"aid": [1, None, 3]}),
+            ]
+        )
+        query = Query(
+            tables={"a": "a", "b": "b"},
+            join_conditions=[JoinCondition(col("a", "id"), col("b", "aid"))],
+        )
+        rows = evaluate_oracle(catalog, query)
+        assert len(rows) == 2
+
+    def test_oracle_cross_join_without_conditions(self):
+        catalog = Catalog(
+            [
+                Table.from_dict("a", {"x": [1, 2]}),
+                Table.from_dict("b", {"y": [10, 20, 30]}),
+            ]
+        )
+        query = Query(tables={"a": "a", "b": "b"})
+        rows = evaluate_oracle(catalog, query)
+        assert len(rows) == 6
+
+    def test_oracle_rejects_output_shaping(self, paper_catalog, paper_query):
+        shaped = Query(
+            tables=paper_query.tables,
+            join_conditions=paper_query.join_conditions,
+            predicate=paper_query.predicate,
+            limit=1,
+        )
+        with pytest.raises(OracleError):
+            evaluate_oracle(paper_catalog, shaped)

@@ -1,0 +1,106 @@
+"""Unit tests for three-valued logic kernels."""
+
+import numpy as np
+import pytest
+
+from repro.expr import three_valued as tv
+
+
+def array(*values):
+    return np.array([int(v) for v in values], dtype=np.uint8)
+
+
+class TestScalars:
+    def test_truth_value_str(self):
+        assert str(tv.TRUE) == "T"
+        assert str(tv.FALSE) == "F"
+        assert str(tv.UNKNOWN) == "U"
+
+    def test_from_bool(self):
+        assert tv.TruthValue.from_bool(True) is tv.TRUE
+        assert tv.TruthValue.from_bool(False) is tv.FALSE
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(tv.TRUE, tv.FALSE), (tv.FALSE, tv.TRUE), (tv.UNKNOWN, tv.UNKNOWN)],
+    )
+    def test_scalar_not(self, value, expected):
+        assert tv.scalar_not(value) is expected
+
+    @pytest.mark.parametrize(
+        "left, right, expected",
+        [
+            (tv.TRUE, tv.TRUE, tv.TRUE),
+            (tv.TRUE, tv.FALSE, tv.FALSE),
+            (tv.FALSE, tv.UNKNOWN, tv.FALSE),
+            (tv.TRUE, tv.UNKNOWN, tv.UNKNOWN),
+            (tv.UNKNOWN, tv.UNKNOWN, tv.UNKNOWN),
+        ],
+    )
+    def test_scalar_and(self, left, right, expected):
+        assert tv.scalar_and(left, right) is expected
+        assert tv.scalar_and(right, left) is expected
+
+    @pytest.mark.parametrize(
+        "left, right, expected",
+        [
+            (tv.TRUE, tv.FALSE, tv.TRUE),
+            (tv.FALSE, tv.FALSE, tv.FALSE),
+            (tv.TRUE, tv.UNKNOWN, tv.TRUE),
+            (tv.FALSE, tv.UNKNOWN, tv.UNKNOWN),
+            (tv.UNKNOWN, tv.UNKNOWN, tv.UNKNOWN),
+        ],
+    )
+    def test_scalar_or(self, left, right, expected):
+        assert tv.scalar_or(left, right) is expected
+        assert tv.scalar_or(right, left) is expected
+
+
+class TestArrays:
+    def test_from_bool_array(self):
+        result = tv.from_bool_array(np.array([True, False]))
+        assert list(result) == [int(tv.TRUE), int(tv.FALSE)]
+
+    def test_from_bool_array_with_nulls(self):
+        result = tv.from_bool_array(np.array([True, False]), np.array([False, True]))
+        assert list(result) == [int(tv.TRUE), int(tv.UNKNOWN)]
+
+    def test_predicates(self):
+        values = array(tv.TRUE, tv.FALSE, tv.UNKNOWN)
+        assert list(tv.is_true(values)) == [True, False, False]
+        assert list(tv.is_false(values)) == [False, True, False]
+        assert list(tv.is_unknown(values)) == [False, False, True]
+
+    def test_logical_not(self):
+        values = array(tv.TRUE, tv.FALSE, tv.UNKNOWN)
+        assert list(tv.logical_not(values)) == [int(tv.FALSE), int(tv.TRUE), int(tv.UNKNOWN)]
+
+    def test_logical_and_matches_scalar_table(self):
+        domain = [tv.TRUE, tv.FALSE, tv.UNKNOWN]
+        for left in domain:
+            for right in domain:
+                result = tv.logical_and(array(left), array(right))
+                assert result[0] == int(tv.scalar_and(left, right))
+
+    def test_logical_or_matches_scalar_table(self):
+        domain = [tv.TRUE, tv.FALSE, tv.UNKNOWN]
+        for left in domain:
+            for right in domain:
+                result = tv.logical_or(array(left), array(right))
+                assert result[0] == int(tv.scalar_or(left, right))
+
+    def test_and_all(self):
+        result = tv.and_all([array(tv.TRUE), array(tv.UNKNOWN), array(tv.TRUE)])
+        assert result[0] == int(tv.UNKNOWN)
+
+    def test_or_all(self):
+        result = tv.or_all([array(tv.FALSE), array(tv.UNKNOWN), array(tv.TRUE)])
+        assert result[0] == int(tv.TRUE)
+
+    def test_and_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            tv.and_all([])
+
+    def test_or_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            tv.or_all([])

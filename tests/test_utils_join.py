@@ -1,0 +1,116 @@
+"""Unit tests for the join kernel and key encoding."""
+
+import numpy as np
+import pytest
+
+from repro.utils.join import equi_join_indices
+from repro.utils.keys import composite_keys
+
+
+def brute_force_pairs(left, right):
+    return sorted(
+        (i, j)
+        for i, l in enumerate(left)
+        for j, r in enumerate(right)
+        if l == r and l >= 0 and r >= 0
+    )
+
+
+class TestEquiJoin:
+    def test_simple_match(self):
+        left = np.array([1, 2, 3])
+        right = np.array([2, 3, 4])
+        li, ri = equi_join_indices(left, right)
+        assert sorted(zip(li.tolist(), ri.tolist())) == [(1, 0), (2, 1)]
+
+    def test_duplicates_produce_all_pairs(self):
+        left = np.array([1, 1, 2])
+        right = np.array([1, 2, 2])
+        li, ri = equi_join_indices(left, right)
+        assert sorted(zip(li.tolist(), ri.tolist())) == brute_force_pairs(left, right)
+
+    def test_no_matches(self):
+        li, ri = equi_join_indices(np.array([1, 2]), np.array([3, 4]))
+        assert li.size == 0 and ri.size == 0
+
+    def test_empty_inputs(self):
+        empty = np.array([], dtype=np.int64)
+        li, ri = equi_join_indices(empty, np.array([1]))
+        assert li.size == 0
+        li, ri = equi_join_indices(np.array([1]), empty)
+        assert li.size == 0
+
+    def test_negative_keys_never_match(self):
+        left = np.array([-1, 2])
+        right = np.array([-1, 2])
+        li, ri = equi_join_indices(left, right)
+        assert sorted(zip(li.tolist(), ri.tolist())) == [(1, 1)]
+
+    def test_all_negative(self):
+        li, ri = equi_join_indices(np.array([-1, -1]), np.array([-1]))
+        assert li.size == 0
+
+    def test_matches_brute_force_on_random_input(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 20, size=200)
+        right = rng.integers(0, 20, size=150)
+        li, ri = equi_join_indices(left, right)
+        assert sorted(zip(li.tolist(), ri.tolist())) == brute_force_pairs(left, right)
+
+    def test_skewed_keys(self):
+        left = np.zeros(50, dtype=np.int64)
+        right = np.zeros(30, dtype=np.int64)
+        li, _ = equi_join_indices(left, right)
+        assert li.size == 50 * 30
+
+
+class TestCompositeKeys:
+    def _column(self, values, nulls=None):
+        values = np.asarray(values)
+        if nulls is None:
+            nulls = np.zeros(len(values), dtype=bool)
+        return values, np.asarray(nulls, dtype=bool)
+
+    def test_single_int_column(self):
+        left, right = composite_keys(
+            [self._column([1, 2, 3])], [self._column([3, 1])]
+        )
+        li, ri = equi_join_indices(left, right)
+        assert sorted(zip(li.tolist(), ri.tolist())) == [(0, 1), (2, 0)]
+
+    def test_string_columns(self):
+        left, right = composite_keys(
+            [self._column(np.array(["a", "b"], dtype=object))],
+            [self._column(np.array(["b", "c"], dtype=object))],
+        )
+        li, ri = equi_join_indices(left, right)
+        assert list(zip(li.tolist(), ri.tolist())) == [(1, 0)]
+
+    def test_nulls_get_negative_keys(self):
+        left, _right = composite_keys(
+            [self._column([1, 2], nulls=[False, True])], [self._column([1, 2])]
+        )
+        assert left[1] == -1
+
+    def test_composite_two_columns(self):
+        left, right = composite_keys(
+            [self._column([1, 1, 2]), self._column([10, 20, 10])],
+            [self._column([1, 2]), self._column([20, 10])],
+        )
+        li, ri = equi_join_indices(left, right)
+        assert sorted(zip(li.tolist(), ri.tolist())) == [(1, 0), (2, 1)]
+
+    def test_equal_tuples_get_equal_codes_across_sides(self):
+        left, right = composite_keys(
+            [self._column([7, 9])], [self._column([9, 7])]
+        )
+        assert left[0] == right[1]
+        assert left[1] == right[0]
+
+    def test_mismatched_condition_counts_rejected(self):
+        with pytest.raises(ValueError):
+            composite_keys([self._column([1])], [])
+
+    def test_requires_at_least_one_column(self):
+        with pytest.raises(ValueError):
+            composite_keys([], [])

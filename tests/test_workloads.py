@@ -1,0 +1,192 @@
+"""Unit tests for the workload generators (synthetic, IMDB-like, JOB groups)."""
+
+import numpy as np
+import pytest
+
+from repro.core.factor import factor_common_subexpressions
+from repro.expr.ast import AndExpr, OrExpr
+from repro.workloads.imdb import BASE_SIZES, generate_imdb_catalog
+from repro.workloads.job import common_subexpression_keys, job_query, job_query_groups
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_synthetic_catalog,
+    make_cnf_query,
+    make_dnf_query,
+)
+
+
+class TestSyntheticData:
+    def test_table_sizes(self, synthetic_catalog):
+        for name in ("T0", "T1", "T2"):
+            assert synthetic_catalog.get(name).num_rows == 800
+
+    def test_t0_ids_are_unique_primary_keys(self, synthetic_catalog):
+        ids = synthetic_catalog.get("T0").column("id").data
+        assert len(np.unique(ids)) == 800
+        assert ids.min() == 1 and ids.max() == 800
+
+    def test_foreign_keys_within_range(self, synthetic_catalog):
+        for name in ("T1", "T2"):
+            fids = synthetic_catalog.get(name).column("fid").data
+            assert fids.min() >= 1
+            assert fids.max() <= 800
+
+    def test_foreign_keys_are_skewed(self):
+        catalog = generate_synthetic_catalog(SyntheticConfig(table_size=5000, seed=0))
+        fids = catalog.get("T1").column("fid").data
+        _values, counts = np.unique(fids, return_counts=True)
+        # Zipf(1.5): the most frequent key should dominate the median key.
+        assert counts.max() > 20 * np.median(counts)
+
+    def test_attributes_uniform_in_unit_interval(self, synthetic_catalog):
+        values = synthetic_catalog.get("T1").column("A1").data
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+
+    def test_reproducibility(self):
+        a = generate_synthetic_catalog(SyntheticConfig(table_size=100, seed=5))
+        b = generate_synthetic_catalog(SyntheticConfig(table_size=100, seed=5))
+        assert np.array_equal(a.get("T1").column("fid").data, b.get("T1").column("fid").data)
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_catalog(SyntheticConfig(table_size=100, seed=5))
+        b = generate_synthetic_catalog(SyntheticConfig(table_size=100, seed=6))
+        assert not np.array_equal(a.get("T1").column("fid").data, b.get("T1").column("fid").data)
+
+
+class TestSyntheticQueries:
+    def test_dnf_structure(self):
+        query = make_dnf_query(num_root_clauses=3, selectivity=0.2)
+        assert isinstance(query.predicate, OrExpr)
+        assert len(query.predicate.children()) == 3
+        for clause in query.predicate.children():
+            assert isinstance(clause, AndExpr)
+
+    def test_cnf_structure(self):
+        query = make_cnf_query(num_root_clauses=3, selectivity=0.2)
+        assert isinstance(query.predicate, AndExpr)
+        assert len(query.predicate.children()) == 3
+
+    def test_outer_factor_in_dnf_added_to_every_clause(self):
+        query = make_dnf_query(num_root_clauses=2, selectivity=0.2, outer_factor=0.5)
+        for clause in query.predicate.children():
+            assert any("T0.A1" in child.key() for child in clause.children())
+
+    def test_outer_factor_in_cnf_added_as_conjunct(self):
+        query = make_cnf_query(num_root_clauses=2, selectivity=0.2, outer_factor=0.5)
+        assert any("T0.A1" in child.key() for child in query.predicate.children())
+
+    def test_invalid_clause_count(self):
+        with pytest.raises(ValueError):
+            make_dnf_query(num_root_clauses=0)
+        with pytest.raises(ValueError):
+            make_cnf_query(num_root_clauses=0)
+
+    def test_queries_reference_declared_tables_only(self):
+        query = make_dnf_query(num_root_clauses=7, selectivity=0.3)
+        assert query.predicate.tables() <= set(query.tables)
+
+
+class TestImdbCatalog:
+    def test_schema_tables_present(self, imdb_catalog):
+        for table_name in BASE_SIZES:
+            assert table_name in imdb_catalog
+
+    def test_scaling(self, imdb_catalog):
+        assert imdb_catalog.get("title").num_rows == int(BASE_SIZES["title"] * 0.015)
+        # Dimension tables are not scaled below their fixed sizes.
+        assert imdb_catalog.get("kind_type").num_rows == BASE_SIZES["kind_type"]
+
+    def test_foreign_keys_reference_titles(self, imdb_catalog):
+        num_titles = imdb_catalog.get("title").num_rows
+        for table_name in ("movie_info_idx", "cast_info", "movie_keyword", "movie_companies"):
+            movie_ids = imdb_catalog.get(table_name).column("movie_id").data
+            assert movie_ids.min() >= 1
+            assert movie_ids.max() <= num_titles
+
+    def test_ratings_in_valid_range(self, imdb_catalog):
+        ratings = imdb_catalog.get("movie_info_idx").column("info").data
+        assert ratings.min() >= 1.0
+        assert ratings.max() <= 10.0
+
+    def test_years_plausible(self, imdb_catalog):
+        years = imdb_catalog.get("title").column("production_year").data
+        assert years.min() >= 1930
+        assert years.max() <= 2023
+
+    def test_superhero_characters_exist(self, imdb_catalog):
+        names = set(imdb_catalog.get("char_name").column("name").values_list())
+        assert "Iron Man" in names
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_imdb_catalog(scale=0)
+
+    def test_reproducible_for_same_seed(self):
+        a = generate_imdb_catalog(scale=0.005, seed=3)
+        b = generate_imdb_catalog(scale=0.005, seed=3)
+        assert a.get("title").column("title").values_list() == b.get("title").column("title").values_list()
+
+
+class TestJobGroups:
+    def test_thirty_three_groups(self):
+        queries = job_query_groups()
+        assert len(queries) == 33
+        assert [query.name for query in queries] == [f"job{i:02d}" for i in range(1, 34)]
+
+    def test_every_group_is_disjunctive(self):
+        for query in job_query_groups():
+            assert isinstance(query.predicate, OrExpr)
+            assert len(query.predicate.children()) >= 2
+
+    def test_every_group_has_a_common_subexpression(self):
+        for query in job_query_groups():
+            assert common_subexpression_keys(query), query.name
+
+    def test_every_group_is_factorable_into_and_root(self):
+        for query in job_query_groups():
+            factored = factor_common_subexpressions(query.predicate)
+            assert isinstance(factored, AndExpr), query.name
+
+    def test_clauses_span_multiple_tables(self):
+        multi_table_groups = 0
+        for query in job_query_groups():
+            clause_tables = [clause.tables() for clause in query.predicate.children()]
+            if any(len(tables) > 1 for tables in clause_tables):
+                multi_table_groups += 1
+        assert multi_table_groups == 33
+
+    def test_join_graphs_are_connected(self, imdb_catalog):
+        import networkx as nx
+
+        for query in job_query_groups():
+            graph = nx.Graph()
+            graph.add_nodes_from(query.aliases)
+            for condition in query.join_conditions:
+                graph.add_edge(condition.left.alias, condition.right.alias)
+            assert nx.is_connected(graph), query.name
+
+    def test_queries_reference_existing_columns(self, imdb_catalog):
+        from repro.expr.ast import iter_base_predicates, ColumnRef
+
+        for query in job_query_groups():
+            for alias, table_name in query.tables.items():
+                assert table_name in imdb_catalog
+            table_by_alias = {alias: imdb_catalog.get(name) for alias, name in query.tables.items()}
+            for predicate in iter_base_predicates(query.predicate):
+                for alias in predicate.tables():
+                    assert alias in table_by_alias
+            for condition in query.join_conditions:
+                for ref in (condition.left, condition.right):
+                    assert ref.column in table_by_alias[ref.alias]
+
+    def test_job_query_lookup(self):
+        assert job_query(20).name == "job20"
+        with pytest.raises(ValueError):
+            job_query(0)
+        with pytest.raises(ValueError):
+            job_query(34)
+
+    def test_group_templates_are_varied(self):
+        alias_sets = {frozenset(query.tables.values()) for query in job_query_groups()}
+        assert len(alias_sets) >= 5
