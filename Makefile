@@ -1,0 +1,31 @@
+# Developer entry points. Everything runs from the repo root with the
+# in-tree package (no install required).
+
+PYTHON ?= python
+RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
+
+.PHONY: test bench-smoke bench docs-check examples
+
+## tier-1 test suite (the gate every change must keep green)
+test:
+	$(RUN) -m pytest -x -q
+
+## quick benchmark pass: service throughput assertions + one paper figure,
+## correctness checks only (no timing loops)
+bench-smoke:
+	$(RUN) -m pytest benchmarks/bench_service_throughput.py \
+	    benchmarks/bench_fig4a_selectivity.py -q --benchmark-disable
+
+## full benchmark suite with timing (slow)
+bench:
+	$(RUN) -m pytest benchmarks -q
+
+## docs gates: every public module has a docstring, README examples execute
+docs-check:
+	$(RUN) scripts/docs_check.py
+
+## run every example end to end (examples bootstrap their own sys.path)
+examples:
+	for script in examples/*.py; do \
+	    echo "== $$script"; $(PYTHON) $$script > /dev/null || exit 1; \
+	done

@@ -11,6 +11,12 @@ Run with::
     python examples/analytics_report.py
 """
 
+import sys
+from pathlib import Path
+
+# Allow running from a fresh checkout: prefer the in-repo package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro import Session
 from repro.bench.report import format_table
 from repro.workloads.imdb import generate_imdb_catalog
@@ -31,8 +37,8 @@ def print_result(title: str, result) -> None:
     )
 
 
-def main() -> None:
-    session = Session(generate_imdb_catalog(scale=0.05, seed=7), stats_sample_size=5_000)
+def main(scale: float = 0.05) -> None:
+    session = Session(generate_imdb_catalog(scale=scale, seed=7), stats_sample_size=5_000)
 
     per_year = session.execute(
         "SELECT t.production_year, COUNT(*), AVG(mi_idx.info) "

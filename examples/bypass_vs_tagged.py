@@ -17,6 +17,12 @@ Run with::
     python examples/bypass_vs_tagged.py
 """
 
+import sys
+from pathlib import Path
+
+# Allow running from a fresh checkout: prefer the in-repo package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro import Session
 from repro.bench.report import format_table
 from repro.workloads.synthetic import SyntheticConfig, generate_synthetic_catalog, make_dnf_query
@@ -32,9 +38,9 @@ COUNTERS = (
 )
 
 
-def main() -> None:
-    catalog = generate_synthetic_catalog(SyntheticConfig(table_size=5_000, seed=42))
-    session = Session(catalog, stats_sample_size=5_000)
+def main(table_size: int = 5_000) -> None:
+    catalog = generate_synthetic_catalog(SyntheticConfig(table_size=table_size, seed=42))
+    session = Session(catalog, stats_sample_size=table_size)
     query = make_dnf_query(num_root_clauses=3, selectivity=0.3)
 
     print(f"query: {query.name}")

@@ -10,6 +10,10 @@ Run with::
 """
 
 import sys
+from pathlib import Path
+
+# Allow running from a fresh checkout: prefer the in-repo package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import Session
 from repro.bench.report import format_table
@@ -23,13 +27,14 @@ SHOWCASE_GROUPS = (1, 6, 20, 30)
 PLANNERS = ("bdisj", "bpushconj", "tpushdown", "tpullup", "titerpush", "tcombined")
 
 
-def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+def main(scale: float | None = None, groups: tuple[int, ...] = SHOWCASE_GROUPS) -> None:
+    if scale is None:
+        scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
     print(f"Generating IMDB-like catalog at scale {scale} ...")
     catalog = generate_imdb_catalog(scale=scale, seed=7)
     session = Session(catalog, stats_sample_size=10_000)
 
-    for group in SHOWCASE_GROUPS:
+    for group in groups:
         query = job_query(group)
         print(f"\n=== query group {group} ({query.name}) ===")
         print(query)

@@ -10,6 +10,12 @@ Run with::
     python examples/nulls_and_three_valued_logic.py
 """
 
+import sys
+from pathlib import Path
+
+# Allow running from a fresh checkout: prefer the in-repo package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro import Catalog, Session, Table
 
 CATALOG = Catalog(

@@ -14,8 +14,12 @@ Run with::
     python examples/persist_and_fuzz.py
 """
 
+import sys
 import tempfile
 from pathlib import Path
+
+# Allow running from a fresh checkout: prefer the in-repo package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import Session
 from repro.storage.disk import load_catalog, save_catalog
@@ -25,9 +29,9 @@ from repro.testing.querygen import RandomQueryConfig, generate_random_query
 from repro.workloads.synthetic import SyntheticConfig, generate_synthetic_catalog, make_cnf_query
 
 
-def persistence_roundtrip(workdir: Path) -> None:
+def persistence_roundtrip(workdir: Path, table_size: int = 2_000) -> None:
     print("=== 1. persistence round-trip ===")
-    catalog = generate_synthetic_catalog(SyntheticConfig(table_size=2_000, seed=9))
+    catalog = generate_synthetic_catalog(SyntheticConfig(table_size=table_size, seed=9))
     root = save_catalog(catalog, workdir / "synthetic")
     print(f"saved {len(catalog)} tables ({catalog.total_rows()} rows) to {root}")
 
@@ -39,23 +43,23 @@ def persistence_roundtrip(workdir: Path) -> None:
           f"in {result.total_seconds:.3f}s\n")
 
 
-def differential_check() -> None:
+def differential_check(num_queries: int = 5) -> None:
     print("=== 2. differential testing against the oracle ===")
     catalog = generate_random_catalog(
         RandomCatalogConfig(seed=21, num_dimensions=2, fact_rows=120, dimension_rows=180)
     )
     session = Session(catalog)
-    for seed in range(5):
+    for seed in range(num_queries):
         query = generate_random_query(catalog, RandomQueryConfig(seed=seed, max_depth=3))
         report = run_differential(catalog, query, session=session)
         print(f"  {report.describe()}")
     print("every planner agreed with the naive oracle.")
 
 
-def main() -> None:
+def main(table_size: int = 2_000, num_queries: int = 5) -> None:
     with tempfile.TemporaryDirectory() as tmp:
-        persistence_roundtrip(Path(tmp))
-    differential_check()
+        persistence_roundtrip(Path(tmp), table_size=table_size)
+    differential_check(num_queries=num_queries)
 
 
 if __name__ == "__main__":

@@ -12,12 +12,17 @@ Run with::
 """
 
 import sys
+from pathlib import Path
+
+# Allow running from a fresh checkout: prefer the in-repo package.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench.synthetic_bench import run_selectivity_sweep, run_table_size_sweep
 
 
-def main() -> None:
-    table_size = int(sys.argv[1]) if len(sys.argv) > 1 else 5_000
+def main(table_size: int | None = None) -> None:
+    if table_size is None:
+        table_size = int(sys.argv[1]) if len(sys.argv) > 1 else 5_000
 
     print("Figure 4a (DNF, selectivity sweep)")
     selectivity_result = run_selectivity_sweep(
@@ -30,7 +35,7 @@ def main() -> None:
 
     print("Figure 4b (CNF, table-size sweep)")
     size_result = run_table_size_sweep(
-        table_sizes=(1_000, 2_000, 5_000, table_size),
+        table_sizes=tuple(sorted({max(250, table_size // 4), max(500, table_size // 2), table_size})),
         repetitions=1,
     )
     print(size_result.to_table())

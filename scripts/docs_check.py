@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Documentation checks: module docstrings and runnable README examples.
+
+Two lightweight gates, run by ``make docs-check``:
+
+1. every public module under ``src/repro`` has a module docstring;
+2. every ```python code block in README.md actually executes (blocks share
+   one namespace, top to bottom, so later blocks may use earlier results).
+
+Exits non-zero with a per-failure listing when either gate fails.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+
+PYTHON_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def check_module_docstrings() -> list[str]:
+    """Paths of public modules lacking a module docstring."""
+    failures = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if any(part.startswith("_") and part != "__init__.py" for part in path.parts):
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if ast.get_docstring(tree) is None:
+            failures.append(str(path.relative_to(REPO_ROOT)))
+    return failures
+
+
+def check_readme_blocks() -> list[str]:
+    """Error descriptions for README python blocks that fail to execute."""
+    sys.path.insert(0, str(SRC_ROOT))
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    blocks = PYTHON_BLOCK.findall(readme)
+    failures = []
+    namespace: dict[str, object] = {"__name__": "__readme__"}
+    for number, block in enumerate(blocks, start=1):
+        try:
+            exec(compile(block, f"README.md block {number}", "exec"), namespace)
+        except Exception:
+            failures.append(
+                f"README.md python block {number} failed:\n{traceback.format_exc()}"
+            )
+    if not blocks:
+        failures.append("README.md contains no ```python blocks to check")
+    return failures
+
+
+def main() -> int:
+    missing = check_module_docstrings()
+    for path in missing:
+        print(f"missing module docstring: {path}")
+    broken = check_readme_blocks()
+    for failure in broken:
+        print(failure)
+    if missing or broken:
+        print(f"docs-check: FAILED ({len(missing) + len(broken)} problem(s))")
+        return 1
+    print("docs-check: OK (all modules documented, README examples run)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

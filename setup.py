@@ -1,11 +1,48 @@
-"""Setuptools shim.
+"""Packaging metadata for the tagged-execution reproduction.
 
-The primary build configuration lives in ``pyproject.toml``.  This file exists
-so that ``pip install -e .`` (and ``python setup.py develop``) also work in
-fully offline environments where the ``wheel`` package is unavailable and
-PEP 660 editable builds cannot be performed.
+Kept in ``setup.py`` (rather than a PEP 621 ``[project]`` table) so that
+``pip install -e .`` works in fully offline environments where the ``wheel``
+package is unavailable and PEP 660 editable builds cannot be performed;
+``pyproject.toml`` only pins the build system.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+README = Path(__file__).resolve().parent / "README.md"
+
+setup(
+    name="repro-tagged-execution",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Optimizing Disjunctive Queries with Tagged "
+        "Execution' (SIGMOD 2024): a columnar engine with tagged, "
+        "traditional and bypass execution models plus a caching query service"
+    ),
+    long_description=README.read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database :: Database Engines/Servers",
+    ],
+)

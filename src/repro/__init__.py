@@ -31,7 +31,8 @@ figure in the evaluation.
 """
 
 from repro.engine.result import QueryResult
-from repro.engine.session import Session
+from repro.engine.session import PreparedPlan, Session
+from repro.service import QueryService
 from repro.expr.builders import and_, between, col, ilike, in_, is_null, like, lit, not_, or_
 from repro.plan.postselect import AggregateFunction, AggregateSpec, OrderItem
 from repro.plan.query import JoinCondition, Query
@@ -40,7 +41,7 @@ from repro.storage.catalog import Catalog
 from repro.storage.column import Column, ColumnType
 from repro.storage.table import Table
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AggregateFunction",
@@ -50,8 +51,10 @@ __all__ = [
     "ColumnType",
     "JoinCondition",
     "OrderItem",
+    "PreparedPlan",
     "Query",
     "QueryResult",
+    "QueryService",
     "Session",
     "Table",
     "and_",

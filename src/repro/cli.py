@@ -7,6 +7,8 @@ Subcommands::
     query      run a SQL query against a saved dataset under any planner
     explain    print the plan a planner would choose, without executing it
     compare    run one query under several planners and print a speedup table
+    batch      run a file of queries through the caching QueryService
+    serve      interactive loop: read SQL from stdin, serve with plan caching
     fuzz       differential-test all planners against the naive oracle
     figures    regenerate the paper's figures (delegates to repro.bench.figures)
 
@@ -16,6 +18,8 @@ Examples::
     python -m repro query --data data/t0t1t2 --planner tcombined \
         --sql "SELECT * FROM T0 JOIN T1 ON T0.id = T1.fid WHERE T1.A1 < 0.2"
     python -m repro compare --data data/t0t1t2 --sql "..." --planners tcombined bdisj
+    python -m repro batch --data data/t0t1t2 --file queries.sql --repeat 5 --workers 4
+    python -m repro serve --data data/t0t1t2 --planner tcombined
     python -m repro fuzz --queries 20 --seed 7
     python -m repro figures fig4a --quick
 """
@@ -28,6 +32,7 @@ import sys
 from repro.bench import figures as bench_figures
 from repro.bench.report import format_table
 from repro.engine.session import ALL_PLANNERS, Session
+from repro.service import QueryService
 from repro.storage.disk import load_catalog, save_catalog
 from repro.testing.datagen import RandomCatalogConfig, generate_random_catalog
 from repro.testing.differential import DEFAULT_PLANNERS, run_fuzz_campaign
@@ -123,6 +128,160 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def scan_statements(text: str) -> tuple[list[str], str]:
+    """Split SQL text on ``;`` terminators; returns ``(statements, tail)``.
+
+    The scanner is string- and comment-aware: semicolons inside
+    single-quoted literals (with ``''`` escaping) do not terminate a
+    statement, and ``--`` comments run to end of line (outside literals).
+    ``tail`` is whatever follows the last terminator — an unfinished
+    statement for a REPL to keep buffering, or the final unterminated
+    statement of a file.
+    """
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if in_string:
+            current.append(char)
+            if char == "'":
+                if position + 1 < length and text[position + 1] == "'":
+                    current.append("'")
+                    position += 1
+                else:
+                    in_string = False
+        elif char == "'":
+            in_string = True
+            current.append(char)
+        elif char == "-" and position + 1 < length and text[position + 1] == "-":
+            while position < length and text[position] != "\n":
+                position += 1
+            continue  # the newline is processed (as whitespace) next round
+        elif char == ";":
+            statement = "".join(current).strip()
+            if statement:
+                statements.append(statement)
+            current = []
+        else:
+            current.append(char)
+        position += 1
+    return statements, "".join(current)
+
+
+def split_statements(text: str) -> list[str]:
+    """All statements in ``text``; a trailing statement needs no ``;``."""
+    statements, tail = scan_statements(text)
+    tail = tail.strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+def _print_cache_metrics(service: QueryService) -> None:
+    rows = [
+        [cache_name] + [f"{value:.2f}" if key == "hit_rate" else int(value)
+                        for key, value in sorted(counters.items())]
+        for cache_name, counters in sorted(service.cache_metrics().items())
+    ]
+    headers = ["cache"] + sorted(next(iter(service.cache_metrics().values())))
+    print(format_table(headers, rows))
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    statements: list[str] = []
+    if args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            statements.extend(split_statements(handle.read()))
+    for sql in args.sql or ():
+        statements.extend(split_statements(sql))
+    if not statements:
+        print("no queries given; use --file and/or --sql", file=sys.stderr)
+        return 2
+    statements = statements * args.repeat
+
+    session = Session(load_catalog(args.data))
+    with QueryService(
+        session,
+        plan_cache_size=args.cache_size,
+        max_workers=args.workers,
+        default_timeout=args.timeout,
+    ) as service:
+        report = service.execute_batch(statements, planner=args.planner)
+        rows = []
+        for item in report:
+            if item.ok:
+                status = "ok"
+                detail = f"{item.result.row_count} rows"
+                cached = "hit" if item.result.cache_hit else "miss"
+            elif item.timed_out:
+                status, detail, cached = "timeout", "-", "-"
+            else:
+                status, detail, cached = "error", item.error or "-", "-"
+            rows.append(
+                [item.index, status, detail, cached, f"{item.elapsed_seconds:.4f}"]
+            )
+        print(format_table(["#", "status", "result", "plan cache", "seconds"], rows))
+        print(
+            f"{len(report.succeeded)}/{len(report)} ok "
+            f"({len(report.timed_out)} timeout, {len(report.failed)} error) | "
+            f"wall {report.wall_seconds:.3f}s | "
+            f"{report.queries_per_second:.1f} queries/s"
+        )
+        _print_cache_metrics(service)
+        if args.metrics:
+            print(format_table(
+                ["counter", "value"], sorted(report.total_metrics().as_dict().items())
+            ))
+        return 0 if len(report.succeeded) == len(report) else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    session = Session(load_catalog(args.data))
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print(
+            f"repro serve — planner={args.planner}; terminate statements with ';', "
+            "'\\stats' shows cache metrics, '\\quit' exits."
+        )
+    with QueryService(session, plan_cache_size=args.cache_size) as service:
+
+        def run_statement(statement: str) -> None:
+            try:
+                result = service.execute(statement, planner=args.planner)
+            except Exception as error:  # noqa: BLE001 - REPL keeps going
+                print(f"error: {error}", file=sys.stderr)
+                return
+            _print_result(result, args.max_rows, show_metrics=False)
+            print(f"[plan cache {'hit' if result.cache_hit else 'miss'}]")
+
+        buffer = ""
+        while True:
+            if interactive:
+                print("repro> " if not buffer.strip() else "   ... ", end="", flush=True)
+            line = sys.stdin.readline()
+            if not line:
+                # EOF terminates the last statement, matching file semantics.
+                for statement in split_statements(buffer):
+                    run_statement(statement)
+                break
+            stripped = line.strip()
+            if stripped in (r"\quit", r"\q", "exit", "quit") and not buffer.strip():
+                break
+            if stripped == r"\stats" and not buffer.strip():
+                _print_cache_metrics(service)
+                continue
+            # Only terminated statements run; the unterminated tail (e.g. a
+            # multi-line statement, or a ';' hidden inside a string literal)
+            # stays buffered.
+            statements, buffer = scan_statements(buffer + line)
+            for statement in statements:
+                run_statement(statement)
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     reports = run_fuzz_campaign(
         num_queries=args.queries,
@@ -190,6 +349,29 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ALL_PLANNERS),
     )
     compare.set_defaults(func=_cmd_compare)
+
+    batch = subparsers.add_parser(
+        "batch", help="run many queries through the caching query service"
+    )
+    batch.add_argument("--data", required=True, help="catalog directory")
+    batch.add_argument("--file", help="file of ;-separated SQL statements")
+    batch.add_argument("--sql", action="append", help="inline SQL (repeatable)")
+    batch.add_argument("--planner", default="tcombined", choices=sorted(ALL_PLANNERS))
+    batch.add_argument("--repeat", type=int, default=1, help="repetitions of the query list")
+    batch.add_argument("--workers", type=int, default=4, help="worker threads")
+    batch.add_argument("--timeout", type=float, default=None, help="per-query timeout (s)")
+    batch.add_argument("--cache-size", type=int, default=256, help="plan cache capacity")
+    batch.add_argument("--metrics", action="store_true", help="print summed work counters")
+    batch.set_defaults(func=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve", help="read SQL from stdin and serve it with plan caching"
+    )
+    serve.add_argument("--data", required=True, help="catalog directory")
+    serve.add_argument("--planner", default="tcombined", choices=sorted(ALL_PLANNERS))
+    serve.add_argument("--cache-size", type=int, default=256, help="plan cache capacity")
+    serve.add_argument("--max-rows", type=int, default=DEFAULT_MAX_ROWS)
+    serve.set_defaults(func=_cmd_serve)
 
     fuzz = subparsers.add_parser("fuzz", help="differential-test planners against the oracle")
     fuzz.add_argument("--queries", type=int, default=10)

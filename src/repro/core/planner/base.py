@@ -49,6 +49,7 @@ class PlannerContext:
         naive_tags: bool = False,
         sample_size: int = 20_000,
         selectivity_mode: str = "measured",
+        stats_provider=None,
     ) -> "PlannerContext":
         """Collect statistics and estimators for ``query``.
 
@@ -56,18 +57,37 @@ class PlannerContext:
         estimated: ``"measured"`` evaluates each predicate on a sample (the
         paper's approach), ``"histogram"`` answers simple numeric predicates
         from per-column equi-depth histograms.
+
+        ``stats_provider`` optionally supplies the two cacheable (per-table,
+        query-independent) ingredients of a context — ``table_stats(table)``
+        summaries and ``sample_positions(table, sample_size, seed)`` sample
+        draws — so a caller serving many queries (the service layer's stats
+        cache) computes them once per catalog version instead of once per
+        call.  When omitted, both are computed from scratch, which is
+        byte-for-byte equivalent because stats collection and sampling are
+        deterministic.
         """
-        table_stats = {
-            table_name: collect_table_stats(catalog.get(table_name))
-            for table_name in set(query.tables.values())
-        }
+        if stats_provider is not None:
+            table_stats = {
+                table_name: stats_provider.table_stats(catalog.get(table_name))
+                for table_name in set(query.tables.values())
+            }
+            sample_provider = stats_provider.sample_positions
+        else:
+            table_stats = {
+                table_name: collect_table_stats(catalog.get(table_name))
+                for table_name in set(query.tables.values())
+            }
+            sample_provider = None
         if selectivity_mode == "measured":
-            selectivity = SelectivityEstimator(catalog, query, sample_size=sample_size)
+            selectivity = SelectivityEstimator(
+                catalog, query, sample_size=sample_size, sample_provider=sample_provider
+            )
         elif selectivity_mode == "histogram":
             from repro.stats.histograms import HistogramSelectivityEstimator
 
             selectivity = HistogramSelectivityEstimator(
-                catalog, query, sample_size=sample_size
+                catalog, query, sample_size=sample_size, sample_provider=sample_provider
             )
         else:
             raise ValueError(

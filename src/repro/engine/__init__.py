@@ -8,8 +8,15 @@
 * :mod:`repro.engine.session` — the high-level public API (`Session`).
 """
 
-from repro.engine.metrics import ExecContext, ExecutionMetrics
+from repro.engine.metrics import ExecContext, ExecutionMetrics, aggregate_metrics
 from repro.engine.result import QueryResult
-from repro.engine.session import Session
+from repro.engine.session import PreparedPlan, Session
 
-__all__ = ["ExecContext", "ExecutionMetrics", "QueryResult", "Session"]
+__all__ = [
+    "ExecContext",
+    "ExecutionMetrics",
+    "PreparedPlan",
+    "QueryResult",
+    "Session",
+    "aggregate_metrics",
+]

@@ -72,6 +72,19 @@ class ExecutionMetrics:
         }
 
 
+def aggregate_metrics(metrics_iterable) -> ExecutionMetrics:
+    """Sum a collection of :class:`ExecutionMetrics` into one.
+
+    Batch front ends (the query service, the throughput benchmarks) report
+    the total work performed across many queries; this folds the per-query
+    counters into a single object without mutating any of the inputs.
+    """
+    total = ExecutionMetrics()
+    for metrics in metrics_iterable:
+        total.merge(metrics)
+    return total
+
+
 @dataclass
 class ExecContext:
     """State threaded through operators during one query execution."""

@@ -43,6 +43,8 @@ class QueryResult:
         metrics: engine work counters.
         iostats: simulated storage traffic.
         plan_description: pretty-printed plan (or plans) that ran.
+        cache_hit: True when the executed plan came out of a plan cache
+            (set by the service layer; always False for direct Session use).
     """
 
     def __init__(
@@ -54,6 +56,7 @@ class QueryResult:
         metrics: ExecutionMetrics | None = None,
         iostats: IOStats | None = None,
         plan_description: str = "",
+        cache_hit: bool = False,
     ) -> None:
         self.planner_name = planner_name
         self.output = output
@@ -62,6 +65,7 @@ class QueryResult:
         self.metrics = metrics if metrics is not None else ExecutionMetrics()
         self.iostats = iostats if iostats is not None else IOStats()
         self.plan_description = plan_description
+        self.cache_hit = cache_hit
         self._rows_cache: list[tuple] | None = None
 
     # ------------------------------------------------------------------ #

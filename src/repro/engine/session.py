@@ -33,22 +33,33 @@ Example::
         planner="tcombined",
     )
     print(result.row_count, result.total_seconds)
+
+Execution is split into two phases so callers can reuse the expensive one:
+:meth:`Session.prepare` parses, collects statistics and plans, returning a
+:class:`PreparedPlan`; :meth:`Session.execute_prepared` runs a prepared plan.
+:meth:`Session.execute` simply chains the two.  The service layer
+(:mod:`repro.service`) caches :class:`PreparedPlan` objects keyed by a
+normalized query fingerprint so repeated queries skip the prepare phase
+entirely.
 """
 
 from __future__ import annotations
 
-from repro.baseline.planners import BDisjPlanner, BPushConjPlanner
+from dataclasses import dataclass
+
+from repro.baseline.planners import BDisjPlanner, BPushConjPlanner, TraditionalPlan
 from repro.bypass.executor import BypassExecutor
-from repro.bypass.planner import BypassPlanner
+from repro.bypass.planner import BypassPlan, BypassPlanner
 from repro.core.planner import PLANNER_REGISTRY, TMIN_CANDIDATES
 from repro.core.planner.base import PlannerContext
-from repro.core.planner.combined import TCombinedPlanner
 from repro.core.planner.cost import CostParams
+from repro.core.predtree import PredicateTree
+from repro.core.tagmap import PlanTagAnnotations
 from repro.engine.executor import TaggedExecutor, TraditionalExecutor
 from repro.engine.metrics import ExecContext, Stopwatch
 from repro.engine.postprocess import apply_output_shaping
 from repro.engine.result import QueryResult
-from repro.plan.logical import plan_to_string
+from repro.plan.logical import PlanNode, plan_to_string
 from repro.plan.query import Query
 from repro.storage.catalog import Catalog
 
@@ -57,8 +68,56 @@ TRADITIONAL_PLANNERS = ("bdisj", "bpushconj")
 ALL_PLANNERS = TAGGED_PLANNERS + TRADITIONAL_PLANNERS + ("tmin", "bypass")
 
 
+@dataclass
+class PreparedPlan:
+    """The reusable outcome of the prepare phase for one query.
+
+    Holds everything execution needs and nothing it does not: the chosen
+    plan, its tag annotations (tagged execution only) and the predicate tree.
+    A prepared plan is immutable during execution, so one instance can be
+    executed many times — including concurrently from several threads — as
+    long as the catalog it was planned against is unchanged.
+
+    Attributes:
+        planner: the planner name the caller requested (``"tcombined"``, ...).
+        kind: execution model — ``"tagged"``, ``"traditional"`` or ``"bypass"``.
+        query: the bound query (drives output shaping and projection).
+        naive_tags: whether tag maps were built without pruning.
+        plan: the logical plan (:class:`PlanNode` for tagged plans,
+            :class:`TraditionalPlan` or :class:`BypassPlan` otherwise).
+        annotations: tag maps for tagged plans, ``None`` otherwise.
+        predicate_tree: the query's predicate tree (``None`` without WHERE).
+        plan_description: pretty-printed plan, as shown by ``explain``.
+        planning_seconds: wall-clock cost of the prepare phase.
+        catalog_version: catalog version the plan was built against.
+    """
+
+    planner: str
+    kind: str
+    query: Query
+    naive_tags: bool
+    plan: PlanNode | TraditionalPlan | BypassPlan
+    annotations: PlanTagAnnotations | None
+    predicate_tree: PredicateTree | None
+    plan_description: str
+    planning_seconds: float
+    catalog_version: int
+
+
 class Session:
-    """Executes queries against a catalog under a chosen planner."""
+    """Executes queries against a catalog under a chosen planner.
+
+    Args:
+        catalog: the base tables.
+        cost_params: cost-model constants used by the planners.
+        three_valued: evaluate predicates under SQL three-valued logic.
+        stats_sample_size: rows sampled per table when measuring selectivities.
+        selectivity_mode: ``"measured"`` or ``"histogram"``.
+        stats_provider: optional provider of cached per-table statistics and
+            sample draws (see :class:`repro.service.StatsCache`); ``None``
+            recomputes statistics on every prepare, which is deterministic
+            and therefore equivalent.
+    """
 
     def __init__(
         self,
@@ -67,12 +126,14 @@ class Session:
         three_valued: bool = True,
         stats_sample_size: int = 20_000,
         selectivity_mode: str = "measured",
+        stats_provider=None,
     ) -> None:
         self.catalog = catalog
         self.cost_params = cost_params or CostParams()
         self.three_valued = three_valued
         self.stats_sample_size = stats_sample_size
         self.selectivity_mode = selectivity_mode
+        self.stats_provider = stats_provider
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -85,36 +146,131 @@ class Session:
     ) -> QueryResult:
         """Plan and execute a query; returns a :class:`QueryResult`."""
         planner = planner.lower()
+        if planner == "tmin":
+            return self._execute_tmin(self._bind(query), naive_tags)
+        prepared = self.prepare(query, planner, naive_tags)
+        return self.execute_prepared(prepared)
+
+    def prepare(
+        self,
+        query: Query | str,
+        planner: str = "tcombined",
+        naive_tags: bool = False,
+    ) -> PreparedPlan:
+        """Parse, collect statistics and plan; returns a :class:`PreparedPlan`.
+
+        ``tmin`` cannot be prepared: it is an oracle that *executes* every
+        tagged candidate and keeps the fastest, so there is no single plan to
+        hand back before execution.
+        """
+        planner = planner.lower()
+        if planner == "tmin":
+            raise ValueError(
+                "tmin executes every candidate planner and cannot be prepared; "
+                "call execute() instead"
+            )
         if planner not in ALL_PLANNERS:
             raise ValueError(
                 f"unknown planner {planner!r}; choose one of {', '.join(ALL_PLANNERS)}"
             )
         bound = self._bind(query)
+        timer = Stopwatch()
+        context = self._planner_context(bound, naive_tags)
 
-        if planner == "tmin":
-            return self._execute_tmin(bound, naive_tags)
         if planner == "bypass":
-            return self._execute_bypass(bound)
-        if planner in TRADITIONAL_PLANNERS:
-            return self._execute_traditional(bound, planner)
-        return self._execute_tagged(bound, planner, naive_tags)
+            planned = BypassPlanner(context).plan()
+            kind = "bypass"
+            annotations = None
+            plan = planned
+            description = planned.to_string()
+        elif planner in TRADITIONAL_PLANNERS:
+            planner_obj = (BDisjPlanner if planner == "bdisj" else BPushConjPlanner)(context)
+            planned = planner_obj.plan()
+            kind = "traditional"
+            annotations = None
+            plan = planned
+            description = "\n---\n".join(
+                plan_to_string(subplan) for subplan in planned.subplans
+            )
+        else:
+            planned = PLANNER_REGISTRY[planner](context).plan()
+            kind = "tagged"
+            annotations = planned.annotations
+            plan = planned.plan
+            description = plan_to_string(planned.plan)
+
+        return PreparedPlan(
+            planner=planner,
+            kind=kind,
+            query=bound,
+            naive_tags=naive_tags,
+            plan=plan,
+            annotations=annotations,
+            predicate_tree=context.predicate_tree,
+            plan_description=description,
+            planning_seconds=timer.elapsed(),
+            catalog_version=self.catalog.version,
+        )
+
+    def execute_prepared(
+        self,
+        prepared: PreparedPlan,
+        planning_seconds: float | None = None,
+        cache_hit: bool = False,
+    ) -> QueryResult:
+        """Execute a :class:`PreparedPlan` and return a :class:`QueryResult`.
+
+        ``planning_seconds`` overrides the reported planning time (the
+        service layer passes the cache-lookup time on a hit); by default the
+        original prepare cost is reported, which makes
+        ``execute() == prepare() + execute_prepared()`` faithful to the
+        paper's planning/execution split.
+        """
+        query = prepared.query
+        exec_context = ExecContext()
+        if prepared.kind == "tagged":
+            executor = TaggedExecutor(
+                self.catalog, query, prepared.annotations, prepared.predicate_tree
+            )
+        elif prepared.kind == "bypass":
+            executor = BypassExecutor(
+                self.catalog, prepared.predicate_tree, three_valued=self.three_valued
+            )
+        else:
+            executor = TraditionalExecutor(self.catalog, query)
+
+        execution_timer = Stopwatch()
+        if prepared.kind == "bypass":
+            output = executor.execute(prepared.plan.plan, exec_context)
+        else:
+            output = executor.execute(prepared.plan, exec_context)
+        if query.has_output_shaping:
+            output = apply_output_shaping(output, query)
+        execution_seconds = execution_timer.elapsed()
+
+        return QueryResult(
+            planner_name=prepared.planner,
+            output=output,
+            planning_seconds=(
+                prepared.planning_seconds if planning_seconds is None else planning_seconds
+            ),
+            execution_seconds=execution_seconds,
+            metrics=exec_context.metrics,
+            iostats=exec_context.iostats,
+            plan_description=prepared.plan_description,
+            cache_hit=cache_hit,
+        )
 
     def explain(
         self, query: Query | str, planner: str = "tcombined", naive_tags: bool = False
     ) -> str:
         """Return the chosen plan(s) as a pretty-printed string."""
-        bound = self._bind(query)
         planner = planner.lower()
-        context = self._planner_context(bound, naive_tags)
-        if planner in TRADITIONAL_PLANNERS:
-            planner_obj = (BDisjPlanner if planner == "bdisj" else BPushConjPlanner)(context)
-            plan = planner_obj.plan()
-            return "\n---\n".join(plan_to_string(subplan) for subplan in plan.subplans)
-        if planner == "bypass":
-            return BypassPlanner(context).plan().to_string()
-        planner_class = PLANNER_REGISTRY.get(planner, TCombinedPlanner)
-        result = planner_class(context).plan()
-        return plan_to_string(result.plan)
+        if planner == "tmin":
+            planner = "tcombined"
+        if planner not in ALL_PLANNERS:
+            planner = "tcombined"
+        return self.prepare(query, planner, naive_tags).plan_description
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -135,95 +291,17 @@ class Session:
             naive_tags=naive_tags,
             sample_size=self.stats_sample_size,
             selectivity_mode=self.selectivity_mode,
-        )
-
-    def _execute_tagged(self, query: Query, planner: str, naive_tags: bool) -> QueryResult:
-        planning_timer = Stopwatch()
-        context = self._planner_context(query, naive_tags)
-        planner_class = PLANNER_REGISTRY[planner]
-        planned = planner_class(context).plan()
-        planning_seconds = planning_timer.elapsed()
-
-        exec_context = ExecContext()
-        executor = TaggedExecutor(
-            self.catalog, query, planned.annotations, context.predicate_tree
-        )
-        execution_timer = Stopwatch()
-        output = executor.execute(planned.plan, exec_context)
-        if query.has_output_shaping:
-            output = apply_output_shaping(output, query)
-        execution_seconds = execution_timer.elapsed()
-
-        return QueryResult(
-            planner_name=planned.planner_name,
-            output=output,
-            planning_seconds=planning_seconds,
-            execution_seconds=execution_seconds,
-            metrics=exec_context.metrics,
-            iostats=exec_context.iostats,
-            plan_description=plan_to_string(planned.plan),
+            stats_provider=self.stats_provider,
         )
 
     def _execute_tmin(self, query: Query, naive_tags: bool) -> QueryResult:
         """Execute every tagged candidate planner and keep the fastest run."""
         best: QueryResult | None = None
         for planner in TMIN_CANDIDATES:
-            result = self._execute_tagged(query, planner, naive_tags)
+            prepared = self.prepare(query, planner, naive_tags)
+            result = self.execute_prepared(prepared)
             if best is None or result.total_seconds < best.total_seconds:
                 best = result
         assert best is not None
         best.planner_name = "tmin"
         return best
-
-    def _execute_bypass(self, query: Query) -> QueryResult:
-        planning_timer = Stopwatch()
-        context = self._planner_context(query, naive_tags=False)
-        planned = BypassPlanner(context).plan()
-        planning_seconds = planning_timer.elapsed()
-
-        exec_context = ExecContext()
-        executor = BypassExecutor(
-            self.catalog, context.predicate_tree, three_valued=self.three_valued
-        )
-        execution_timer = Stopwatch()
-        output = executor.execute(planned.plan, exec_context)
-        if query.has_output_shaping:
-            output = apply_output_shaping(output, query)
-        execution_seconds = execution_timer.elapsed()
-
-        return QueryResult(
-            planner_name=planned.planner_name,
-            output=output,
-            planning_seconds=planning_seconds,
-            execution_seconds=execution_seconds,
-            metrics=exec_context.metrics,
-            iostats=exec_context.iostats,
-            plan_description=planned.to_string(),
-        )
-
-    def _execute_traditional(self, query: Query, planner: str) -> QueryResult:
-        planning_timer = Stopwatch()
-        context = self._planner_context(query, naive_tags=False)
-        planner_obj = (BDisjPlanner if planner == "bdisj" else BPushConjPlanner)(context)
-        planned = planner_obj.plan()
-        planning_seconds = planning_timer.elapsed()
-
-        exec_context = ExecContext()
-        executor = TraditionalExecutor(self.catalog, query)
-        execution_timer = Stopwatch()
-        output = executor.execute(planned, exec_context)
-        if query.has_output_shaping:
-            output = apply_output_shaping(output, query)
-        execution_seconds = execution_timer.elapsed()
-
-        return QueryResult(
-            planner_name=planned.planner_name,
-            output=output,
-            planning_seconds=planning_seconds,
-            execution_seconds=execution_seconds,
-            metrics=exec_context.metrics,
-            iostats=exec_context.iostats,
-            plan_description="\n---\n".join(
-                plan_to_string(subplan) for subplan in planned.subplans
-            ),
-        )

@@ -156,6 +156,38 @@ class Query:
             seen.setdefault(predicate.key(), predicate)
         return list(seen.values())
 
+    def canonical_key(self) -> str:
+        """Canonical textual form of the query, stable across equivalent spellings.
+
+        Two queries that differ only in irrelevant surface details — SQL
+        whitespace, the order of commutative AND/OR children, or the
+        orientation of an equi-join condition — produce the same key.  The
+        service layer hashes this key (together with planner name and catalog
+        version) to address its plan cache.
+
+        Details that *do* change semantics are all included: alias→table
+        bindings, join conditions, the normalized WHERE expression, the
+        projection list (order-sensitive), DISTINCT, aggregates, GROUP BY,
+        ORDER BY and LIMIT.
+        """
+        parts = [
+            "tables=" + ",".join(
+                f"{alias}:{table}" for alias, table in sorted(self.tables.items())
+            ),
+            "joins=" + ",".join(sorted(condition.key() for condition in self.join_conditions)),
+            "where=" + (self.predicate.key() if self.predicate is not None else "TRUE"),
+            "select=" + ",".join(column.key() for column in self.select),
+            "distinct=" + str(self.distinct),
+            "aggregates=" + ",".join(aggregate.label() for aggregate in self.aggregates),
+            "group_by=" + ",".join(column.key() for column in self.group_by),
+            "order_by=" + ",".join(
+                f"{item.key}:{'desc' if item.descending else 'asc'}"
+                for item in self.order_by
+            ),
+            "limit=" + str(self.limit),
+        ]
+        return ";".join(parts)
+
     def conditions_between(self, left_aliases: frozenset[str], right_aliases: frozenset[str]) -> list[JoinCondition]:
         """Join conditions connecting two disjoint alias sets."""
         out = []

@@ -1,0 +1,36 @@
+"""Query-service layer: plan caching, stats caching, batch execution.
+
+This package turns the one-shot :class:`~repro.engine.session.Session` into
+something that can serve sustained, repetitive traffic:
+
+* :mod:`repro.service.fingerprint` — normalized query fingerprints;
+* :mod:`repro.service.plan_cache` — an LRU cache of prepared plans;
+* :mod:`repro.service.stats_cache` — per-table statistics/sample cache,
+  invalidated by the catalog version counter;
+* :mod:`repro.service.service` — :class:`QueryService`, the batch front end.
+
+See ``docs/architecture.md`` for how the pieces fit together.
+"""
+
+from repro.service.fingerprint import canonical_query_text, query_fingerprint
+from repro.service.plan_cache import DEFAULT_PLAN_CACHE_SIZE, CacheStats, PlanCache
+from repro.service.service import (
+    DEFAULT_MAX_WORKERS,
+    BatchItem,
+    BatchReport,
+    QueryService,
+)
+from repro.service.stats_cache import StatsCache
+
+__all__ = [
+    "BatchItem",
+    "BatchReport",
+    "CacheStats",
+    "DEFAULT_MAX_WORKERS",
+    "DEFAULT_PLAN_CACHE_SIZE",
+    "PlanCache",
+    "QueryService",
+    "StatsCache",
+    "canonical_query_text",
+    "query_fingerprint",
+]

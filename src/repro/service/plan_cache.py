@@ -1,0 +1,107 @@
+"""An LRU cache of prepared plans, with hit/miss metrics.
+
+The cache maps query fingerprints (see :mod:`repro.service.fingerprint`) to
+:class:`~repro.engine.session.PreparedPlan` objects.  Because the catalog
+version participates in the fingerprint, plans built against stale catalog
+contents are never *served* — they simply age out of the LRU order as new
+versions push them to the cold end.
+
+All operations are safe to call from multiple threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+#: Default number of prepared plans kept by a :class:`PlanCache`.
+DEFAULT_PLAN_CACHE_SIZE = 256
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a cache has been used."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of get() calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, float]:
+        """The counters as a plain dictionary (for reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """A thread-safe LRU mapping of fingerprint -> prepared plan."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self._capacity = capacity
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached plans."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str):
+        """The cached value for ``key`` (freshened to most-recently-used), or None."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, value) -> None:
+        """Insert ``value`` under ``key``, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            self.stats.insertions += 1
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached plan."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += dropped

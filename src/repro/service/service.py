@@ -1,0 +1,350 @@
+"""The query service: cached planning and concurrent batch execution.
+
+:class:`QueryService` is the front end a long-running deployment talks to.
+It wraps a :class:`~repro.engine.session.Session` and adds the three things
+``Session.execute`` deliberately does not have:
+
+1. a **plan cache** — repeated queries skip parsing, statistics collection
+   and planning entirely (see :mod:`repro.service.plan_cache`);
+2. a **stats cache** — even novel queries reuse per-table statistics and
+   selectivity samples (see :mod:`repro.service.stats_cache`);
+3. a **batch executor** — a thread pool runs many queries concurrently with
+   a per-query timeout, returning structured per-query outcomes.
+
+Results are identical to serial ``Session.execute`` calls: planning and
+statistics are deterministic, prepared plans are immutable during execution,
+and every execution gets its own private metrics/IO context.
+
+Example::
+
+    from repro import QueryService, Session
+    from repro.workloads.imdb import generate_imdb_catalog
+
+    service = QueryService(Session(generate_imdb_catalog(scale=0.05, seed=7)))
+    batch = service.execute_batch([SQL_1, SQL_2, SQL_1], planner="tcombined")
+    for item in batch:
+        print(item.index, item.ok, item.result.row_count if item.ok else item.error)
+    print(service.plan_cache.stats.as_dict())
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+
+from repro.engine.metrics import ExecutionMetrics, Stopwatch, aggregate_metrics
+from repro.engine.result import QueryResult
+from repro.engine.session import Session
+from repro.plan.query import Query
+from repro.service.fingerprint import query_fingerprint
+from repro.service.plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
+from repro.service.stats_cache import StatsCache
+from repro.storage.catalog import Catalog
+
+#: Default number of worker threads used by batch execution.
+DEFAULT_MAX_WORKERS = 4
+
+
+@dataclass
+class BatchItem:
+    """The structured outcome of one query inside a batch.
+
+    Exactly one of three shapes:
+
+    * success — ``result`` holds the :class:`QueryResult`;
+    * failure — ``error`` holds the exception text;
+    * timeout — ``timed_out`` is True (the worker thread finishes in the
+      background, but its outcome is discarded; the engine is pure Python
+      and cannot interrupt an in-flight query).
+    """
+
+    index: int
+    query: Query | str
+    planner: str
+    result: QueryResult | None = None
+    error: str | None = None
+    timed_out: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the query produced a result."""
+        return self.result is not None and not self.timed_out
+
+
+@dataclass
+class BatchReport:
+    """All outcomes of one batch, plus aggregates for reporting."""
+
+    items: list[BatchItem] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> BatchItem:
+        return self.items[index]
+
+    @property
+    def succeeded(self) -> list[BatchItem]:
+        """Items that produced a result."""
+        return [item for item in self.items if item.ok]
+
+    @property
+    def failed(self) -> list[BatchItem]:
+        """Items that raised (excluding timeouts)."""
+        return [item for item in self.items if item.error is not None]
+
+    @property
+    def timed_out(self) -> list[BatchItem]:
+        """Items whose wait exceeded the per-query timeout."""
+        return [item for item in self.items if item.timed_out]
+
+    @property
+    def queries_per_second(self) -> float:
+        """Completed queries divided by batch wall-clock time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return len(self.succeeded) / self.wall_seconds
+
+    def total_metrics(self) -> ExecutionMetrics:
+        """Engine work counters summed across all successful queries."""
+        return aggregate_metrics(item.result.metrics for item in self.succeeded)
+
+
+class QueryService:
+    """Serves queries with plan/stats caching and concurrent batch execution.
+
+    Args:
+        session: the session to serve from; a bare :class:`Catalog` is also
+            accepted and wrapped in a default session.  When the session has
+            no ``stats_provider`` yet, the service installs its own
+            :class:`StatsCache` (shared by cached and uncached paths alike).
+        plan_cache_size: LRU capacity of the plan cache.
+        max_workers: worker threads used by :meth:`execute_batch`.
+        default_timeout: per-query timeout in seconds applied when a batch
+            does not specify one (``None`` waits indefinitely).
+    """
+
+    def __init__(
+        self,
+        session: Session | Catalog,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        default_timeout: float | None = None,
+    ) -> None:
+        if isinstance(session, Catalog):
+            session = Session(session)
+        self.session = session
+        if self.session.stats_provider is None:
+            self.session.stats_provider = StatsCache(self.session.catalog)
+        self.stats_cache = self.session.stats_provider
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.default_timeout = default_timeout
+        self._max_workers = max(1, max_workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        # Single-flight planning: concurrent requests for the same
+        # fingerprint wait on one prepare instead of planning redundantly.
+        self._inflight: dict[str, Future] = {}
+        self._inflight_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Single-query path
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: Query | str,
+        planner: str = "tcombined",
+        naive_tags: bool = False,
+    ) -> QueryResult:
+        """Execute one query, reusing a cached plan when available.
+
+        The oracle planner ``tmin`` executes every tagged candidate and keeps
+        the fastest, so it has no single plan to cache; it is delegated to
+        the wrapped session (still benefiting from the stats cache).
+        """
+        planner = planner.lower()
+        query = self._bind(query)
+        if planner == "tmin":
+            return self.session.execute(query, planner=planner, naive_tags=naive_tags)
+
+        lookup_timer = Stopwatch()
+        key = self._fingerprint(query, planner, naive_tags)
+        prepared, reused = self._prepared_for(key, query, planner, naive_tags)
+        if not reused:
+            return self.session.execute_prepared(prepared)
+        return self.session.execute_prepared(
+            prepared, planning_seconds=lookup_timer.elapsed(), cache_hit=True
+        )
+
+    def _prepared_for(self, key: str, query, planner: str, naive_tags: bool):
+        """The prepared plan for ``key``: cached, awaited, or freshly planned.
+
+        Returns ``(prepared, reused)`` where ``reused`` is True when this
+        call did not plan itself (cache hit, or another thread's in-flight
+        prepare was awaited).
+        """
+        prepared = self.plan_cache.get(key)
+        if prepared is not None:
+            return prepared, True
+        with self._inflight_lock:
+            pending = self._inflight.get(key)
+            owner = pending is None
+            if owner:
+                pending = Future()
+                self._inflight[key] = pending
+        if not owner:
+            return pending.result(), True
+        try:
+            prepared = self.session.prepare(query, planner, naive_tags)
+            self.plan_cache.put(key, prepared)
+            pending.set_result(prepared)
+            return prepared, False
+        except BaseException as error:
+            pending.set_exception(error)
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+
+    def warm(
+        self,
+        queries,
+        planner: str = "tcombined",
+        naive_tags: bool = False,
+    ) -> int:
+        """Prepare (but do not execute) ``queries``; returns plans added."""
+        added = 0
+        planner_name = planner.lower()
+        if planner_name == "tmin":
+            return 0
+        for query in queries:
+            query = self._bind(query)
+            key = self._fingerprint(query, planner_name, naive_tags)
+            _prepared, reused = self._prepared_for(key, query, planner_name, naive_tags)
+            if not reused:
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Batch path
+    # ------------------------------------------------------------------ #
+    def execute_batch(
+        self,
+        queries,
+        planner: str = "tcombined",
+        naive_tags: bool = False,
+        timeout: float | None = None,
+    ) -> BatchReport:
+        """Execute ``queries`` across the worker pool; returns a :class:`BatchReport`.
+
+        Item order matches input order regardless of completion order.
+        ``timeout`` (falling back to the service default) bounds how long the
+        batch waits for each query *after reaching its turn in the collection
+        loop*; a timed-out worker cannot be interrupted, but its slot frees
+        up as soon as it finishes and its result is discarded.
+        """
+        queries = list(queries)
+        timeout = self.default_timeout if timeout is None else timeout
+        report = BatchReport(items=[
+            BatchItem(index=index, query=query, planner=planner.lower())
+            for index, query in enumerate(queries)
+        ])
+        if not queries:
+            return report
+
+        wall_timer = Stopwatch()
+        futures: list[Future] = [
+            self._ensure_pool().submit(self._run_one, item.query, item.planner)
+            for item in report.items
+        ]
+        # Items are only ever mutated here, in the collecting thread; workers
+        # return their outcome, so a timed-out worker's (eventual) result is
+        # genuinely discarded rather than racing into the report.
+        for item, future in zip(report.items, futures):
+            try:
+                result, error, elapsed = future.result(timeout=timeout)
+            except FutureTimeout:
+                item.timed_out = True
+                continue
+            item.result = result
+            item.error = error
+            item.elapsed_seconds = elapsed
+        report.wall_seconds = wall_timer.elapsed()
+        return report
+
+    def _run_one(self, query: Query | str, planner: str):
+        """Execute one query, returning ``(result, error, elapsed_seconds)``."""
+        timer = Stopwatch()
+        try:
+            result = self.execute(query, planner=planner, naive_tags=False)
+            return result, None, timer.elapsed()
+        except Exception as error:  # noqa: BLE001 - surfaced via the item
+            return None, f"{type(error).__name__}: {error}", timer.elapsed()
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def invalidate(self) -> None:
+        """Drop every cached plan and statistic."""
+        self.plan_cache.invalidate()
+        if isinstance(self.stats_cache, StatsCache):
+            self.stats_cache.invalidate()
+
+    def cache_metrics(self) -> dict[str, dict[str, float]]:
+        """Hit/miss statistics of the plan and stats caches (for reports)."""
+        metrics = {"plan_cache": self.plan_cache.stats.as_dict()}
+        if isinstance(self.stats_cache, StatsCache):
+            metrics["stats_cache"] = self.stats_cache.stats.as_dict()
+        return metrics
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _bind(self, query: Query | str) -> Query:
+        """Parse a SQL string once (memoized); the bound Query then flows
+        through fingerprinting and prepare without being re-parsed."""
+        if isinstance(query, str):
+            from repro.sql import parse_query_cached
+
+            return parse_query_cached(query)
+        return query
+
+    def _fingerprint(self, query: Query | str, planner: str, naive_tags: bool) -> str:
+        return query_fingerprint(
+            query,
+            planner,
+            catalog_version=self.session.catalog.version,
+            naive_tags=naive_tags,
+            three_valued=self.session.three_valued,
+            sample_size=self.session.stats_sample_size,
+            selectivity_mode=self.session.selectivity_mode,
+            cost_params=self.session.cost_params,
+        )
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-query",
+                )
+            return self._pool

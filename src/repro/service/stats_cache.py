@@ -1,0 +1,103 @@
+"""A cache of per-table statistics and selectivity samples.
+
+``PlannerContext.for_query`` needs two query-independent, per-table
+ingredients: summary statistics (row counts, distinct counts, min/max) and
+the sorted row-position sample predicates are measured on.  Both are
+deterministic functions of the table contents, so a session serving many
+queries can compute them once per catalog version instead of once per query
+— without changing any plan or result.
+
+Entries are keyed by ``(table name, catalog version)``; bumping the
+catalog's version counter (any :meth:`~repro.storage.catalog.Catalog.add`,
+``replace`` or ``drop``) therefore invalidates the cache without explicit
+coordination.  Entries from older versions are pruned eagerly.
+
+A :class:`StatsCache` satisfies the ``stats_provider`` protocol accepted by
+:class:`~repro.engine.session.Session` and ``PlannerContext.for_query``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.stats.selectivity import sample_positions as draw_sample_positions
+from repro.stats.table_stats import TableStats, collect_table_stats
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+from repro.service.plan_cache import CacheStats
+
+
+class StatsCache:
+    """Caches table statistics and sample draws for one catalog.
+
+    All operations are safe to call from multiple threads.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self._lock = threading.Lock()
+        self._stats: dict[tuple[str, int], TableStats] = {}
+        self._samples: dict[tuple[str, int, int, int], np.ndarray] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # The stats_provider protocol
+    # ------------------------------------------------------------------ #
+    def table_stats(self, table: Table) -> TableStats:
+        """Summary statistics for ``table``, computed at most once per version."""
+        key = (table.name, self._catalog.version)
+        with self._lock:
+            cached = self._stats.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+        computed = collect_table_stats(table)
+        with self._lock:
+            self._prune_locked()
+            self._stats.setdefault(key, computed)
+            self.stats.insertions += 1
+            return self._stats[key]
+
+    def sample_positions(self, table: Table, sample_size: int, seed: int) -> np.ndarray:
+        """Sorted sample positions for ``table``, computed at most once per version."""
+        key = (table.name, self._catalog.version, sample_size, seed)
+        with self._lock:
+            cached = self._samples.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+        drawn = draw_sample_positions(
+            table.num_rows, sample_size, np.random.default_rng(seed)
+        )
+        with self._lock:
+            self._prune_locked()
+            self._samples.setdefault(key, drawn)
+            self.stats.insertions += 1
+            return self._samples[key]
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def invalidate(self) -> None:
+        """Drop every cached statistic and sample."""
+        with self._lock:
+            dropped = len(self._stats) + len(self._samples)
+            self._stats.clear()
+            self._samples.clear()
+            self.stats.invalidations += dropped
+
+    def _prune_locked(self) -> None:
+        """Discard entries built against older catalog versions (lock held)."""
+        current = self._catalog.version
+        stale_stats = [key for key in self._stats if key[1] != current]
+        stale_samples = [key for key in self._samples if key[1] != current]
+        for key in stale_stats:
+            del self._stats[key]
+        for key in stale_samples:
+            del self._samples[key]
+        self.stats.evictions += len(stale_stats) + len(stale_samples)

@@ -158,8 +158,12 @@ class HistogramSelectivityEstimator(SelectivityEstimator):
         sample_size: int = 20_000,
         seed: int = 0,
         num_buckets: int = DEFAULT_BUCKETS,
+        sample_provider=None,
     ) -> None:
-        super().__init__(catalog, query, sample_size=sample_size, seed=seed)
+        super().__init__(
+            catalog, query, sample_size=sample_size, seed=seed,
+            sample_provider=sample_provider,
+        )
         self._num_buckets = num_buckets
         self._histograms: dict[tuple[str, str], EquiDepthHistogram | None] = {}
 

@@ -37,6 +37,19 @@ DEFAULT_SELECTIVITY = 0.33
 DEFAULT_SAMPLE_SIZE = 20_000
 
 
+def sample_positions(
+    num_rows: int, sample_size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sorted row positions of a uniform sample of ``num_rows`` rows.
+
+    Tables at or below ``sample_size`` rows are used whole, matching the
+    paper's "measure on a sample" approach degrading to exact measurement.
+    """
+    if num_rows <= sample_size:
+        return np.arange(num_rows, dtype=np.int64)
+    return np.sort(rng.choice(num_rows, size=sample_size, replace=False)).astype(np.int64)
+
+
 class SelectivityEstimator:
     """Measures and caches base-predicate selectivities for one query.
 
@@ -46,6 +59,11 @@ class SelectivityEstimator:
             alias -> table mapping).
         sample_size: number of rows (per table) used for measurement.
         seed: RNG seed used to draw the sample.
+        sample_provider: optional callable ``(table, sample_size, seed) ->
+            positions`` supplying the sampled row positions for a base table.
+            The service layer injects a caching provider here so repeated
+            queries stop re-drawing (and re-sorting) samples per call; the
+            default draws a fresh — but deterministic — sample.
     """
 
     def __init__(
@@ -54,11 +72,13 @@ class SelectivityEstimator:
         query: Query,
         sample_size: int = DEFAULT_SAMPLE_SIZE,
         seed: int = 0,
+        sample_provider=None,
     ) -> None:
         self._catalog = catalog
         self._query = query
         self._sample_size = sample_size
-        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        self._sample_provider = sample_provider
         self._cache: dict[str, float] = {}
         self._sample_batches: dict[str, RowBatch] = {}
         # Selectivity measurement is a planning activity; it must not pollute
@@ -131,13 +151,17 @@ class SelectivityEstimator:
         if alias in self._sample_batches:
             return self._sample_batches[alias]
         table = self._catalog.get(self._query.tables[alias])
-        num_rows = table.num_rows
-        if num_rows <= self._sample_size:
-            positions = np.arange(num_rows, dtype=np.int64)
+        if self._sample_provider is not None:
+            positions = self._sample_provider(table, self._sample_size, self._seed)
         else:
-            positions = np.sort(
-                self._rng.choice(num_rows, size=self._sample_size, replace=False)
-            ).astype(np.int64)
+            # One fresh generator per table: the sample drawn for a table is
+            # a function of (table, sample_size, seed) only, independent of
+            # the order predicates are measured in — which is also exactly
+            # what a caching sample provider returns, keeping cached and
+            # uncached planning identical.
+            positions = sample_positions(
+                table.num_rows, self._sample_size, np.random.default_rng(self._seed)
+            )
         batch = RowBatch({alias: table}, {alias: positions}, iostats=self._scratch_io)
         self._sample_batches[alias] = batch
         return batch

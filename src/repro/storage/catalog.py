@@ -12,22 +12,43 @@ class Catalog:
 
     The catalog is the unit handed to an engine/session: queries reference
     tables by name (or alias) and the binder resolves them here.
+
+    The catalog carries a monotonically increasing :attr:`version` counter,
+    bumped every time the set of tables (or a table's contents, since tables
+    are immutable and mutation means :meth:`replace`) changes.  Derived state
+    — cached table statistics, cached plans — is keyed on this counter so a
+    catalog mutation transparently invalidates it.
     """
 
     def __init__(self, tables: Iterable[Table] = ()) -> None:
         self._tables: dict[str, Table] = {}
+        self._version = 0
         for table in tables:
             self.add(table)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever the catalog contents change."""
+        return self._version
 
     def add(self, table: Table) -> None:
         """Register a table; raises ValueError on a duplicate name."""
         if table.name in self._tables:
             raise ValueError(f"table {table.name!r} already registered")
         self._tables[table.name] = table
+        self._version += 1
 
     def replace(self, table: Table) -> None:
         """Register a table, overwriting any existing one with the same name."""
         self._tables[table.name] = table
+        self._version += 1
+
+    def drop(self, name: str) -> None:
+        """Remove a table by name; raises KeyError when absent."""
+        if name not in self._tables:
+            raise KeyError(f"unknown table {name!r}")
+        del self._tables[name]
+        self._version += 1
 
     def get(self, name: str) -> Table:
         """Look up a table by name; raises KeyError with a helpful message."""

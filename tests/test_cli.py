@@ -170,3 +170,77 @@ class TestFigures:
         )
         assert code == 0
         assert "selectivity" in capsys.readouterr().out.lower()
+
+
+class TestSplitStatements:
+    def test_splits_on_semicolons_and_drops_comments(self):
+        from repro.cli import split_statements
+
+        text = "-- a comment\nSELECT 1;\n\nSELECT 2 ;"
+        assert split_statements(text) == ["SELECT 1", "SELECT 2"]
+
+    def test_semicolon_inside_string_literal_is_preserved(self):
+        from repro.cli import split_statements
+
+        sql = "SELECT * FROM t AS t WHERE t.name LIKE '%;%'"
+        assert split_statements(sql + ";" + sql) == [sql, sql]
+
+    def test_escaped_quote_inside_literal(self):
+        from repro.cli import split_statements
+
+        sql = "SELECT * FROM t AS t WHERE t.name = 'it''s;fine'"
+        assert split_statements(sql + ";") == [sql]
+
+    def test_trailing_comment_after_terminator_is_not_a_statement(self):
+        from repro.cli import split_statements
+
+        assert split_statements("SELECT 1; -- warm-up\n") == ["SELECT 1"]
+        assert split_statements("SELECT 1 -- inline note\n; SELECT 2") == [
+            "SELECT 1",
+            "SELECT 2",
+        ]
+
+    def test_scan_statements_keeps_unterminated_tail(self):
+        from repro.cli import scan_statements
+
+        statements, tail = scan_statements("SELECT 1; SELECT 2 WHERE x LIKE '%;%'")
+        assert statements == ["SELECT 1"]
+        assert tail.strip() == "SELECT 2 WHERE x LIKE '%;%'"
+
+
+class TestServe:
+    def _dataset(self, tmp_path):
+        root = tmp_path / "data"
+        assert main(
+            ["generate", "synthetic", "--out", str(root), "--table-size", "120"]
+        ) == 0
+        return str(root)
+
+    def test_serve_buffers_multiline_statement_until_terminator(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import io
+
+        data = self._dataset(tmp_path)
+        capsys.readouterr()
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("SELECT T0.id FROM T0\nWHERE T0.A1 < 0.5;\n\\stats\n\\quit\n"),
+        )
+        assert main(["serve", "--data", data]) == 0
+        out = capsys.readouterr().out
+        assert "[plan cache miss]" in out
+        assert "plan_cache" in out  # \stats table
+
+    def test_serve_runs_unterminated_statement_at_eof(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import io
+
+        data = self._dataset(tmp_path)
+        capsys.readouterr()
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("SELECT T0.id FROM T0 WHERE T0.A1 < 0.5")
+        )
+        assert main(["serve", "--data", data]) == 0
+        assert "[plan cache miss]" in capsys.readouterr().out
