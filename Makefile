@@ -4,17 +4,25 @@
 PYTHON ?= python
 RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
 
-.PHONY: test bench-smoke bench docs-check examples
+.PHONY: test bench-smoke bench bench-parallel docs-check examples
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
 	$(RUN) -m pytest -x -q
 
-## quick benchmark pass: service throughput assertions + one paper figure,
-## correctness checks only (no timing loops)
+## quick benchmark pass: service throughput + parallel-scan assertions + one
+## paper figure, correctness checks only (the wall-clock speedup assertion is
+## deselected here and lives in bench-parallel)
 bench-smoke:
 	$(RUN) -m pytest benchmarks/bench_service_throughput.py \
-	    benchmarks/bench_fig4a_selectivity.py -q --benchmark-disable
+	    benchmarks/bench_parallel_scan.py \
+	    benchmarks/bench_fig4a_selectivity.py -q --benchmark-disable \
+	    -k "not speedup"
+
+## morsel-driven parallel execution: speedup assertion (needs >= 2 CPU
+## cores; the timing test self-skips on single-core hosts) plus timed runs
+bench-parallel:
+	$(RUN) -m pytest benchmarks/bench_parallel_scan.py -q
 
 ## full benchmark suite with timing (slow)
 bench:

@@ -15,11 +15,10 @@ from repro.baseline.relation import Relation
 from repro.engine.metrics import ExecContext
 from repro.expr import three_valued as tv
 from repro.expr.ast import BooleanExpr
-from repro.expr.eval import RowBatch
+from repro.physical.expressions import evaluate_predicate, read_join_keys
 from repro.plan.query import JoinCondition
 from repro.storage.table import Table
 from repro.utils.join import equi_join_indices
-from repro.utils.keys import composite_keys
 
 
 class ScanOperator:
@@ -48,17 +47,9 @@ class FilterOperator:
         context.metrics.operators_executed += 1
         if relation.num_rows == 0:
             return relation
-        aliases = self.predicate.tables()
-        missing = aliases - set(relation.indices)
-        if missing:
-            raise ValueError(
-                f"filter predicate {self.predicate.key()} references aliases {sorted(missing)} "
-                f"not present in the input relation (aliases: {relation.aliases})"
-            )
-        indices = {alias: relation.indices[alias] for alias in aliases}
-        tables = {alias: relation.tables[alias] for alias in aliases}
-        batch = RowBatch(tables, indices, cache=context.cache, iostats=context.iostats)
-        truth = self.predicate.evaluate(batch)
+        truth = evaluate_predicate(
+            self.predicate, relation.tables, relation.indices, context
+        )
         context.metrics.predicate_evaluations += 1
         context.metrics.predicate_rows_evaluated += relation.num_rows
         keep = np.flatnonzero(tv.is_true(truth))
@@ -88,27 +79,14 @@ class HashJoinOperator:
         context.metrics.join_build_rows += left.num_rows
         context.metrics.join_probe_rows += right.num_rows
 
-        left_columns = []
-        right_columns = []
-        for condition in self.conditions:
-            left_ref, right_ref = self._orient(condition, left)
-            left_columns.append(
-                left.tables[left_ref.alias].read_column_at(
-                    left_ref.column,
-                    left.indices[left_ref.alias],
-                    cache=context.cache,
-                    iostats=context.iostats,
-                )
-            )
-            right_columns.append(
-                right.tables[right_ref.alias].read_column_at(
-                    right_ref.column,
-                    right.indices[right_ref.alias],
-                    cache=context.cache,
-                    iostats=context.iostats,
-                )
-            )
-        left_keys, right_keys = composite_keys(left_columns, right_columns)
+        left_keys, right_keys = read_join_keys(
+            self.conditions,
+            left.tables,
+            left.indices,
+            right.tables,
+            right.indices,
+            context,
+        )
         left_match, right_match = equi_join_indices(left_keys, right_keys)
 
         out_indices: dict[str, np.ndarray] = {}
@@ -120,16 +98,6 @@ class HashJoinOperator:
         context.metrics.join_output_rows += int(left_match.size)
         context.metrics.tuples_materialized += int(left_match.size)
         return Relation(merged_tables, out_indices)
-
-    def _orient(self, condition: JoinCondition, left: Relation):
-        if condition.left.alias in left.indices:
-            return condition.left, condition.right
-        if condition.right.alias in left.indices:
-            return condition.right, condition.left
-        raise ValueError(
-            f"join condition {condition} does not reference the left input "
-            f"(aliases: {left.aliases})"
-        )
 
 
 class UnionOperator:

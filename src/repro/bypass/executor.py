@@ -1,18 +1,19 @@
-"""Physical execution of a logical plan under the bypass model."""
+"""Physical execution of a logical plan under the bypass model.
+
+Like the tagged and traditional executors, :class:`BypassExecutor` is now a
+thin entry point over the unified physical-operator layer
+(:mod:`repro.physical`): it compiles the pushdown-shaped plan into a tree of
+``open()/next_batch()/close()`` operators wrapping the bypass kernels and
+runs it to completion.
+"""
 
 from __future__ import annotations
 
-from repro.bypass.operators import (
-    BypassFilterOperator,
-    BypassJoinOperator,
-    BypassProjectOperator,
-    BypassScanOperator,
-)
-from repro.bypass.streams import StreamSet
 from repro.core.predtree import PredicateTree
 from repro.engine.metrics import ExecContext
 from repro.engine.result import OutputColumns
-from repro.plan.logical import FilterNode, JoinNode, PlanNode, ProjectNode, TableScanNode
+from repro.physical.compile import compile_plan
+from repro.plan.logical import PlanNode
 from repro.storage.catalog import Catalog
 
 
@@ -31,33 +32,11 @@ class BypassExecutor:
 
     def execute(self, plan: PlanNode, context: ExecContext) -> OutputColumns:
         """Execute ``plan`` and return the materialized output columns."""
-        if not isinstance(plan, ProjectNode):
-            raise ValueError("bypass plans must be rooted at a ProjectNode")
-        streams = self._execute_node(plan.child, context)
-        project = BypassProjectOperator(
-            self._tree, plan.columns, three_valued=self._three_valued
+        physical = compile_plan(
+            "bypass",
+            plan,
+            self._catalog,
+            predicate_tree=self._tree,
+            three_valued=self._three_valued,
         )
-        return project.execute(streams, context)
-
-    def _execute_node(self, node: PlanNode, context: ExecContext) -> StreamSet:
-        if isinstance(node, TableScanNode):
-            operator = BypassScanOperator(node.alias, self._catalog.get(node.table_name))
-            return operator.execute(context)
-
-        if isinstance(node, FilterNode):
-            child = self._execute_node(node.child, context)
-            operator = BypassFilterOperator(
-                node.predicate, self._tree, three_valued=self._three_valued
-            )
-            return operator.execute(child, context)
-
-        if isinstance(node, JoinNode):
-            left = self._execute_node(node.left, context)
-            right = self._execute_node(node.right, context)
-            operator = BypassJoinOperator(node.conditions, self._tree)
-            return operator.execute(left, right, context)
-
-        if isinstance(node, ProjectNode):
-            raise ValueError("nested ProjectNode encountered; plans must have a single root")
-
-        raise TypeError(f"unknown plan node type: {type(node).__name__}")
+        return physical.execute(context)

@@ -22,11 +22,10 @@ from repro.engine.metrics import ExecContext
 from repro.engine.result import OutputColumns, materialize_output
 from repro.expr import three_valued as tv
 from repro.expr.ast import BooleanExpr
-from repro.expr.eval import RowBatch
+from repro.physical.expressions import evaluate_predicate, read_join_keys
 from repro.plan.query import JoinCondition
 from repro.storage.table import Table
 from repro.utils.join import equi_join_indices
-from repro.utils.keys import composite_keys
 
 
 class BypassScanOperator:
@@ -99,17 +98,13 @@ class BypassFilterOperator:
         relation = stream.relation
         if relation.num_rows == 0:
             return
-        aliases = self.predicate.tables()
-        missing = aliases - set(relation.indices)
-        if missing:
-            raise ValueError(
-                f"bypass filter predicate {self.predicate.key()} references aliases "
-                f"{sorted(missing)} not present in the stream (aliases: {relation.aliases})"
-            )
-        indices = {alias: relation.indices[alias] for alias in aliases}
-        tables = {alias: relation.tables[alias] for alias in aliases}
-        batch = RowBatch(tables, indices, cache=context.cache, iostats=context.iostats)
-        truth = self.predicate.evaluate(batch)
+        truth = evaluate_predicate(
+            self.predicate,
+            relation.tables,
+            relation.indices,
+            context,
+            description="bypass filter",
+        )
         context.metrics.predicate_evaluations += 1
         context.metrics.predicate_rows_evaluated += relation.num_rows
 
@@ -209,27 +204,14 @@ class BypassJoinOperator:
         context.metrics.join_build_rows += left_relation.num_rows
         context.metrics.join_probe_rows += right_relation.num_rows
 
-        left_columns = []
-        right_columns = []
-        for condition in self.conditions:
-            left_ref, right_ref = self._orient(condition, left_relation)
-            left_columns.append(
-                left_relation.tables[left_ref.alias].read_column_at(
-                    left_ref.column,
-                    left_relation.indices[left_ref.alias],
-                    cache=context.cache,
-                    iostats=context.iostats,
-                )
-            )
-            right_columns.append(
-                right_relation.tables[right_ref.alias].read_column_at(
-                    right_ref.column,
-                    right_relation.indices[right_ref.alias],
-                    cache=context.cache,
-                    iostats=context.iostats,
-                )
-            )
-        left_keys, right_keys = composite_keys(left_columns, right_columns)
+        left_keys, right_keys = read_join_keys(
+            self.conditions,
+            left_relation.tables,
+            left_relation.indices,
+            right_relation.tables,
+            right_relation.indices,
+            context,
+        )
         left_match, right_match = equi_join_indices(left_keys, right_keys)
         if left_match.size == 0:
             return None
@@ -243,16 +225,6 @@ class BypassJoinOperator:
         context.metrics.join_output_rows += int(left_match.size)
         context.metrics.tuples_materialized += int(left_match.size)
         return BypassStream(tag, Relation(merged_tables, out_indices))
-
-    def _orient(self, condition: JoinCondition, left: Relation):
-        if condition.left.alias in left.indices:
-            return condition.left, condition.right
-        if condition.right.alias in left.indices:
-            return condition.right, condition.left
-        raise ValueError(
-            f"join condition {condition} does not reference the left input "
-            f"(aliases: {left.aliases})"
-        )
 
 
 class BypassProjectOperator:
@@ -310,18 +282,13 @@ class BypassProjectOperator:
             return None
         # Undetermined: fall back to evaluating the full residual predicate.
         relation = stream.relation
-        residual = self.tree.expression
-        aliases = residual.tables()
-        missing = aliases - set(relation.indices)
-        if missing:
-            raise ValueError(
-                f"residual predicate references aliases {sorted(missing)} missing from "
-                f"the stream (aliases: {relation.aliases})"
-            )
-        indices = {alias: relation.indices[alias] for alias in aliases}
-        tables = {alias: relation.tables[alias] for alias in aliases}
-        batch = RowBatch(tables, indices, cache=context.cache, iostats=context.iostats)
-        truth = residual.evaluate(batch)
+        truth = evaluate_predicate(
+            self.tree.expression,
+            relation.tables,
+            relation.indices,
+            context,
+            description="residual",
+        )
         context.metrics.residual_rows_evaluated += relation.num_rows
         keep = np.flatnonzero(tv.is_true(truth))
         if keep.size == 0:

@@ -81,8 +81,17 @@ def _print_result(result, max_rows: int, show_metrics: bool) -> None:
         print(format_table(["counter", "value"], sorted(result.metrics.as_dict().items())))
 
 
+def _session_for(args: argparse.Namespace) -> Session:
+    """A session over the saved dataset, honoring the parallelism flags."""
+    return Session(
+        load_catalog(args.data),
+        parallelism=getattr(args, "parallelism", 1),
+        partitions=getattr(args, "partitions", None),
+    )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    session = Session(load_catalog(args.data))
+    session = _session_for(args)
     result = session.execute(args.sql, planner=args.planner)
     _print_result(result, args.max_rows, args.metrics)
     return 0
@@ -95,7 +104,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    session = Session(load_catalog(args.data))
+    session = _session_for(args)
     rows = []
     baseline_time = None
     reference_rows = None
@@ -202,7 +211,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
     statements = statements * args.repeat
 
-    session = Session(load_catalog(args.data))
+    session = _session_for(args)
     with QueryService(
         session,
         plan_cache_size=args.cache_size,
@@ -239,7 +248,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    session = Session(load_catalog(args.data))
+    session = _session_for(args)
     interactive = sys.stdin.isatty()
     if interactive:
         print(
@@ -308,6 +317,22 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 # Argument parsing
 # --------------------------------------------------------------------------- #
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="worker threads per query (morsel-driven; byte-identical output "
+        "at any worker count for a fixed --partitions)",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="table partitions per query (defaults to --parallelism)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -331,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--planner", default="tcombined", choices=sorted(ALL_PLANNERS))
     query.add_argument("--max-rows", type=int, default=DEFAULT_MAX_ROWS)
     query.add_argument("--metrics", action="store_true", help="print work counters")
+    _add_parallel_flags(query)
     query.set_defaults(func=_cmd_query)
 
     explain = subparsers.add_parser("explain", help="print the chosen plan")
@@ -348,6 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["tcombined", "bdisj", "bpushconj", "bypass"],
         choices=sorted(ALL_PLANNERS),
     )
+    _add_parallel_flags(compare)
     compare.set_defaults(func=_cmd_compare)
 
     batch = subparsers.add_parser(
@@ -362,6 +389,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--timeout", type=float, default=None, help="per-query timeout (s)")
     batch.add_argument("--cache-size", type=int, default=256, help="plan cache capacity")
     batch.add_argument("--metrics", action="store_true", help="print summed work counters")
+    _add_parallel_flags(batch)
     batch.set_defaults(func=_cmd_batch)
 
     serve = subparsers.add_parser(
@@ -371,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--planner", default="tcombined", choices=sorted(ALL_PLANNERS))
     serve.add_argument("--cache-size", type=int, default=256, help="plan cache capacity")
     serve.add_argument("--max-rows", type=int, default=DEFAULT_MAX_ROWS)
+    _add_parallel_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
     fuzz = subparsers.add_parser("fuzz", help="differential-test planners against the oracle")

@@ -19,11 +19,10 @@ from repro.core.tags import Tag
 from repro.engine.metrics import ExecContext
 from repro.expr import three_valued as tv
 from repro.expr.ast import BooleanExpr
-from repro.expr.eval import RowBatch
+from repro.physical.expressions import evaluate_predicate, read_join_keys
 from repro.plan.query import JoinCondition
 from repro.storage.bitmap import Bitmap
 from repro.utils.join import equi_join_indices
-from repro.utils.keys import composite_keys
 
 #: Sentinel stored in the full-length truth array for rows the filter did not
 #: evaluate (they belong to no matching slice).
@@ -89,17 +88,9 @@ class TaggedFilterOperator:
     def _evaluate(
         self, relation: TaggedRelation, positions: np.ndarray, context: ExecContext
     ) -> np.ndarray:
-        aliases = self.predicate.tables()
-        missing = aliases - set(relation.indices)
-        if missing:
-            raise ValueError(
-                f"filter predicate {self.predicate.key()} references aliases {sorted(missing)} "
-                f"not present in the input relation (aliases: {relation.aliases})"
-            )
-        indices = {alias: relation.indices[alias][positions] for alias in aliases}
-        tables = {alias: relation.tables[alias] for alias in aliases}
-        batch = RowBatch(tables, indices, cache=context.cache, iostats=context.iostats)
-        return self.predicate.evaluate(batch)
+        return evaluate_predicate(
+            self.predicate, relation.tables, relation.indices, context, positions=positions
+        )
 
 
 class TaggedJoinOperator:
@@ -245,35 +236,15 @@ class TaggedJoinOperator:
         right_positions: np.ndarray,
         context: ExecContext,
     ) -> tuple[np.ndarray, np.ndarray]:
-        left_columns = []
-        right_columns = []
-        for condition in self.conditions:
-            left_ref, right_ref = self._orient(condition, left)
-            left_table = left.tables[left_ref.alias]
-            right_table = right.tables[right_ref.alias]
-            left_rows = left.indices[left_ref.alias][left_positions]
-            right_rows = right.indices[right_ref.alias][right_positions]
-            left_columns.append(
-                left_table.read_column_at(
-                    left_ref.column, left_rows, cache=context.cache, iostats=context.iostats
-                )
-            )
-            right_columns.append(
-                right_table.read_column_at(
-                    right_ref.column, right_rows, cache=context.cache, iostats=context.iostats
-                )
-            )
-        return composite_keys(left_columns, right_columns)
-
-    def _orient(self, condition: JoinCondition, left: TaggedRelation):
-        """Return (left-side column, right-side column) for this join's inputs."""
-        if condition.left.alias in left.indices:
-            return condition.left, condition.right
-        if condition.right.alias in left.indices:
-            return condition.right, condition.left
-        raise ValueError(
-            f"join condition {condition} does not reference the left input "
-            f"(aliases: {left.aliases})"
+        return read_join_keys(
+            self.conditions,
+            left.tables,
+            left.indices,
+            right.tables,
+            right.indices,
+            context,
+            left_positions=left_positions,
+            right_positions=right_positions,
         )
 
     @staticmethod
@@ -315,11 +286,14 @@ class TaggedProjectOperator:
             )
             positions = residual_bitmap.positions()
             if positions.size:
-                aliases = self.residual_predicate.tables()
-                indices = {alias: relation.indices[alias][positions] for alias in aliases}
-                tables = {alias: relation.tables[alias] for alias in aliases}
-                batch = RowBatch(tables, indices, cache=context.cache, iostats=context.iostats)
-                truth = self.residual_predicate.evaluate(batch)
+                truth = evaluate_predicate(
+                    self.residual_predicate,
+                    relation.tables,
+                    relation.indices,
+                    context,
+                    positions=positions,
+                    description="residual",
+                )
                 context.metrics.residual_rows_evaluated += int(positions.size)
                 passing = positions[tv.is_true(truth)]
                 selected = selected | Bitmap.from_positions(relation.num_rows, passing)

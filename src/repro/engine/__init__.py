@@ -1,9 +1,11 @@
-"""Execution engine: physical execution of plans under either model.
+"""Execution engine: physical execution of plans under any model.
 
 * :mod:`repro.engine.metrics` — runtime work counters and the execution
-  context threaded through every operator.
-* :mod:`repro.engine.executor` — plan walkers for tagged and traditional
-  execution.
+  context threaded through every operator (forked per morsel under
+  parallel execution, reduced deterministically at the end).
+* :mod:`repro.engine.executor` — model-specific entry points over the
+  unified physical-operator layer (:mod:`repro.physical`).
+* :mod:`repro.engine.parallel` — the morsel-driven parallel driver.
 * :mod:`repro.engine.result` — query results returned to callers.
 * :mod:`repro.engine.session` — the high-level public API (`Session`).
 """

@@ -1,28 +1,23 @@
-"""Physical execution of logical plans under either execution model."""
+"""Physical execution of logical plans under either execution model.
+
+Historically this module held two independent plan walkers (and the bypass
+package a third).  All three now lower onto the unified physical-operator
+layer (:mod:`repro.physical`): the executor classes remain as the stable,
+model-specific entry points — they validate their inputs, compile the plan
+with :func:`repro.physical.compile.compile_plan`, and run the resulting
+operator tree.  Partitioned, parallel execution goes through
+:mod:`repro.engine.parallel` instead, which compiles one tree per morsel.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.baseline.operators import (
-    FilterOperator,
-    HashJoinOperator,
-    ScanOperator,
-    UnionOperator,
-)
 from repro.baseline.planners import TraditionalPlan
-from repro.baseline.relation import Relation
-from repro.core.operators import (
-    TaggedFilterOperator,
-    TaggedJoinOperator,
-    TaggedProjectOperator,
-)
 from repro.core.predtree import PredicateTree
-from repro.core.tagged_relation import TaggedRelation
-from repro.core.tagmap import PlanTagAnnotations, ProjectionTagSet
+from repro.core.tagmap import PlanTagAnnotations
 from repro.engine.metrics import ExecContext
-from repro.engine.result import OutputColumns, materialize_output
-from repro.plan.logical import FilterNode, JoinNode, PlanNode, ProjectNode, TableScanNode
+from repro.engine.result import OutputColumns
+from repro.physical.compile import compile_plan
+from repro.plan.logical import PlanNode
 from repro.plan.query import Query
 from repro.storage.catalog import Catalog
 
@@ -44,42 +39,14 @@ class TaggedExecutor:
 
     def execute(self, plan: PlanNode, context: ExecContext) -> OutputColumns:
         """Execute ``plan`` and return the materialized output columns."""
-        if not isinstance(plan, ProjectNode):
-            raise ValueError("tagged plans must be rooted at a ProjectNode")
-        relation = self._execute_node(plan.child, context)
-
-        projection = self._annotations.projection or ProjectionTagSet(
-            allowed=set(relation.slices)
+        physical = compile_plan(
+            "tagged",
+            plan,
+            self._catalog,
+            annotations=self._annotations,
+            predicate_tree=self._tree,
         )
-        residual = self._tree.expression if self._tree is not None else None
-        project = TaggedProjectOperator(projection, residual_predicate=residual)
-        positions = project.execute(relation, context)
-        return materialize_output(relation.tables, relation.indices, positions, plan.columns)
-
-    def _execute_node(self, node: PlanNode, context: ExecContext) -> TaggedRelation:
-        if isinstance(node, TableScanNode):
-            context.metrics.operators_executed += 1
-            return TaggedRelation.from_base_table(node.alias, self._catalog.get(node.table_name))
-
-        if isinstance(node, FilterNode):
-            child = self._execute_node(node.child, context)
-            tag_map = self._annotations.filter_maps.get(node.node_id)
-            if tag_map is None:
-                return child
-            operator = TaggedFilterOperator(node.predicate, tag_map)
-            return operator.execute(child, context)
-
-        if isinstance(node, JoinNode):
-            left = self._execute_node(node.left, context)
-            right = self._execute_node(node.right, context)
-            tag_map = self._annotations.join_maps[node.node_id]
-            operator = TaggedJoinOperator(node.conditions, tag_map)
-            return operator.execute(left, right, context)
-
-        if isinstance(node, ProjectNode):
-            raise ValueError("nested ProjectNode encountered; plans must have a single root")
-
-        raise TypeError(f"unknown plan node type: {type(node).__name__}")
+        return physical.execute(context)
 
 
 class TraditionalExecutor:
@@ -91,44 +58,5 @@ class TraditionalExecutor:
 
     def execute(self, plan: TraditionalPlan, context: ExecContext) -> OutputColumns:
         """Execute a traditional plan and return the materialized output columns."""
-        if not plan.subplans:
-            raise ValueError("traditional plan has no subplans")
-
-        relations: list[Relation] = []
-        project_columns = None
-        for subplan in plan.subplans:
-            if not isinstance(subplan, ProjectNode):
-                raise ValueError("traditional subplans must be rooted at a ProjectNode")
-            project_columns = subplan.columns
-            relations.append(self._execute_node(subplan.child, context))
-
-        if len(relations) == 1 and not plan.needs_union:
-            final = relations[0]
-        else:
-            non_empty = [relation for relation in relations if relation.num_rows > 0]
-            if not non_empty:
-                final = relations[0]
-            else:
-                final = UnionOperator().execute(non_empty, context)
-
-        positions = np.arange(final.num_rows, dtype=np.int64)
-        context.metrics.output_rows += final.num_rows
-        return materialize_output(final.tables, final.indices, positions, project_columns or [])
-
-    def _execute_node(self, node: PlanNode, context: ExecContext) -> Relation:
-        if isinstance(node, TableScanNode):
-            return ScanOperator(node.alias, self._catalog.get(node.table_name)).execute(context)
-
-        if isinstance(node, FilterNode):
-            child = self._execute_node(node.child, context)
-            return FilterOperator(node.predicate).execute(child, context)
-
-        if isinstance(node, JoinNode):
-            left = self._execute_node(node.left, context)
-            right = self._execute_node(node.right, context)
-            return HashJoinOperator(node.conditions).execute(left, right, context)
-
-        if isinstance(node, ProjectNode):
-            raise ValueError("nested ProjectNode encountered; plans must have a single root")
-
-        raise TypeError(f"unknown plan node type: {type(node).__name__}")
+        physical = compile_plan("traditional", plan, self._catalog)
+        return physical.execute(context)

@@ -34,6 +34,7 @@ class ExecutionMetrics:
     streams_created: int = 0
     hash_tables_built: int = 0
     output_rows: int = 0
+    morsels_executed: int = 0
 
     def merge(self, other: "ExecutionMetrics") -> None:
         """Accumulate another metrics object into this one."""
@@ -51,6 +52,7 @@ class ExecutionMetrics:
         self.streams_created += other.streams_created
         self.hash_tables_built += other.hash_tables_built
         self.output_rows += other.output_rows
+        self.morsels_executed += other.morsels_executed
 
     def as_dict(self) -> dict[str, int]:
         """The counters as a plain dictionary (for reports)."""
@@ -69,6 +71,7 @@ class ExecutionMetrics:
             "streams_created": self.streams_created,
             "hash_tables_built": self.hash_tables_built,
             "output_rows": self.output_rows,
+            "morsels_executed": self.morsels_executed,
         }
 
 
@@ -87,7 +90,14 @@ def aggregate_metrics(metrics_iterable) -> ExecutionMetrics:
 
 @dataclass
 class ExecContext:
-    """State threaded through operators during one query execution."""
+    """State threaded through operators during one query execution.
+
+    Under parallel execution each morsel runs against a private *forked*
+    context (:meth:`fork`) and the driver reduces the children back into the
+    parent (:meth:`absorb`) after all morsels finish.  Counters are therefore
+    never incremented concurrently — only the page cache is shared, and it
+    serializes its own accesses.
+    """
 
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
     iostats: IOStats = field(default_factory=IOStats)
@@ -96,6 +106,15 @@ class ExecContext:
     def timer(self) -> "Stopwatch":
         """A fresh stopwatch (convenience for callers timing phases)."""
         return Stopwatch()
+
+    def fork(self) -> "ExecContext":
+        """A child context for one morsel: fresh counters, shared page cache."""
+        return ExecContext(cache=self.cache)
+
+    def absorb(self, child: "ExecContext") -> None:
+        """Merge a forked child's counters back into this context."""
+        self.metrics.merge(child.metrics)
+        self.iostats.merge(child.iostats)
 
 
 class Stopwatch:

@@ -1,0 +1,168 @@
+"""The morsel-driven parallel execution driver.
+
+A query's physical plan is compiled once per table partition ("morsel") of a
+deterministically chosen partitioning alias; morsels execute on a worker
+pool and their output batches are merged **in partition order**, so for a
+fixed partition count the result is byte-identical at any worker count —
+only scheduling changes with ``parallelism``, never the work or the merge
+order.  ``partitions=1`` is exactly the legacy unpartitioned path.  The
+*partition count* is part of the physical plan: changing it never changes
+the result set (the differential suite checks every setting against the
+oracle), but it may reorder rows — join output follows probe order, so a
+partitioned build side groups output by build partition.
+
+Determinism and correctness rest on three invariants:
+
+* scan→filter→join pipelines are linear in each input, so restricting one
+  alias's scan to a row range and unioning the per-range outputs equals the
+  unpartitioned output (the partitioned alias sits on exactly one side of
+  every join);
+* each morsel runs against a *forked* execution context (private metrics and
+  I/O counters, shared thread-safe page cache); the driver reduces children
+  back into the query context in partition order after all morsels finish,
+  so counters are merge-safe under concurrency;
+* output shaping (aggregation / DISTINCT / ORDER BY / LIMIT) runs **after**
+  the merge, exactly once, in :meth:`Session.execute_prepared`.
+
+The partitioning alias is the scanned alias whose base table has the most
+rows (ties broken by alias name) — a deterministic choice that sends the
+largest scan through the morsel loop while smaller build sides are rebuilt
+per morsel.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.metrics import ExecContext
+from repro.engine.result import OutputColumns
+from repro.physical.batches import merge_output_columns
+from repro.physical.compile import compile_plan, plan_scan_aliases
+from repro.storage.catalog import Catalog
+
+# Morsel pools are shared process-wide, one per worker count (in practice a
+# handful of distinct counts).  Creating a pool per query would spawn and
+# join threads on the serving hot path; pools are never shut down — their
+# idle threads are reused by every subsequent query at that parallelism.
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _morsel_pool(workers: int) -> ThreadPoolExecutor:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-morsel-{workers}"
+            )
+            _POOLS[workers] = pool
+        return pool
+
+
+def choose_partition_alias(kind: str, plan, catalog: Catalog) -> str | None:
+    """The alias whose scan the driver partitions (deterministic).
+
+    Picks the scanned alias with the largest base table, breaking ties by
+    alias name; returns ``None`` when the plan scans nothing.
+    """
+    return _choose_from_scans(plan_scan_aliases(kind, plan), catalog)
+
+
+def _choose_from_scans(scans: dict[str, str], catalog: Catalog) -> str | None:
+    if not scans:
+        return None
+    return max(
+        sorted(scans),
+        key=lambda alias: catalog.get(scans[alias]).num_rows,
+    )
+
+
+def execute_plan(
+    kind: str,
+    plan,
+    catalog: Catalog,
+    context: ExecContext,
+    annotations=None,
+    predicate_tree=None,
+    three_valued: bool = True,
+    parallelism: int = 1,
+    partitions: int | None = None,
+) -> OutputColumns:
+    """Execute a planner's output through the physical layer.
+
+    Args:
+        kind: execution model (``"tagged"``, ``"traditional"``, ``"bypass"``).
+        plan: the planner output (see :func:`repro.physical.compile.compile_plan`).
+        catalog: base tables.
+        context: the query's execution context; per-morsel forks are reduced
+            into it before returning.
+        annotations: tag maps (tagged plans).
+        predicate_tree: the query's predicate tree.
+        three_valued: SQL three-valued logic (bypass evaluation).
+        parallelism: worker threads driving morsels (1 = run inline).
+        partitions: number of table partitions; defaults to ``parallelism``.
+            ``partitions=1`` bypasses the morsel loop entirely.
+    """
+    if parallelism < 1:
+        raise ValueError(f"parallelism must be positive, got {parallelism}")
+    num_partitions = parallelism if partitions is None else partitions
+    if num_partitions < 1:
+        raise ValueError(f"partitions must be positive, got {num_partitions}")
+
+    alias = None
+    if num_partitions > 1:
+        scans = plan_scan_aliases(kind, plan)
+        alias = _choose_from_scans(scans, catalog)
+
+    if alias is None or num_partitions == 1:
+        physical = compile_plan(
+            kind,
+            plan,
+            catalog,
+            annotations=annotations,
+            predicate_tree=predicate_tree,
+            three_valued=three_valued,
+        )
+        context.metrics.morsels_executed += 1
+        return physical.execute(context)
+
+    table = catalog.get(scans[alias])
+    morsels = [
+        (
+            partition,
+            compile_plan(
+                kind,
+                plan,
+                catalog,
+                annotations=annotations,
+                predicate_tree=predicate_tree,
+                three_valued=three_valued,
+                partition_alias=alias,
+                partition=partition,
+            ),
+        )
+        for partition in table.partitions(num_partitions)
+    ]
+
+    def run_morsel(physical) -> tuple[OutputColumns, ExecContext]:
+        child = context.fork()
+        output = physical.execute(child)
+        return output, child
+
+    if parallelism == 1 or len(morsels) == 1:
+        outcomes = [run_morsel(physical) for _partition, physical in morsels]
+    else:
+        pool = _morsel_pool(min(parallelism, len(morsels)))
+        futures = [pool.submit(run_morsel, physical) for _partition, physical in morsels]
+        outcomes = [future.result() for future in futures]
+
+    # Reduce per-morsel contexts and outputs in partition order: counters are
+    # summed deterministically and the merged output is byte-identical to
+    # running the same morsels serially.
+    outputs = []
+    for output, child in outcomes:
+        context.absorb(child)
+        context.metrics.morsels_executed += 1
+        outputs.append(output)
+    return merge_output_columns(outputs)

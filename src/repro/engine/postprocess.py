@@ -4,11 +4,15 @@ These steps run on the :class:`~repro.engine.result.OutputColumns` produced
 by the projection operator, after the execution model (traditional, tagged or
 bypass) has done its work.  They are therefore shared by every planner and do
 not interact with tag management — but they are part of the timed execution,
-just as they would be in a real engine.
+just as they would be in a real engine.  Under parallel execution they run
+exactly once, on the partition-order-merged output.
 
-Grouping and ordering are implemented over the materialized column arrays.
-Output sizes at this point are the final result sizes (thousands of rows in
-the paper's workloads), so clarity is preferred over micro-optimization.
+All three shaping steps are vectorized with NumPy.  The common primitive is
+*factorization* (:func:`_factorize`): each column is mapped to dense integer
+codes such that equal values (and all NULLs) get equal codes and code order
+matches value order.  Grouping and DISTINCT then reduce to ``np.unique`` over
+small integer matrices, and ORDER BY becomes one ``np.lexsort`` over
+rank-encoded keys — no per-row Python loops anywhere on the shaping path.
 """
 
 from __future__ import annotations
@@ -49,75 +53,162 @@ def _column_index(output: OutputColumns, name: str) -> int:
         ) from None
 
 
-def _row_values(output: OutputColumns, column_positions: list[int]) -> list[tuple]:
-    """Materialize per-row tuples (NULL -> None) for the listed columns."""
-    columns = []
-    for position in column_positions:
-        values, nulls = output.columns[position]
-        python_values = values.tolist()
-        for null_position in np.flatnonzero(nulls):
-            python_values[int(null_position)] = None
-        columns.append(python_values)
-    if not columns:
-        return [() for _row in range(output.row_count)]
-    return list(zip(*columns))
-
-
 def _take(output: OutputColumns, positions: np.ndarray) -> OutputColumns:
     """A new OutputColumns holding only the rows at ``positions``."""
     columns = [(values[positions], nulls[positions]) for values, nulls in output.columns]
     return OutputColumns(names=list(output.names), columns=columns, row_count=int(positions.size))
 
 
-def _column_from_python(values: list) -> tuple[np.ndarray, np.ndarray]:
-    """Build a (values, nulls) column pair from Python values (None = NULL)."""
-    nulls = np.array([value is None for value in values], dtype=np.bool_)
-    cleaned = list(values)
-    non_null = [value for value in values if value is not None]
-    if non_null and all(isinstance(value, bool) for value in non_null):
-        filler: object = False
-    elif non_null and all(isinstance(value, (int, np.integer)) for value in non_null):
-        filler = 0
-    elif non_null and all(isinstance(value, (int, float, np.integer, np.floating)) for value in non_null):
-        filler = 0.0
-    elif non_null and all(isinstance(value, str) for value in non_null):
-        filler = ""
+def _factorize(values: np.ndarray, nulls: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dense integer codes for a column: equal values get equal codes.
+
+    Returns ``(codes, uniques)``.  Non-NULL rows get codes ``0 .. U-1`` in
+    ascending value order; every NULL row gets code ``-1``, so NULLs compare
+    equal to each other and unequal to every value — the semantics GROUP BY,
+    DISTINCT and ORDER BY all share.
+    """
+    codes = np.full(values.shape[0], -1, dtype=np.int64)
+    mask = ~nulls
+    if mask.any():
+        uniques, inverse = np.unique(values[mask], return_inverse=True)
+        codes[mask] = inverse.astype(np.int64, copy=False)
     else:
-        filler = None
-    for position, value in enumerate(cleaned):
-        if value is None:
-            cleaned[position] = filler
-    if filler is None:
-        data = np.array(cleaned, dtype=object)
-    else:
-        data = np.array(cleaned)
-    return data, nulls
+        uniques = values[:0]
+    return codes, uniques
+
+
+def _group_codes(
+    code_columns: list[np.ndarray], num_rows: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group ids (first-seen order) from per-column factorized codes.
+
+    Returns ``(group_of_row, representative_row)``: one dense group id per
+    input row, groups numbered in order of first appearance — matching the
+    SQL-typical (and previously per-row Python) first-seen output order —
+    plus the first input row of each group.
+    """
+    if not code_columns:
+        # No GROUP BY: the whole input is one group (even when empty).
+        return np.zeros(num_rows, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    matrix = np.stack(code_columns, axis=1)
+    _uniques, first_rows, inverse = np.unique(
+        matrix, axis=0, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first_rows, kind="stable")
+    remap = np.empty(order.size, dtype=np.int64)
+    remap[order] = np.arange(order.size, dtype=np.int64)
+    return remap[inverse.reshape(-1)], first_rows[order]
 
 
 # --------------------------------------------------------------------------- #
 # Aggregation
 # --------------------------------------------------------------------------- #
-def _aggregate_group(spec: AggregateSpec, values: list) -> object:
-    """Evaluate one aggregate over the (Python) values of one group."""
-    if spec.function is AggregateFunction.COUNT:
-        if spec.argument is None:
-            return len(values)
-        non_null = [value for value in values if value is not None]
-        if spec.distinct:
-            return len(set(non_null))
-        return len(non_null)
+def _sum_accumulator_dtype(values: np.ndarray) -> np.dtype:
+    if np.issubdtype(values.dtype, np.floating):
+        return np.dtype(np.float64)
+    # Integer (and bool) sums accumulate Python ints in an object array:
+    # arbitrary precision, like the per-row ``sum()`` this replaced — a
+    # fixed-width accumulator would silently wrap past 2**63.
+    return np.dtype(object)
 
-    non_null = [value for value in values if value is not None]
-    if not non_null:
-        return None
-    if spec.function is AggregateFunction.SUM:
-        return sum(non_null)
-    if spec.function is AggregateFunction.AVG:
-        return sum(non_null) / len(non_null)
-    if spec.function is AggregateFunction.MIN:
-        return min(non_null)
-    if spec.function is AggregateFunction.MAX:
-        return max(non_null)
+
+def _group_sums(
+    codes: np.ndarray, values: np.ndarray, mask: np.ndarray, num_groups: int
+) -> np.ndarray:
+    """Per-group sums over the non-NULL rows (``mask``), vectorized.
+
+    ``np.add.at`` accumulates in row order, so float results are bit-identical
+    to the left-to-right Python ``sum`` this replaces.
+    """
+    accumulator_dtype = _sum_accumulator_dtype(values)
+    accumulator = np.zeros(num_groups, dtype=accumulator_dtype)
+    if mask.any():
+        addends = values[mask]
+        if accumulator_dtype == np.dtype(object) and addends.dtype != np.dtype(object):
+            # tolist() yields Python ints/bools, keeping the sum exact.
+            addends = np.array(addends.tolist(), dtype=object)
+        np.add.at(accumulator, codes[mask], addends)
+    return accumulator
+
+
+def _group_extreme(
+    codes: np.ndarray,
+    value_codes: np.ndarray,
+    uniques: np.ndarray,
+    mask: np.ndarray,
+    num_groups: int,
+    take_max: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group MIN/MAX via factorized ranks (works for every value type).
+
+    Returns ``(values, null_mask)``; groups with no non-NULL input are NULL.
+    """
+    if not mask.any() or uniques.size == 0:
+        return np.zeros(num_groups, dtype=object), np.ones(num_groups, np.bool_)
+    empty = ~np.isin(np.arange(num_groups), codes[mask])
+    extreme = np.full(num_groups, -1 if take_max else np.iinfo(np.int64).max, dtype=np.int64)
+    operation = np.maximum if take_max else np.minimum
+    operation.at(extreme, codes[mask], value_codes[mask])
+    extreme[empty] = 0  # placeholder rank; masked as NULL below
+    return uniques[extreme], empty
+
+
+def _count_distinct(
+    codes: np.ndarray, value_codes: np.ndarray, mask: np.ndarray, num_groups: int
+) -> np.ndarray:
+    """Per-group COUNT(DISTINCT column) over non-NULL rows."""
+    if not mask.any():
+        return np.zeros(num_groups, dtype=np.int64)
+    unique_pairs = np.unique(np.stack([codes[mask], value_codes[mask]], axis=1), axis=0)
+    return np.bincount(unique_pairs[:, 0], minlength=num_groups).astype(np.int64)
+
+
+def _evaluate_aggregate(
+    spec: AggregateSpec,
+    codes: np.ndarray,
+    num_groups: int,
+    output: OutputColumns,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One aggregate column: ``(values, null_mask)`` with one row per group."""
+    if spec.argument is None:
+        counts = np.bincount(codes, minlength=num_groups).astype(np.int64)
+        return counts, np.zeros(num_groups, dtype=np.bool_)
+
+    position = _column_index(output, spec.argument.key())
+    values, nulls = output.columns[position]
+    mask = ~nulls
+    never_null = np.zeros(num_groups, dtype=np.bool_)
+
+    if spec.function is AggregateFunction.COUNT:
+        if spec.distinct:
+            value_codes, _uniques = _factorize(values, nulls)
+            return _count_distinct(codes, value_codes, mask, num_groups), never_null
+        counts = np.bincount(codes[mask], minlength=num_groups).astype(np.int64)
+        return counts, never_null
+
+    non_null_counts = np.bincount(codes[mask], minlength=num_groups).astype(np.int64)
+    all_null = non_null_counts == 0
+
+    if spec.function in (AggregateFunction.SUM, AggregateFunction.AVG):
+        sums = _group_sums(codes, values, mask, num_groups)
+        if spec.function is AggregateFunction.SUM:
+            return sums, all_null
+        averages = np.zeros(num_groups, dtype=np.float64)
+        safe = ~all_null
+        averages[safe] = sums[safe].astype(np.float64) / non_null_counts[safe]
+        return averages, all_null
+
+    if spec.function in (AggregateFunction.MIN, AggregateFunction.MAX):
+        value_codes, uniques = _factorize(values, nulls)
+        return _group_extreme(
+            codes,
+            value_codes,
+            uniques,
+            mask,
+            num_groups,
+            take_max=spec.function is AggregateFunction.MAX,
+        )
+
     raise OutputShapingError(f"unsupported aggregate function {spec.function!r}")
 
 
@@ -126,92 +217,78 @@ def aggregate(
     group_by: list,
     aggregates: list[AggregateSpec],
 ) -> OutputColumns:
-    """GROUP BY + aggregate evaluation.
+    """GROUP BY + aggregate evaluation, fully vectorized.
 
     With an empty ``group_by`` the whole input forms a single group; in that
-    case SQL still produces one output row even for an empty input.
+    case SQL still produces one output row even for an empty input.  Groups
+    appear in first-seen input order, as before the vectorization.
     """
     group_names = [column.key() for column in group_by]
     group_positions = [_column_index(output, name) for name in group_names]
-    group_keys = _row_values(output, group_positions)
+    key_codes = [
+        _factorize(*output.columns[position])[0] for position in group_positions
+    ]
 
-    argument_values: dict[str, list] = {}
-    for spec in aggregates:
-        if spec.argument is None:
-            continue
-        name = spec.argument.key()
-        if name not in argument_values:
-            position = _column_index(output, name)
-            argument_values[name] = _row_values(output, [position])
-
-    groups: dict[tuple, list[int]] = {}
-    order: list[tuple] = []
-    for row, key in enumerate(group_keys):
-        if key not in groups:
-            groups[key] = []
-            order.append(key)
-        groups[key].append(row)
-    if not group_by and not groups:
-        groups[()] = []
-        order.append(())
+    codes, representative_rows = _group_codes(key_codes, output.row_count)
+    if group_by and output.row_count == 0:
+        num_groups = 0
+        representative_rows = representative_rows[:0]
+    else:
+        num_groups = int(representative_rows.size)
 
     out_names = list(group_names) + [spec.label() for spec in aggregates]
-    group_columns: list[list] = [[] for _name in group_names]
-    aggregate_columns: list[list] = [[] for _spec in aggregates]
-    for key in order:
-        rows = groups[key]
-        for position, value in enumerate(key):
-            group_columns[position].append(value)
-        for position, spec in enumerate(aggregates):
-            if spec.argument is None:
-                values = [None] * len(rows)
-            else:
-                source = argument_values[spec.argument.key()]
-                values = [source[row][0] for row in rows]
-            aggregate_columns[position].append(_aggregate_group(spec, values))
-
-    columns = [_column_from_python(values) for values in group_columns + aggregate_columns]
-    return OutputColumns(names=out_names, columns=columns, row_count=len(order))
+    columns: list[tuple[np.ndarray, np.ndarray]] = []
+    for position in group_positions:
+        values, nulls = output.columns[position]
+        columns.append((values[representative_rows], nulls[representative_rows]))
+    for spec in aggregates:
+        columns.append(_evaluate_aggregate(spec, codes, num_groups, output))
+    return OutputColumns(names=out_names, columns=columns, row_count=num_groups)
 
 
 # --------------------------------------------------------------------------- #
 # DISTINCT / ORDER BY / LIMIT
 # --------------------------------------------------------------------------- #
 def distinct(output: OutputColumns) -> OutputColumns:
-    """Remove duplicate rows, keeping the first occurrence of each."""
-    if output.row_count == 0:
+    """Remove duplicate rows, keeping the first occurrence of each.
+
+    Every column is factorized to integer codes and duplicates are found
+    with one ``np.unique`` over the resulting row matrix (the structured-
+    array formulation of multi-column uniqueness), replacing the previous
+    per-row Python set.
+    """
+    if output.row_count == 0 or not output.columns:
         return output
-    rows = _row_values(output, list(range(len(output.columns))))
-    seen: set[tuple] = set()
-    keep: list[int] = []
-    for position, row in enumerate(rows):
-        if row not in seen:
-            seen.add(row)
-            keep.append(position)
-    return _take(output, np.array(keep, dtype=np.int64))
+    matrix = np.stack(
+        [_factorize(values, nulls)[0] for values, nulls in output.columns], axis=1
+    )
+    _uniques, first_rows = np.unique(matrix, axis=0, return_index=True)
+    return _take(output, np.sort(first_rows))
 
 
 def order_by(output: OutputColumns, items: list[OrderItem]) -> OutputColumns:
-    """Sort the output rows; NULLs sort last for every direction."""
+    """Sort the output rows; NULLs sort last for every direction.
+
+    Each key column is rank-encoded (ascending value order, NULLs mapped
+    past the largest rank so they always sort last, descending keys
+    rank-reversed) and a single stable ``np.lexsort`` orders the rows —
+    ties keep their input order, exactly like the repeated stable sorts
+    this replaces.
+    """
     if output.row_count == 0 or not items:
         return output
-    positions = list(range(output.row_count))
-    # Stable sorts applied from the least-significant key to the most.
-    for item in reversed(items):
-        column_position = _column_index(output, item.key)
-        values = _row_values(output, [column_position])
-
-        def sort_key(row: int, column=values) -> tuple:
-            value = column[row][0]
-            return (value is None, value)
-
-        positions.sort(key=sort_key, reverse=item.descending)
+    keys = []
+    for item in items:
+        values, nulls = output.columns[_column_index(output, item.key)]
+        codes, uniques = _factorize(values, nulls)
+        ranks = codes.copy()
         if item.descending:
-            # Reversing moved NULLs to the front; push them back to the end.
-            nulls = [row for row in positions if values[row][0] is None]
-            non_nulls = [row for row in positions if values[row][0] is not None]
-            positions = non_nulls + nulls
-    return _take(output, np.array(positions, dtype=np.int64))
+            ranks[codes >= 0] = (uniques.size - 1) - codes[codes >= 0]
+        ranks[codes < 0] = uniques.size  # NULLS LAST in either direction
+        keys.append(ranks)
+    # lexsort sorts by the *last* key first; our first item is primary.
+    positions = np.lexsort(tuple(reversed(keys)))
+    return _take(output, positions.astype(np.int64, copy=False))
 
 
 def limit(output: OutputColumns, count: int) -> OutputColumns:

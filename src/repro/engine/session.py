@@ -48,15 +48,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baseline.planners import BDisjPlanner, BPushConjPlanner, TraditionalPlan
-from repro.bypass.executor import BypassExecutor
 from repro.bypass.planner import BypassPlan, BypassPlanner
 from repro.core.planner import PLANNER_REGISTRY, TMIN_CANDIDATES
 from repro.core.planner.base import PlannerContext
 from repro.core.planner.cost import CostParams
 from repro.core.predtree import PredicateTree
 from repro.core.tagmap import PlanTagAnnotations
-from repro.engine.executor import TaggedExecutor, TraditionalExecutor
 from repro.engine.metrics import ExecContext, Stopwatch
+from repro.engine.parallel import execute_plan
 from repro.engine.postprocess import apply_output_shaping
 from repro.engine.result import QueryResult
 from repro.plan.logical import PlanNode, plan_to_string
@@ -117,6 +116,16 @@ class Session:
             sample draws (see :class:`repro.service.StatsCache`); ``None``
             recomputes statistics on every prepare, which is deterministic
             and therefore equivalent.
+        parallelism: worker threads driving per-partition morsels during
+            execution (1 = serial).  For a fixed ``partitions`` value the
+            output is byte-identical at every worker count; see
+            :mod:`repro.engine.parallel`.
+        partitions: horizontal partitions of the largest scanned table;
+            defaults to ``parallelism``, and ``1`` is exactly the legacy
+            unpartitioned path.  Changing the partition count never changes
+            the result *set*, but may reorder rows (join output follows
+            probe order).  Planning is unaffected by either knob — only the
+            execution phase is morselized.
     """
 
     def __init__(
@@ -127,13 +136,21 @@ class Session:
         stats_sample_size: int = 20_000,
         selectivity_mode: str = "measured",
         stats_provider=None,
+        parallelism: int = 1,
+        partitions: int | None = None,
     ) -> None:
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be positive, got {parallelism}")
+        if partitions is not None and partitions < 1:
+            raise ValueError(f"partitions must be positive, got {partitions}")
         self.catalog = catalog
         self.cost_params = cost_params or CostParams()
         self.three_valued = three_valued
         self.stats_sample_size = stats_sample_size
         self.selectivity_mode = selectivity_mode
         self.stats_provider = stats_provider
+        self.parallelism = parallelism
+        self.partitions = partitions
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -143,13 +160,23 @@ class Session:
         query: Query | str,
         planner: str = "tcombined",
         naive_tags: bool = False,
+        parallelism: int | None = None,
+        partitions: int | None = None,
     ) -> QueryResult:
-        """Plan and execute a query; returns a :class:`QueryResult`."""
+        """Plan and execute a query; returns a :class:`QueryResult`.
+
+        ``parallelism`` / ``partitions`` override the session defaults for
+        this call only.
+        """
         planner = planner.lower()
         if planner == "tmin":
-            return self._execute_tmin(self._bind(query), naive_tags)
+            return self._execute_tmin(
+                self._bind(query), naive_tags, parallelism=parallelism, partitions=partitions
+            )
         prepared = self.prepare(query, planner, naive_tags)
-        return self.execute_prepared(prepared)
+        return self.execute_prepared(
+            prepared, parallelism=parallelism, partitions=partitions
+        )
 
     def prepare(
         self,
@@ -217,6 +244,8 @@ class Session:
         prepared: PreparedPlan,
         planning_seconds: float | None = None,
         cache_hit: bool = False,
+        parallelism: int | None = None,
+        partitions: int | None = None,
     ) -> QueryResult:
         """Execute a :class:`PreparedPlan` and return a :class:`QueryResult`.
 
@@ -225,25 +254,33 @@ class Session:
         original prepare cost is reported, which makes
         ``execute() == prepare() + execute_prepared()`` faithful to the
         paper's planning/execution split.
+
+        Execution goes through the unified physical-operator layer for all
+        three models.  With ``parallelism`` / ``partitions`` above 1 (call
+        arguments override session defaults), the plan runs morsel-by-morsel
+        on a worker pool; the partition-order merge keeps the output
+        byte-identical to running the same partitioning with one worker, at
+        any worker count.  Output shaping runs once, after the merge.
         """
         query = prepared.query
         exec_context = ExecContext()
-        if prepared.kind == "tagged":
-            executor = TaggedExecutor(
-                self.catalog, query, prepared.annotations, prepared.predicate_tree
-            )
-        elif prepared.kind == "bypass":
-            executor = BypassExecutor(
-                self.catalog, prepared.predicate_tree, three_valued=self.three_valued
-            )
-        else:
-            executor = TraditionalExecutor(self.catalog, query)
+        effective_parallelism = (
+            self.parallelism if parallelism is None else parallelism
+        )
+        effective_partitions = self.partitions if partitions is None else partitions
 
         execution_timer = Stopwatch()
-        if prepared.kind == "bypass":
-            output = executor.execute(prepared.plan.plan, exec_context)
-        else:
-            output = executor.execute(prepared.plan, exec_context)
+        output = execute_plan(
+            prepared.kind,
+            prepared.plan.plan if prepared.kind == "bypass" else prepared.plan,
+            self.catalog,
+            exec_context,
+            annotations=prepared.annotations,
+            predicate_tree=prepared.predicate_tree,
+            three_valued=self.three_valued,
+            parallelism=effective_parallelism,
+            partitions=effective_partitions,
+        )
         if query.has_output_shaping:
             output = apply_output_shaping(output, query)
         execution_seconds = execution_timer.elapsed()
@@ -294,12 +331,20 @@ class Session:
             stats_provider=self.stats_provider,
         )
 
-    def _execute_tmin(self, query: Query, naive_tags: bool) -> QueryResult:
+    def _execute_tmin(
+        self,
+        query: Query,
+        naive_tags: bool,
+        parallelism: int | None = None,
+        partitions: int | None = None,
+    ) -> QueryResult:
         """Execute every tagged candidate planner and keep the fastest run."""
         best: QueryResult | None = None
         for planner in TMIN_CANDIDATES:
             prepared = self.prepare(query, planner, naive_tags)
-            result = self.execute_prepared(prepared)
+            result = self.execute_prepared(
+                prepared, parallelism=parallelism, partitions=partitions
+            )
             if best is None or result.total_seconds < best.total_seconds:
                 best = result
         assert best is not None

@@ -1,0 +1,85 @@
+"""The physical-operator protocol: ``open() / next_batch() / close()``.
+
+Every physical operator — for all three execution models — implements the
+same batched pull contract:
+
+* :meth:`PhysicalOperator.open` binds the operator (and, recursively, its
+  children) to one :class:`~repro.engine.metrics.ExecContext`;
+* :meth:`PhysicalOperator.next_batch` returns the next batch of output, or
+  ``None`` when the operator is exhausted;
+* :meth:`PhysicalOperator.close` releases per-execution state, making the
+  operator reusable for another ``open``.
+
+A *batch* is the execution model's relation payload: a plain
+:class:`~repro.baseline.relation.Relation` for traditional operators, a
+:class:`~repro.core.tagged_relation.TaggedRelation` for tagged operators, a
+:class:`~repro.bypass.streams.StreamSet` for bypass operators, and
+:class:`~repro.engine.result.OutputColumns` at the root of every tree.  The
+morsel-driven driver (:mod:`repro.engine.parallel`) runs one operator tree
+per table partition and merges the root batches in partition order, which is
+what makes parallel output byte-identical to serial output.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+from repro.engine.metrics import ExecContext
+
+Batch = TypeVar("Batch")
+
+
+class PhysicalOperator(Generic[Batch]):
+    """Abstract base of every physical operator.
+
+    Subclasses override :meth:`_next`; ``open``/``close`` recurse through
+    :attr:`children` by default and subclasses extend them for private state.
+    """
+
+    def __init__(self, children: list["PhysicalOperator"] | None = None) -> None:
+        self.children: list[PhysicalOperator] = list(children or [])
+        self._context: ExecContext | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def open(self, context: ExecContext) -> None:
+        """Bind the operator tree to an execution context."""
+        self._context = context
+        for child in self.children:
+            child.open(context)
+
+    def next_batch(self) -> Batch | None:
+        """The next output batch, or ``None`` once exhausted."""
+        if self._context is None:
+            raise RuntimeError(
+                f"{type(self).__name__}.next_batch() called before open()"
+            )
+        return self._next(self._context)
+
+    def close(self) -> None:
+        """Release per-execution state (recursively)."""
+        for child in self.children:
+            child.close()
+        self._context = None
+
+    # ------------------------------------------------------------------ #
+    # Subclass contract
+    # ------------------------------------------------------------------ #
+    def _next(self, context: ExecContext) -> Batch | None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def drain(self) -> list[Batch]:
+        """Pull every remaining batch (the operator must be open)."""
+        batches: list[Batch] = []
+        while True:
+            batch = self.next_batch()
+            if batch is None:
+                return batches
+            batches.append(batch)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(children={len(self.children)})"

@@ -1,0 +1,115 @@
+"""Batch payloads: model-specific merge and the output-column merge.
+
+The physical-operator contract is batched, so two situations require gluing
+batches back together:
+
+* a build-side join input that produced several batches must be merged into
+  one relation before the hash table is built (a hash join cannot build
+  incrementally over the existing whole-relation kernels);
+* the morsel driver merges the per-partition root batches —
+  :class:`~repro.engine.result.OutputColumns` — in partition order.
+
+Merging is defined for every batch type and is order-preserving: the merged
+batch holds the rows of the inputs in input order, which is what makes
+parallel execution byte-identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline.relation import Relation
+from repro.bypass.streams import StreamSet
+from repro.core.tagged_relation import TaggedRelation
+from repro.engine.result import OutputColumns
+from repro.storage.bitmap import Bitmap
+
+
+def merge_relations(batches: list[Relation]) -> Relation:
+    """Concatenate plain index relations (same alias set) in order."""
+    if len(batches) == 1:
+        return batches[0]
+    tables = {}
+    for batch in batches:
+        tables.update(batch.tables)
+    aliases = list(batches[0].indices)
+    indices = {
+        alias: np.concatenate([batch.indices[alias] for batch in batches])
+        for alias in aliases
+    }
+    return Relation(tables, indices)
+
+
+def merge_tagged_relations(batches: list[TaggedRelation]) -> TaggedRelation:
+    """Concatenate tagged relations in order, offsetting slice bitmaps."""
+    if len(batches) == 1:
+        return batches[0]
+    tables = {}
+    for batch in batches:
+        tables.update(batch.tables)
+    aliases = list(batches[0].indices)
+    indices = {
+        alias: np.concatenate([batch.indices[alias] for batch in batches])
+        for alias in aliases
+    }
+    total_rows = sum(batch.num_rows for batch in batches)
+    masks: dict[object, np.ndarray] = {}
+    offset = 0
+    for batch in batches:
+        for tag, bitmap in batch.slices.items():
+            mask = masks.setdefault(tag, np.zeros(total_rows, dtype=np.bool_))
+            mask[offset:offset + batch.num_rows] = bitmap.mask
+        offset += batch.num_rows
+    slices = {tag: Bitmap.from_mask(mask) for tag, mask in masks.items()}
+    return TaggedRelation(tables, indices, slices)
+
+
+def merge_stream_sets(batches: list[StreamSet]) -> StreamSet:
+    """Merge stream sets; streams with equal tags are concatenated in order."""
+    if len(batches) == 1:
+        return batches[0]
+    merged = StreamSet()
+    for batch in batches:
+        merged.extend(batch)
+    return merged
+
+
+def merge_batches(batches: list):
+    """Merge a homogeneous list of batches; dispatches on the batch type."""
+    if not batches:
+        raise ValueError("cannot merge zero batches")
+    first = batches[0]
+    if isinstance(first, TaggedRelation):
+        return merge_tagged_relations(batches)
+    if isinstance(first, Relation):
+        return merge_relations(batches)
+    if isinstance(first, StreamSet):
+        return merge_stream_sets(batches)
+    if isinstance(first, OutputColumns):
+        return merge_output_columns(batches)
+    raise TypeError(f"unsupported batch type: {type(first).__name__}")
+
+
+def merge_output_columns(batches: list[OutputColumns]) -> OutputColumns:
+    """Concatenate output-column batches in order.
+
+    Empty unnamed batches (a bypass partition that accepted no stream) carry
+    no column schema and are skipped; if every batch is empty the first is
+    returned unchanged, matching what serial execution produces.
+    """
+    non_empty = [batch for batch in batches if batch.row_count > 0]
+    if not non_empty:
+        return batches[0] if batches else OutputColumns.empty()
+    if len(non_empty) == 1:
+        return non_empty[0]
+    names = non_empty[0].names
+    columns = []
+    for position in range(len(names)):
+        values = np.concatenate([batch.columns[position][0] for batch in non_empty])
+        nulls = np.concatenate([batch.columns[position][1] for batch in non_empty])
+        columns.append((values, nulls))
+    return OutputColumns(
+        names=list(names),
+        columns=columns,
+        row_count=sum(batch.row_count for batch in non_empty),
+    )

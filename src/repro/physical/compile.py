@@ -1,0 +1,263 @@
+"""Lowering logical plans onto the physical-operator layer.
+
+:func:`compile_plan` turns the planner output of any execution model —
+a tagged :class:`~repro.plan.logical.PlanNode` tree, a
+:class:`~repro.baseline.planners.TraditionalPlan`, or a
+:class:`~repro.bypass.planner.BypassPlan` — into one
+:class:`PhysicalPlan`: a tree of
+:class:`~repro.physical.base.PhysicalOperator` objects whose root emits
+:class:`~repro.engine.result.OutputColumns` batches.
+
+The compiler optionally restricts a single table alias to a
+:class:`~repro.storage.table.TablePartition`; the morsel driver compiles one
+physical tree per partition.  Restricting one alias is sound for
+scan→filter→join pipelines because every operator is linear in each input:
+filtering or joining the union of the partitions equals the union of
+filtering or joining each partition, and the partitioned alias appears on
+exactly one side of every join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.operators import FilterOperator, HashJoinOperator
+from repro.baseline.planners import TraditionalPlan
+from repro.bypass.operators import BypassFilterOperator, BypassJoinOperator
+from repro.core.operators import TaggedFilterOperator, TaggedJoinOperator
+from repro.core.predtree import PredicateTree
+from repro.core.tagmap import PlanTagAnnotations
+from repro.engine.metrics import ExecContext
+from repro.engine.result import OutputColumns
+from repro.physical.base import PhysicalOperator
+from repro.physical.batches import merge_output_columns
+from repro.physical.operators import (
+    BypassProjectPhysical,
+    FilterPhysical,
+    JoinPhysical,
+    ScanPhysical,
+    TaggedProjectPhysical,
+    TraditionalProjectPhysical,
+)
+from repro.plan.logical import FilterNode, JoinNode, PlanNode, ProjectNode, TableScanNode
+from repro.storage.catalog import Catalog
+from repro.storage.table import TablePartition
+
+
+@dataclass
+class PhysicalPlan:
+    """A compiled physical-operator tree, ready to execute.
+
+    Attributes:
+        kind: execution model (``"tagged"``, ``"traditional"``, ``"bypass"``).
+        root: the root operator; its batches are ``OutputColumns``.
+        partition: the table partition this tree is restricted to (``None``
+            for a whole-table tree).
+    """
+
+    kind: str
+    root: PhysicalOperator
+    partition: TablePartition | None = None
+
+    def execute(self, context: ExecContext) -> OutputColumns:
+        """Run the tree to completion and merge its output batches."""
+        self.root.open(context)
+        try:
+            batches = self.root.drain()
+        finally:
+            self.root.close()
+        if not batches:
+            return OutputColumns.empty()
+        return merge_output_columns(batches)
+
+
+def compile_plan(
+    kind: str,
+    plan,
+    catalog: Catalog,
+    annotations: PlanTagAnnotations | None = None,
+    predicate_tree: PredicateTree | None = None,
+    three_valued: bool = True,
+    partition_alias: str | None = None,
+    partition: TablePartition | None = None,
+) -> PhysicalPlan:
+    """Compile a planner's output into a :class:`PhysicalPlan`.
+
+    Args:
+        kind: ``"tagged"``, ``"traditional"`` or ``"bypass"``.
+        plan: the planner output (PlanNode root for tagged/bypass, a
+            TraditionalPlan for traditional; a BypassPlan's ``.plan`` should
+            be passed for bypass).
+        catalog: base tables.
+        annotations: tag maps (tagged plans only).
+        predicate_tree: the query's predicate tree (tagged residual +
+            bypass routing).
+        three_valued: SQL three-valued logic for bypass evaluation.
+        partition_alias: alias whose scan is restricted to ``partition``.
+        partition: the row-range slice for ``partition_alias``.
+    """
+    compiler = _Compiler(
+        kind=kind,
+        catalog=catalog,
+        annotations=annotations,
+        predicate_tree=predicate_tree,
+        three_valued=three_valued,
+        partition_alias=partition_alias,
+        partition=partition,
+    )
+    if kind == "traditional":
+        root = compiler.compile_traditional(plan)
+    elif kind == "tagged":
+        root = compiler.compile_tagged(plan)
+    elif kind == "bypass":
+        root = compiler.compile_bypass(plan)
+    else:
+        raise ValueError(f"unknown execution kind {kind!r}")
+    return PhysicalPlan(kind=kind, root=root, partition=partition)
+
+
+def plan_scan_aliases(kind: str, plan) -> dict[str, str]:
+    """Alias -> table-name of every base-table scan in a planner's output.
+
+    For traditional plans the first subplan is inspected (all subplans scan
+    the same query aliases).  Used by the parallel driver to pick the
+    partitioning alias deterministically.
+    """
+    if kind == "traditional":
+        if not plan.subplans:
+            return {}
+        node = plan.subplans[0]
+    else:
+        node = plan
+    return {
+        scan.alias: scan.table_name
+        for scan in node.walk()
+        if isinstance(scan, TableScanNode)
+    }
+
+
+class _Compiler:
+    """Walks a logical plan and emits the physical tree for one model."""
+
+    def __init__(
+        self,
+        kind: str,
+        catalog: Catalog,
+        annotations: PlanTagAnnotations | None,
+        predicate_tree: PredicateTree | None,
+        three_valued: bool,
+        partition_alias: str | None,
+        partition: TablePartition | None,
+    ) -> None:
+        self.kind = kind
+        self.catalog = catalog
+        self.annotations = annotations
+        self.predicate_tree = predicate_tree
+        self.three_valued = three_valued
+        self.partition_alias = partition_alias
+        self.partition = partition
+
+    # ------------------------------------------------------------------ #
+    # Shared pieces
+    # ------------------------------------------------------------------ #
+    def _scan(self, node: TableScanNode) -> ScanPhysical:
+        partition = (
+            self.partition if node.alias == self.partition_alias else None
+        )
+        return ScanPhysical(
+            self.kind, node.alias, self.catalog.get(node.table_name), partition
+        )
+
+    @staticmethod
+    def _reject_project(node: PlanNode) -> None:
+        if isinstance(node, ProjectNode):
+            raise ValueError(
+                "nested ProjectNode encountered; plans must have a single root"
+            )
+        raise TypeError(f"unknown plan node type: {type(node).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Tagged
+    # ------------------------------------------------------------------ #
+    def compile_tagged(self, plan: PlanNode) -> PhysicalOperator:
+        if not isinstance(plan, ProjectNode):
+            raise ValueError("tagged plans must be rooted at a ProjectNode")
+        child = self._tagged_node(plan.child)
+        projection = self.annotations.projection if self.annotations else None
+        residual = (
+            self.predicate_tree.expression if self.predicate_tree is not None else None
+        )
+        return TaggedProjectPhysical(child, projection, residual, plan.columns)
+
+    def _tagged_node(self, node: PlanNode) -> PhysicalOperator:
+        if isinstance(node, TableScanNode):
+            return self._scan(node)
+        if isinstance(node, FilterNode):
+            child = self._tagged_node(node.child)
+            tag_map = self.annotations.filter_maps.get(node.node_id)
+            if tag_map is None:
+                return child
+            return FilterPhysical(TaggedFilterOperator(node.predicate, tag_map), child)
+        if isinstance(node, JoinNode):
+            build = self._tagged_node(node.left)
+            probe = self._tagged_node(node.right)
+            tag_map = self.annotations.join_maps[node.node_id]
+            return JoinPhysical(TaggedJoinOperator(node.conditions, tag_map), build, probe)
+        self._reject_project(node)
+
+    # ------------------------------------------------------------------ #
+    # Traditional
+    # ------------------------------------------------------------------ #
+    def compile_traditional(self, plan: TraditionalPlan) -> PhysicalOperator:
+        if not plan.subplans:
+            raise ValueError("traditional plan has no subplans")
+        children = []
+        project_columns = None
+        for subplan in plan.subplans:
+            if not isinstance(subplan, ProjectNode):
+                raise ValueError("traditional subplans must be rooted at a ProjectNode")
+            project_columns = subplan.columns
+            children.append(self._traditional_node(subplan.child))
+        return TraditionalProjectPhysical(
+            children, project_columns or [], plan.needs_union
+        )
+
+    def _traditional_node(self, node: PlanNode) -> PhysicalOperator:
+        if isinstance(node, TableScanNode):
+            return self._scan(node)
+        if isinstance(node, FilterNode):
+            child = self._traditional_node(node.child)
+            return FilterPhysical(FilterOperator(node.predicate), child)
+        if isinstance(node, JoinNode):
+            build = self._traditional_node(node.left)
+            probe = self._traditional_node(node.right)
+            return JoinPhysical(HashJoinOperator(node.conditions), build, probe)
+        self._reject_project(node)
+
+    # ------------------------------------------------------------------ #
+    # Bypass
+    # ------------------------------------------------------------------ #
+    def compile_bypass(self, plan: PlanNode) -> PhysicalOperator:
+        if not isinstance(plan, ProjectNode):
+            raise ValueError("bypass plans must be rooted at a ProjectNode")
+        child = self._bypass_node(plan.child)
+        return BypassProjectPhysical(
+            child, self.predicate_tree, plan.columns, self.three_valued
+        )
+
+    def _bypass_node(self, node: PlanNode) -> PhysicalOperator:
+        if isinstance(node, TableScanNode):
+            return self._scan(node)
+        if isinstance(node, FilterNode):
+            child = self._bypass_node(node.child)
+            kernel = BypassFilterOperator(
+                node.predicate, self.predicate_tree, three_valued=self.three_valued
+            )
+            return FilterPhysical(kernel, child)
+        if isinstance(node, JoinNode):
+            build = self._bypass_node(node.left)
+            probe = self._bypass_node(node.right)
+            return JoinPhysical(
+                BypassJoinOperator(node.conditions, self.predicate_tree), build, probe
+            )
+        self._reject_project(node)

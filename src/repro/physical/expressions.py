@@ -1,0 +1,133 @@
+"""The shared expression-evaluation and join-key path.
+
+Before the physical-operator layer existed, the baseline, tagged, and bypass
+operator files each carried a private near-copy of the same three routines:
+building a :class:`~repro.expr.eval.RowBatch` over the aliases a predicate
+references, reading and encoding join-key columns, and orienting a join
+condition toward the build input.  Those copies drifted independently; this
+module is now the single implementation all three execution models call.
+
+Everything here is model-agnostic: functions accept the ``tables`` /
+``indices`` mappings every relation representation exposes (plain
+:class:`~repro.baseline.relation.Relation`, tagged relations, and bypass
+streams all share that shape), so no execution-model package is imported and
+no import cycles arise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.engine.metrics import ExecContext
+from repro.expr.ast import BooleanExpr, ColumnRef
+from repro.expr.eval import RowBatch
+from repro.plan.query import JoinCondition
+from repro.storage.table import Table
+from repro.utils.keys import composite_keys
+
+
+def evaluate_predicate(
+    predicate: BooleanExpr,
+    tables: Mapping[str, Table],
+    indices: Mapping[str, np.ndarray],
+    context: ExecContext,
+    positions: np.ndarray | None = None,
+    description: str = "filter",
+) -> np.ndarray:
+    """Evaluate ``predicate`` over an index relation; returns a truth array.
+
+    Args:
+        predicate: the boolean expression to evaluate.
+        tables: alias -> base table of the input relation.
+        indices: alias -> row-index array of the input relation.
+        context: execution context (cache + I/O accounting).
+        positions: optional relation row positions to restrict evaluation to;
+            ``None`` evaluates every row.
+        description: label used in the error message when the predicate
+            references aliases the relation does not have.
+
+    Returns:
+        One truth value (:mod:`repro.expr.three_valued`) per evaluated row,
+        aligned with ``positions`` (or with the whole relation).
+    """
+    aliases = predicate.tables()
+    missing = aliases - set(indices)
+    if missing:
+        raise ValueError(
+            f"{description} predicate {predicate.key()} references aliases "
+            f"{sorted(missing)} not present in the input relation "
+            f"(aliases: {sorted(indices)})"
+        )
+    if positions is None:
+        batch_indices = {alias: indices[alias] for alias in aliases}
+    else:
+        batch_indices = {alias: indices[alias][positions] for alias in aliases}
+    batch_tables = {alias: tables[alias] for alias in aliases}
+    batch = RowBatch(
+        batch_tables, batch_indices, cache=context.cache, iostats=context.iostats
+    )
+    return predicate.evaluate(batch)
+
+
+def orient_condition(
+    condition: JoinCondition, left_indices: Mapping[str, np.ndarray]
+) -> tuple[ColumnRef, ColumnRef]:
+    """Return ``(left column, right column)`` for a join's actual inputs.
+
+    Join conditions are stored in query order, which may be flipped relative
+    to how the planner arranged the join's inputs; this orients the condition
+    so the first column belongs to the left (build) input.
+    """
+    if condition.left.alias in left_indices:
+        return condition.left, condition.right
+    if condition.right.alias in left_indices:
+        return condition.right, condition.left
+    raise ValueError(
+        f"join condition {condition} does not reference the left input "
+        f"(aliases: {sorted(left_indices)})"
+    )
+
+
+def read_join_keys(
+    conditions: list[JoinCondition],
+    left_tables: Mapping[str, Table],
+    left_indices: Mapping[str, np.ndarray],
+    right_tables: Mapping[str, Table],
+    right_indices: Mapping[str, np.ndarray],
+    context: ExecContext,
+    left_positions: np.ndarray | None = None,
+    right_positions: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Read and encode the join-key columns of both inputs.
+
+    Column reads are accounted against the context's cache and I/O counters;
+    the values are folded into composite int64 keys (NULL keys become ``-1``,
+    which the join kernel drops — SQL equi-join semantics).
+
+    ``left_positions`` / ``right_positions`` optionally restrict each side to
+    a subset of its relation rows (tagged execution joins only the rows named
+    by its tag maps).
+    """
+    left_columns = []
+    right_columns = []
+    for condition in conditions:
+        left_ref, right_ref = orient_condition(condition, left_indices)
+        left_rows = left_indices[left_ref.alias]
+        if left_positions is not None:
+            left_rows = left_rows[left_positions]
+        right_rows = right_indices[right_ref.alias]
+        if right_positions is not None:
+            right_rows = right_rows[right_positions]
+        left_columns.append(
+            left_tables[left_ref.alias].read_column_at(
+                left_ref.column, left_rows, cache=context.cache, iostats=context.iostats
+            )
+        )
+        right_columns.append(
+            right_tables[right_ref.alias].read_column_at(
+                right_ref.column, right_rows, cache=context.cache, iostats=context.iostats
+            )
+        )
+    return composite_keys(left_columns, right_columns)

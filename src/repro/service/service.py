@@ -128,6 +128,13 @@ class QueryService:
         max_workers: worker threads used by :meth:`execute_batch`.
         default_timeout: per-query timeout in seconds applied when a batch
             does not specify one (``None`` waits indefinitely).
+        parallelism: intra-query morsel parallelism applied to queries served
+            *through this service* (``None`` keeps the session's setting; the
+            wrapped session itself is never mutated).  Inter-query
+            concurrency (``max_workers``) and intra-query parallelism
+            compose; the returned rows are the same either way.
+        partitions: table partitions per query served through this service
+            (``None`` keeps the session's setting).
     """
 
     def __init__(
@@ -136,10 +143,14 @@ class QueryService:
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
         max_workers: int = DEFAULT_MAX_WORKERS,
         default_timeout: float | None = None,
+        parallelism: int | None = None,
+        partitions: int | None = None,
     ) -> None:
         if isinstance(session, Catalog):
             session = Session(session)
         self.session = session
+        self.parallelism = parallelism
+        self.partitions = partitions
         if self.session.stats_provider is None:
             self.session.stats_provider = StatsCache(self.session.catalog)
         self.stats_cache = self.session.stats_provider
@@ -171,15 +182,27 @@ class QueryService:
         planner = planner.lower()
         query = self._bind(query)
         if planner == "tmin":
-            return self.session.execute(query, planner=planner, naive_tags=naive_tags)
+            return self.session.execute(
+                query,
+                planner=planner,
+                naive_tags=naive_tags,
+                parallelism=self.parallelism,
+                partitions=self.partitions,
+            )
 
         lookup_timer = Stopwatch()
         key = self._fingerprint(query, planner, naive_tags)
         prepared, reused = self._prepared_for(key, query, planner, naive_tags)
         if not reused:
-            return self.session.execute_prepared(prepared)
+            return self.session.execute_prepared(
+                prepared, parallelism=self.parallelism, partitions=self.partitions
+            )
         return self.session.execute_prepared(
-            prepared, planning_seconds=lookup_timer.elapsed(), cache_hit=True
+            prepared,
+            planning_seconds=lookup_timer.elapsed(),
+            cache_hit=True,
+            parallelism=self.parallelism,
+            partitions=self.partitions,
         )
 
     def _prepared_for(self, key: str, query, planner: str, naive_tags: bool):

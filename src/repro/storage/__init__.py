@@ -9,6 +9,7 @@ Public entry points:
 
 * :class:`~repro.storage.column.Column` — a single typed column.
 * :class:`~repro.storage.table.Table` — a named collection of columns.
+* :class:`~repro.storage.table.TablePartition` — a horizontal row-range slice.
 * :class:`~repro.storage.catalog.Catalog` — the set of tables known to an engine.
 * :class:`~repro.storage.bitmap.Bitmap` — row-selection bitmaps.
 * :class:`~repro.storage.pagecache.LFUPageCache` — the simulated page cache.
@@ -20,7 +21,7 @@ from repro.storage.catalog import Catalog
 from repro.storage.column import Column, ColumnType
 from repro.storage.iostats import IOStats
 from repro.storage.pagecache import LFUPageCache
-from repro.storage.table import Table
+from repro.storage.table import Table, TablePartition
 
 __all__ = [
     "Bitmap",
@@ -30,4 +31,5 @@ __all__ = [
     "IOStats",
     "LFUPageCache",
     "Table",
+    "TablePartition",
 ]

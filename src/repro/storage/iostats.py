@@ -64,6 +64,19 @@ class IOStats:
         self.selective_reads = 0
         self.values_read = 0
 
+    def merge(self, other: "IOStats") -> None:
+        """Accumulate another stats object into this one.
+
+        Parallel execution gives every morsel a private ``IOStats`` and
+        reduces them into the query's stats at the end, so counters are never
+        racily incremented from two threads.
+        """
+        self.pages_read += other.pages_read
+        self.pages_hit += other.pages_hit
+        self.sequential_scans += other.sequential_scans
+        self.selective_reads += other.selective_reads
+        self.values_read += other.values_read
+
     def snapshot(self) -> "IOStats":
         """Return an immutable-ish copy of the current counters."""
         return IOStats(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from collections.abc import Hashable, Iterable
 
 
@@ -22,6 +23,11 @@ class LFUPageCache:
     frequently used page when the cache is full.  Ties between equally
     frequent pages are broken by least-recent insertion, which mirrors the
     common LFU-with-aging implementation.
+
+    Accesses are serialized by an internal lock: one cache instance is shared
+    by every morsel of a partitioned query, so concurrent workers must not
+    corrupt the frequency table (the paper's system likewise shares one page
+    cache across all worker threads).
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -31,6 +37,7 @@ class LFUPageCache:
         self._frequencies: dict[Hashable, int] = {}
         self._heap: list[tuple[int, int, Hashable]] = []
         self._counter = itertools.count()
+        self._lock = threading.Lock()
 
     @property
     def capacity(self) -> int:
@@ -49,6 +56,10 @@ class LFUPageCache:
         On a miss the page becomes resident, evicting the LFU page if the
         cache is at capacity.  A zero-capacity cache never hits.
         """
+        with self._lock:
+            return self._access(page_id)
+
+    def _access(self, page_id: Hashable) -> bool:
         if self._capacity == 0:
             return False
         if page_id in self._frequencies:
@@ -67,17 +78,19 @@ class LFUPageCache:
         """Access a batch of pages; return ``(misses, hits)``."""
         misses = 0
         hits = 0
-        for page_id in page_ids:
-            if self.access(page_id):
-                hits += 1
-            else:
-                misses += 1
+        with self._lock:
+            for page_id in page_ids:
+                if self._access(page_id):
+                    hits += 1
+                else:
+                    misses += 1
         return misses, hits
 
     def clear(self) -> None:
         """Drop every resident page and reset frequencies."""
-        self._frequencies.clear()
-        self._heap.clear()
+        with self._lock:
+            self._frequencies.clear()
+            self._heap.clear()
 
     def _evict_one(self) -> None:
         """Evict the least-frequently-used resident page."""

@@ -1,8 +1,17 @@
-"""Tables: named collections of equal-length columns."""
+"""Tables: named collections of equal-length columns.
+
+Besides whole-table access, a table can be split into horizontal
+:class:`TablePartition` row-range slices (:meth:`Table.partitions`).  A
+partition is a lightweight view — reads still go through the parent table's
+columns, so page I/O is accounted against the same page cache and
+:class:`~repro.storage.iostats.IOStats` as an unpartitioned read.  Partitions
+are the unit of work ("morsels") handed to the parallel execution driver.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -10,6 +19,45 @@ from repro.storage.bitmap import Bitmap
 from repro.storage.column import Column, ColumnType
 from repro.storage.iostats import IOStats
 from repro.storage.pagecache import LFUPageCache
+
+
+@dataclass(frozen=True)
+class TablePartition:
+    """A contiguous row-range slice ``[start, stop)`` of a base table.
+
+    Attributes:
+        table: the parent table (shared, not copied).
+        index: position of this partition in the partition list.
+        start: first row of the range (inclusive).
+        stop: one past the last row of the range.
+    """
+
+    table: "Table"
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.stop <= self.table.num_rows:
+            raise ValueError(
+                f"partition [{self.start}, {self.stop}) out of bounds for table "
+                f"{self.table.name!r} with {self.table.num_rows} rows"
+            )
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the partition."""
+        return self.stop - self.start
+
+    def positions(self) -> np.ndarray:
+        """Row positions of the partition (into the parent table)."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"TablePartition({self.table.name!r}, #{self.index}, "
+            f"rows=[{self.start}, {self.stop}))"
+        )
 
 
 class Table:
@@ -114,6 +162,32 @@ class Table:
         if positions is None:
             positions = range(self._num_rows)
         return [self.row(int(position)) for position in positions]
+
+    # ------------------------------------------------------------------ #
+    # Horizontal partitioning
+    # ------------------------------------------------------------------ #
+    def partitions(self, count: int) -> list[TablePartition]:
+        """Split the table into ``count`` contiguous row-range partitions.
+
+        Row ranges are balanced the way :func:`numpy.array_split` balances
+        array chunks: the first ``num_rows % count`` partitions get one extra
+        row.  ``count`` is clamped to the number of rows, so no partition is
+        empty — except for an empty table, which yields a single empty
+        partition so callers always have at least one unit of work.
+        """
+        if count < 1:
+            raise ValueError(f"partition count must be positive, got {count}")
+        if self._num_rows == 0:
+            return [TablePartition(self, 0, 0, 0)]
+        count = min(count, self._num_rows)
+        base, extra = divmod(self._num_rows, count)
+        partitions: list[TablePartition] = []
+        start = 0
+        for index in range(count):
+            stop = start + base + (1 if index < extra else 0)
+            partitions.append(TablePartition(self, index, start, stop))
+            start = stop
+        return partitions
 
     # ------------------------------------------------------------------ #
     # Construction helpers
