@@ -4,11 +4,18 @@
 PYTHON ?= python
 RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
 
-.PHONY: test bench-smoke bench bench-parallel docs-check examples
+# Tag stamped into the BENCH_*.json artifacts written by `make bench`.
+BENCH_TAG ?= PR3
+
+.PHONY: test lint bench-smoke bench bench-parallel bench-feedback docs-check examples
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
 	$(RUN) -m pytest -x -q
+
+## lint gate (ruff; configured in pyproject.toml)
+lint:
+	$(RUN) -m ruff check .
 
 ## quick benchmark pass: service throughput + parallel-scan assertions + one
 ## paper figure, correctness checks only (the wall-clock speedup assertion is
@@ -16,6 +23,7 @@ test:
 bench-smoke:
 	$(RUN) -m pytest benchmarks/bench_service_throughput.py \
 	    benchmarks/bench_parallel_scan.py \
+	    benchmarks/bench_feedback_replan.py \
 	    benchmarks/bench_fig4a_selectivity.py -q --benchmark-disable \
 	    -k "not speedup"
 
@@ -24,9 +32,15 @@ bench-smoke:
 bench-parallel:
 	$(RUN) -m pytest benchmarks/bench_parallel_scan.py -q
 
-## full benchmark suite with timing (slow)
+## feedback-driven re-planning: work + wall-clock assertions, persists
+## its measurements into BENCH_PR3.json
+bench-feedback:
+	$(RUN) -m pytest benchmarks/bench_feedback_replan.py -q
+
+## full benchmark suite with timing (slow); always leaves a BENCH_*.json
+## artifact behind so the perf trajectory is tracked
 bench:
-	$(RUN) -m pytest benchmarks -q
+	$(RUN) -m pytest benchmarks -q --benchmark-json=BENCH_$(BENCH_TAG).pytest.json
 
 ## docs gates: every public module has a docstring, README examples execute
 docs-check:

@@ -83,21 +83,21 @@ class _TraditionalPlannerBase:
         for alias in query.aliases:
             pushed = sorted(
                 per_alias[alias],
-                key=lambda expr: (context.selectivity.selectivity(expr), expr.key()),
+                key=lambda expr: (context.estimates.selectivity(expr), expr.key()),
             )
             leaf_plans[alias] = self._stack(self._scan(alias), list(reversed(pushed)))
-            rows = context.cardinality.base_rows(alias)
+            rows = context.estimates.base_rows(alias)
             for predicate in pushed:
-                rows *= context.selectivity.selectivity(predicate)
+                rows *= context.estimates.selectivity(predicate)
             estimated_rows[alias] = rows
 
         if len(query.aliases) == 1:
             joined: PlanNode = leaf_plans[query.aliases[0]]
         else:
-            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.cardinality)
+            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.estimates)
 
         remaining_sorted = sorted(
-            remaining, key=lambda expr: (context.selectivity.selectivity(expr), expr.key())
+            remaining, key=lambda expr: (context.estimates.selectivity(expr), expr.key())
         )
         joined = self._stack(joined, remaining_sorted)
         return ProjectNode(joined, query.select)
@@ -150,18 +150,18 @@ class BPushConjPlanner(_TraditionalPlannerBase):
         for alias in query.aliases:
             pushed = per_alias[alias]
             leaf_plans[alias] = self._stack(self._scan(alias), pushed)
-            rows = context.cardinality.base_rows(alias)
+            rows = context.estimates.base_rows(alias)
             for predicate in pushed:
-                rows *= context.selectivity.selectivity(predicate)
+                rows *= context.estimates.selectivity(predicate)
             estimated_rows[alias] = rows
 
         if len(query.aliases) == 1:
             joined: PlanNode = leaf_plans[query.aliases[0]]
         else:
-            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.cardinality)
+            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.estimates)
 
         remaining_sorted = sorted(
-            remaining, key=lambda expr: (context.selectivity.selectivity(expr), expr.key())
+            remaining, key=lambda expr: (context.estimates.selectivity(expr), expr.key())
         )
         joined = self._stack(joined, remaining_sorted)
         return TraditionalPlan(self.name, [ProjectNode(joined, query.select)])

@@ -1,0 +1,61 @@
+"""Persisting benchmark results to ``BENCH_*.json`` files.
+
+The repository tracks its performance trajectory in versioned
+``BENCH_<tag>.json`` files at the repo root: each benchmark that wants its
+numbers on the record calls :func:`record_bench_result`, which merge-updates
+the JSON document so independent benchmarks (and repeated runs) compose into
+one file.  ``make bench`` additionally passes ``--benchmark-json`` to
+pytest-benchmark, so full timing runs always leave a ``BENCH_*.json``
+artifact behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Environment variable overriding where results are recorded.
+RESULTS_PATH_ENV = "BENCH_RESULTS_PATH"
+
+#: Default results file (relative to the working directory, i.e. the repo
+#: root under ``make bench``).
+DEFAULT_RESULTS_FILE = "BENCH_PR3.json"
+
+
+def results_path(path: str | os.PathLike | None = None) -> Path:
+    """Resolve the results file: explicit arg > env var > default."""
+    if path is not None:
+        return Path(path)
+    return Path(os.environ.get(RESULTS_PATH_ENV, DEFAULT_RESULTS_FILE))
+
+
+def record_bench_result(
+    name: str,
+    payload: dict,
+    path: str | os.PathLike | None = None,
+) -> Path:
+    """Merge ``payload`` into the results file under ``name``; returns the path.
+
+    The file maps benchmark names to payload dictionaries.  Existing entries
+    for other benchmarks are preserved; re-recording the same benchmark
+    updates its keys in place.
+    """
+    target = results_path(path)
+    if target.exists():
+        try:
+            data = json.loads(target.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            data = {}
+        if not isinstance(data, dict):
+            data = {}
+    else:
+        data = {}
+    entry = data.setdefault(name, {})
+    if not isinstance(entry, dict):
+        entry = data[name] = {}
+    entry.update(payload)
+    target.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target

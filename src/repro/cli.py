@@ -17,6 +17,7 @@ Examples::
     python -m repro generate synthetic --out data/t0t1t2 --table-size 10000
     python -m repro query --data data/t0t1t2 --planner tcombined \
         --sql "SELECT * FROM T0 JOIN T1 ON T0.id = T1.fid WHERE T1.A1 < 0.2"
+    python -m repro query --data data/t0t1t2 --explain-analyze --sql "..."
     python -m repro compare --data data/t0t1t2 --sql "..." --planners tcombined bdisj
     python -m repro batch --data data/t0t1t2 --file queries.sql --repeat 5 --workers 4
     python -m repro serve --data data/t0t1t2 --planner tcombined
@@ -92,6 +93,17 @@ def _session_for(args: argparse.Namespace) -> Session:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     session = _session_for(args)
+    if args.explain_analyze:
+        if args.planner == "tmin":
+            print("--explain-analyze is unavailable for the tmin oracle", file=sys.stderr)
+            return 2
+        from repro.optimizer import explain_analyze_report
+
+        prepared = session.prepare(args.sql, planner=args.planner)
+        result = session.execute_prepared(prepared, collect_feedback=True)
+        _print_result(result, args.max_rows, args.metrics)
+        print(explain_analyze_report(prepared, result))
+        return 0
     result = session.execute(args.sql, planner=args.planner)
     _print_result(result, args.max_rows, args.metrics)
     return 0
@@ -190,13 +202,14 @@ def split_statements(text: str) -> list[str]:
 
 
 def _print_cache_metrics(service: QueryService) -> None:
-    rows = [
-        [cache_name] + [f"{value:.2f}" if key == "hit_rate" else int(value)
-                        for key, value in sorted(counters.items())]
-        for cache_name, counters in sorted(service.cache_metrics().items())
-    ]
-    headers = ["cache"] + sorted(next(iter(service.cache_metrics().values())))
-    print(format_table(headers, rows))
+    # Caches expose different counter sets (the feedback store has its own),
+    # so print one "key=value ..." line per cache instead of a rigid table.
+    for cache_name, counters in sorted(service.cache_metrics().items()):
+        rendered = " ".join(
+            f"{key}={value:.2f}" if key == "hit_rate" else f"{key}={int(value)}"
+            for key, value in sorted(counters.items())
+        )
+        print(f"{cache_name}: {rendered}")
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -217,6 +230,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         plan_cache_size=args.cache_size,
         max_workers=args.workers,
         default_timeout=args.timeout,
+        feedback=args.feedback,
+        qerror_threshold=args.qerror_threshold,
     ) as service:
         report = service.execute_batch(statements, planner=args.planner)
         rows = []
@@ -255,7 +270,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"repro serve — planner={args.planner}; terminate statements with ';', "
             "'\\stats' shows cache metrics, '\\quit' exits."
         )
-    with QueryService(session, plan_cache_size=args.cache_size) as service:
+    with QueryService(
+        session,
+        plan_cache_size=args.cache_size,
+        feedback=args.feedback,
+        qerror_threshold=args.qerror_threshold,
+    ) as service:
 
         def run_statement(statement: str) -> None:
             try:
@@ -317,6 +337,22 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 # Argument parsing
 # --------------------------------------------------------------------------- #
+def _add_feedback_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--feedback",
+        action="store_true",
+        help="record observed selectivities and re-plan cached queries whose "
+        "cardinality estimates drift (results are unchanged)",
+    )
+    parser.add_argument(
+        "--qerror-threshold",
+        type=float,
+        default=2.0,
+        help="estimated-vs-actual output q-error above which a cached plan "
+        "is re-planned (with --feedback)",
+    )
+
+
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--parallelism",
@@ -356,6 +392,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--planner", default="tcombined", choices=sorted(ALL_PLANNERS))
     query.add_argument("--max-rows", type=int, default=DEFAULT_MAX_ROWS)
     query.add_argument("--metrics", action="store_true", help="print work counters")
+    query.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="execute, then print estimated vs actual rows per operator",
+    )
     _add_parallel_flags(query)
     query.set_defaults(func=_cmd_query)
 
@@ -389,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--timeout", type=float, default=None, help="per-query timeout (s)")
     batch.add_argument("--cache-size", type=int, default=256, help="plan cache capacity")
     batch.add_argument("--metrics", action="store_true", help="print summed work counters")
+    _add_feedback_flags(batch)
     _add_parallel_flags(batch)
     batch.set_defaults(func=_cmd_batch)
 
@@ -399,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--planner", default="tcombined", choices=sorted(ALL_PLANNERS))
     serve.add_argument("--cache-size", type=int, default=256, help="plan cache capacity")
     serve.add_argument("--max-rows", type=int, default=DEFAULT_MAX_ROWS)
+    _add_feedback_flags(serve)
     _add_parallel_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 

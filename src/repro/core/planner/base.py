@@ -1,7 +1,13 @@
 """Shared planner infrastructure.
 
-:class:`PlannerContext` bundles everything a planner needs about one query
-(the query itself, its predicate tree, statistics and estimators).
+:class:`PlannerContext` bundles everything a planner needs about one query:
+the query itself, its predicate tree and a single
+:class:`~repro.optimizer.estimates.EstimateProvider` supplying all planning
+numbers (table statistics, per-expression selectivities, cost constants).
+Planners never construct estimators themselves — the provider is built by
+:func:`repro.optimizer.estimates.build_estimate_provider` and may carry
+feedback-corrected selectivity overrides injected by the service layer.
+
 :class:`TaggedPlanner` is the base class: subclasses implement
 :meth:`TaggedPlanner.build_plan` and inherit costing and common plan-building
 helpers.
@@ -10,6 +16,7 @@ helpers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.planner.benefit import benefiting_order
 from repro.core.planner.cost import CostParams, estimate_plan_cost
@@ -19,10 +26,11 @@ from repro.expr.ast import BooleanExpr
 from repro.expr.builders import or_
 from repro.plan.logical import FilterNode, PlanNode, ProjectNode, TableScanNode
 from repro.plan.query import Query
-from repro.stats.cardinality import CardinalityEstimator
-from repro.stats.selectivity import SelectivityEstimator
-from repro.stats.table_stats import TableStats, collect_table_stats
+from repro.stats.table_stats import TableStats
 from repro.storage.catalog import Catalog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.optimizer.estimates import EstimateProvider
 
 
 @dataclass
@@ -31,13 +39,20 @@ class PlannerContext:
 
     query: Query
     catalog: Catalog
-    table_stats: dict[str, TableStats]
-    selectivity: SelectivityEstimator
-    cardinality: CardinalityEstimator
+    estimates: "EstimateProvider"
     predicate_tree: PredicateTree | None
-    cost_params: CostParams = field(default_factory=CostParams)
     three_valued: bool = True
     naive_tags: bool = False
+
+    @property
+    def table_stats(self) -> dict[str, TableStats]:
+        """Per-table summary statistics (delegates to the estimate provider)."""
+        return self.estimates.table_stats
+
+    @property
+    def cost_params(self) -> CostParams:
+        """Cost-model constants (delegates to the estimate provider)."""
+        return self.estimates.cost_params
 
     @classmethod
     def for_query(
@@ -50,60 +65,35 @@ class PlannerContext:
         sample_size: int = 20_000,
         selectivity_mode: str = "measured",
         stats_provider=None,
+        selectivity_overrides=None,
     ) -> "PlannerContext":
-        """Collect statistics and estimators for ``query``.
+        """Build the estimate provider and predicate tree for ``query``.
 
-        ``selectivity_mode`` selects how base-predicate selectivities are
-        estimated: ``"measured"`` evaluates each predicate on a sample (the
-        paper's approach), ``"histogram"`` answers simple numeric predicates
-        from per-column equi-depth histograms.
-
-        ``stats_provider`` optionally supplies the two cacheable (per-table,
-        query-independent) ingredients of a context — ``table_stats(table)``
-        summaries and ``sample_positions(table, sample_size, seed)`` sample
-        draws — so a caller serving many queries (the service layer's stats
-        cache) computes them once per catalog version instead of once per
-        call.  When omitted, both are computed from scratch, which is
-        byte-for-byte equivalent because stats collection and sampling are
-        deterministic.
+        All estimation knobs (``sample_size``, ``selectivity_mode``,
+        ``stats_provider``, ``selectivity_overrides``) are forwarded to
+        :func:`repro.optimizer.estimates.build_estimate_provider`; see there
+        for their meaning.  ``selectivity_overrides`` is how the service
+        layer injects runtime-observed selectivities when re-planning.
         """
-        if stats_provider is not None:
-            table_stats = {
-                table_name: stats_provider.table_stats(catalog.get(table_name))
-                for table_name in set(query.tables.values())
-            }
-            sample_provider = stats_provider.sample_positions
-        else:
-            table_stats = {
-                table_name: collect_table_stats(catalog.get(table_name))
-                for table_name in set(query.tables.values())
-            }
-            sample_provider = None
-        if selectivity_mode == "measured":
-            selectivity = SelectivityEstimator(
-                catalog, query, sample_size=sample_size, sample_provider=sample_provider
-            )
-        elif selectivity_mode == "histogram":
-            from repro.stats.histograms import HistogramSelectivityEstimator
+        # Imported lazily: the optimizer package imports the cost model from
+        # this package, so a module-level import would be circular.
+        from repro.optimizer.estimates import build_estimate_provider
 
-            selectivity = HistogramSelectivityEstimator(
-                catalog, query, sample_size=sample_size, sample_provider=sample_provider
-            )
-        else:
-            raise ValueError(
-                f"unknown selectivity_mode {selectivity_mode!r}; "
-                "choose 'measured' or 'histogram'"
-            )
-        cardinality = CardinalityEstimator(query, table_stats, selectivity)
+        estimates = build_estimate_provider(
+            query,
+            catalog,
+            cost_params=cost_params,
+            sample_size=sample_size,
+            selectivity_mode=selectivity_mode,
+            stats_provider=stats_provider,
+            selectivity_overrides=selectivity_overrides,
+        )
         tree = PredicateTree(query.predicate) if query.predicate is not None else None
         return cls(
             query=query,
             catalog=catalog,
-            table_stats=table_stats,
-            selectivity=selectivity,
-            cardinality=cardinality,
+            estimates=estimates,
             predicate_tree=tree,
-            cost_params=cost_params or CostParams(),
             three_valued=three_valued,
             naive_tags=naive_tags,
         )
@@ -126,12 +116,7 @@ class PlannerContext:
 
     def order_filters(self, filters: list[BooleanExpr]) -> list[BooleanExpr]:
         """Sort filters in benefiting order (Appendix A)."""
-        return benefiting_order(
-            self.predicate_tree,
-            filters,
-            self.selectivity.selectivity,
-            self.selectivity.cost_factor,
-        )
+        return benefiting_order(self.predicate_tree, filters, self.estimates)
 
     def effective_alias_rows(
         self, alias: str, pushed: list[BooleanExpr], disjunctive: bool
@@ -143,25 +128,30 @@ class PlannerContext:
         dropped by precept (1)), so the surviving fraction is the selectivity
         of their disjunction; conjunctive pushes multiply selectivities.
         """
-        base = self.cardinality.base_rows(alias)
+        base = self.estimates.base_rows(alias)
         if not pushed:
             return base
         if disjunctive and len(pushed) > 1:
-            return base * self.selectivity.selectivity(or_(*pushed))
+            return base * self.estimates.selectivity(or_(*pushed))
         rows = base
         for predicate in pushed:
-            rows *= self.selectivity.selectivity(predicate)
+            rows *= self.estimates.selectivity(predicate)
         return rows
 
 
 @dataclass
 class PlannerResult:
-    """A planned query: the logical plan, its tag maps and its estimated cost."""
+    """A planned query: the logical plan, its tag maps and its estimated cost.
+
+    ``node_rows`` carries the cost model's estimated output rows per plan
+    node id (``--explain-analyze`` lines them up against observed rows).
+    """
 
     planner_name: str
     plan: PlanNode
     annotations: PlanTagAnnotations
     estimated_cost: float
+    node_rows: dict[int, float] = field(default_factory=dict)
 
     def describe(self) -> str:
         """One-line summary used by reports."""
@@ -184,24 +174,29 @@ class TaggedPlanner:
         raise NotImplementedError
 
     def plan(self) -> PlannerResult:
-        """Build the plan, its tag maps and its estimated cost."""
+        """Build the plan, its tag maps, its estimated cost and row counts."""
         logical_plan = self.build_plan()
-        annotations, cost = self.cost_plan(logical_plan)
-        return PlannerResult(self.name, logical_plan, annotations, cost)
+        annotations, breakdown = self.cost_breakdown(logical_plan)
+        return PlannerResult(
+            self.name,
+            logical_plan,
+            annotations,
+            breakdown.total,
+            node_rows=dict(breakdown.node_rows),
+        )
 
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
+    def cost_breakdown(self, plan: PlanNode):
+        """Tag maps + full cost breakdown for a candidate plan."""
+        annotations = self.context.tag_map_builder().build(plan)
+        breakdown = estimate_plan_cost(plan, annotations, self.context.estimates)
+        return annotations, breakdown
+
     def cost_plan(self, plan: PlanNode) -> tuple[PlanTagAnnotations, float]:
         """Tag maps + estimated cost for a candidate plan."""
-        annotations = self.context.tag_map_builder().build(plan)
-        breakdown = estimate_plan_cost(
-            plan,
-            annotations,
-            self.context.selectivity,
-            self.context.cardinality,
-            self.context.cost_params,
-        )
+        annotations, breakdown = self.cost_breakdown(plan)
         return annotations, breakdown.total
 
     def scan_node(self, alias: str) -> TableScanNode:

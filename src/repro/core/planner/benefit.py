@@ -52,16 +52,20 @@ def benefit_score(
 def benefiting_order(
     tree: PredicateTree | None,
     filters: Sequence[BooleanExpr],
-    selectivity: Callable[[BooleanExpr], float],
-    cost_factor: Callable[[BooleanExpr], float],
+    estimates,
 ) -> list[BooleanExpr]:
     """Sort filters in decreasing ``benefit / cost-factor`` order.
 
-    Each filter is scored against the set of the *other* filters, matching
-    the paper's use of the score as a proxy for plan cost.  Ties are broken
-    by increasing selectivity (more selective first) and then by key for
-    determinism.
+    ``estimates`` is the query's
+    :class:`~repro.optimizer.estimates.EstimateProvider` (anything exposing
+    ``selectivity(expr)`` and ``cost_factor(expr)`` works, which the unit
+    tests use for controlled scores).  Each filter is scored against the set
+    of the *other* filters, matching the paper's use of the score as a proxy
+    for plan cost.  Ties are broken by increasing selectivity (more
+    selective first) and then by key for determinism.
     """
+    selectivity = estimates.selectivity
+    cost_factor = estimates.cost_factor
     filters = list(filters)
     if tree is None or len(filters) <= 1:
         return sorted(filters, key=lambda expr: (selectivity(expr), expr.key()))

@@ -42,4 +42,10 @@ class TCombinedPlanner(TaggedPlanner):
 
     def plan(self) -> PlannerResult:
         best = min(self.candidates(), key=lambda result: result.estimated_cost)
-        return PlannerResult(self.name, best.plan, best.annotations, best.estimated_cost)
+        return PlannerResult(
+            self.name,
+            best.plan,
+            best.annotations,
+            best.estimated_cost,
+            node_rows=dict(best.node_rows),
+        )

@@ -8,21 +8,22 @@ operator only pays for the relational slices its tag map touches:
   slices, with the output cardinality estimated PostgreSQL-style.
 
 Per-slice cardinalities are estimated by walking the plan bottom-up with the
-same tag maps the executor will use, multiplying slice sizes by measured
-predicate selectivities under the independence assumption.
+same tag maps the executor will use, multiplying slice sizes by predicate
+selectivities under the independence assumption.  Every number comes from a
+single :class:`~repro.optimizer.estimates.EstimateProvider` — the unified
+estimation layer all planners share — so feedback-corrected selectivities
+flow into costing without any changes here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.core.tagmap import PlanTagAnnotations, TagMapBuilder
+from repro.core.tagmap import PlanTagAnnotations
 from repro.core.tags import Tag
 from repro.expr.ast import BooleanExpr
 from repro.plan.logical import FilterNode, JoinNode, PlanNode, ProjectNode, TableScanNode
 from repro.plan.query import JoinCondition
-from repro.stats.cardinality import CardinalityEstimator
-from repro.stats.selectivity import SelectivityEstimator
 
 
 @dataclass(frozen=True)
@@ -41,11 +42,17 @@ class CostParams:
 
 @dataclass
 class PlanCostBreakdown:
-    """Total plan cost plus per-operator contributions."""
+    """Total plan cost plus per-operator contributions.
+
+    ``node_rows`` maps each plan node id to its estimated output rows
+    (summed over tags); the session stores it on prepared plans so
+    ``--explain-analyze`` can line estimates up against actuals.
+    """
 
     total: float = 0.0
     filter_cost: float = 0.0
     join_cost: float = 0.0
+    node_rows: dict[int, float] = field(default_factory=dict)
 
     def add_filter(self, amount: float) -> None:
         self.filter_cost += amount
@@ -59,70 +66,67 @@ class PlanCostBreakdown:
 def estimate_plan_cost(
     plan: PlanNode,
     annotations: PlanTagAnnotations,
-    selectivity: SelectivityEstimator,
-    cardinality: CardinalityEstimator,
+    estimates,
     params: CostParams | None = None,
 ) -> PlanCostBreakdown:
     """Estimate the execution cost of a tagged plan.
 
     ``annotations`` must have been produced for exactly this plan (the tag
-    maps are looked up by node id).
+    maps are looked up by node id).  ``estimates`` is the query's
+    :class:`~repro.optimizer.estimates.EstimateProvider`; ``params``
+    defaults to the provider's cost constants.
     """
-    params = params or CostParams()
+    params = params or estimates.cost_params
     breakdown = PlanCostBreakdown()
-    _estimate_node(plan, annotations, selectivity, cardinality, params, breakdown)
+    _estimate_node(plan, annotations, estimates, params, breakdown)
     return breakdown
 
 
 def _estimate_node(
     node: PlanNode,
     annotations: PlanTagAnnotations,
-    selectivity: SelectivityEstimator,
-    cardinality: CardinalityEstimator,
+    estimates,
     params: CostParams,
     breakdown: PlanCostBreakdown,
 ) -> dict[Tag, float]:
     """Return estimated rows per output tag of ``node``."""
     if isinstance(node, TableScanNode):
-        return {Tag.empty(): cardinality.base_rows(node.alias)}
-
-    if isinstance(node, FilterNode):
+        output = {Tag.empty(): estimates.base_rows(node.alias)}
+    elif isinstance(node, FilterNode):
         input_rows = _estimate_node(
-            node.child, annotations, selectivity, cardinality, params, breakdown
+            node.child, annotations, estimates, params, breakdown
         )
-        return _estimate_filter(node, input_rows, annotations, selectivity, params, breakdown)
-
-    if isinstance(node, JoinNode):
-        left_rows = _estimate_node(
-            node.left, annotations, selectivity, cardinality, params, breakdown
+        output = _estimate_filter(
+            node, input_rows, annotations, estimates, params, breakdown
         )
+    elif isinstance(node, JoinNode):
+        left_rows = _estimate_node(node.left, annotations, estimates, params, breakdown)
         right_rows = _estimate_node(
-            node.right, annotations, selectivity, cardinality, params, breakdown
+            node.right, annotations, estimates, params, breakdown
         )
-        return _estimate_join(
-            node, left_rows, right_rows, annotations, cardinality, params, breakdown
+        output = _estimate_join(
+            node, left_rows, right_rows, annotations, estimates, params, breakdown
         )
-
-    if isinstance(node, ProjectNode):
-        return _estimate_node(
-            node.child, annotations, selectivity, cardinality, params, breakdown
-        )
-
-    raise TypeError(f"unknown plan node type: {type(node).__name__}")
+    elif isinstance(node, ProjectNode):
+        output = _estimate_node(node.child, annotations, estimates, params, breakdown)
+    else:
+        raise TypeError(f"unknown plan node type: {type(node).__name__}")
+    breakdown.node_rows[node.node_id] = sum(output.values())
+    return output
 
 
 def _estimate_filter(
     node: FilterNode,
     input_rows: dict[Tag, float],
     annotations: PlanTagAnnotations,
-    selectivity: SelectivityEstimator,
+    estimates,
     params: CostParams,
     breakdown: PlanCostBreakdown,
 ) -> dict[Tag, float]:
     tag_map = annotations.filter_maps.get(node.node_id)
     predicate = node.predicate
-    predicate_selectivity = selectivity.selectivity(predicate)
-    cost_factor = selectivity.cost_factor(predicate)
+    predicate_selectivity = estimates.selectivity(predicate)
+    cost_factor = estimates.cost_factor(predicate)
 
     output: dict[Tag, float] = {}
 
@@ -152,7 +156,7 @@ def _estimate_join(
     left_rows: dict[Tag, float],
     right_rows: dict[Tag, float],
     annotations: PlanTagAnnotations,
-    cardinality: CardinalityEstimator,
+    estimates,
     params: CostParams,
     breakdown: PlanCostBreakdown,
 ) -> dict[Tag, float]:
@@ -166,7 +170,7 @@ def _estimate_join(
     left_total = sum(left_rows[tag] for tag in participating_left)
     right_total = sum(right_rows[tag] for tag in participating_right)
 
-    unique_left = _estimate_unique(left_total, node.conditions, cardinality, side="left")
+    unique_left = _estimate_unique(left_total, node.conditions, estimates, side="left")
     hash_build = params.f_hash_lookup * left_total + params.f_hash_build * unique_left
     hash_lookup = params.f_hash_lookup * right_total
 
@@ -174,7 +178,7 @@ def _estimate_join(
     for (left_tag, right_tag), out_tag in tag_map.entries.items():
         if left_tag not in left_rows or right_tag not in right_rows:
             continue
-        pair_output = cardinality.join_rows_multi(
+        pair_output = estimates.join_rows_multi(
             left_rows[left_tag], right_rows[right_tag], node.conditions
         )
         output[out_tag] = output.get(out_tag, 0.0) + pair_output
@@ -188,7 +192,7 @@ def _estimate_join(
 def _estimate_unique(
     rows: float,
     conditions: list[JoinCondition],
-    cardinality: CardinalityEstimator,
+    estimates,
     side: str,
 ) -> float:
     """Estimated number of distinct join keys among ``rows`` input rows."""
@@ -196,7 +200,7 @@ def _estimate_unique(
         return rows
     condition = conditions[0]
     ref = condition.left if side == "left" else condition.right
-    distinct = cardinality.distinct_values(ref.alias, ref.column)
+    distinct = estimates.distinct_values(ref.alias, ref.column)
     return min(rows, distinct)
 
 

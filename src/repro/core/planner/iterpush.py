@@ -68,12 +68,12 @@ class TIterPushPlanner(TaggedPlanner):
             alias: self.scan_node(alias) for alias in query.aliases
         }
         estimated_rows = {
-            alias: context.cardinality.base_rows(alias) for alias in query.aliases
+            alias: context.estimates.base_rows(alias) for alias in query.aliases
         }
         if len(query.aliases) == 1:
             joined: PlanNode = leaf_plans[query.aliases[0]]
         else:
-            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.cardinality)
+            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.estimates)
 
         if context.predicate_tree is None:
             return self.finish(joined)

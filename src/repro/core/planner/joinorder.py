@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 from repro.plan.logical import JoinNode, PlanNode
 from repro.plan.query import Query
-from repro.stats.cardinality import CardinalityEstimator
 
 
 @dataclass
@@ -30,7 +29,7 @@ def greedy_join_tree(
     query: Query,
     leaf_plans: dict[str, PlanNode],
     estimated_rows: dict[str, float],
-    cardinality: CardinalityEstimator,
+    estimates,
 ) -> PlanNode:
     """Build a join tree over ``leaf_plans`` by greedy smallest-output joins.
 
@@ -53,7 +52,7 @@ def greedy_join_tree(
                 )
                 if not conditions:
                     continue
-                output_rows = cardinality.join_rows_multi(
+                output_rows = estimates.join_rows_multi(
                     components[i].estimated_rows,
                     components[j].estimated_rows,
                     conditions,

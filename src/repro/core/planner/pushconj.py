@@ -71,10 +71,10 @@ class TPushConjPlanner(TaggedPlanner):
         if len(query.aliases) == 1:
             joined: PlanNode = leaf_plans[query.aliases[0]]
         else:
-            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.cardinality)
+            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.estimates)
 
         remaining_sorted = sorted(
-            remaining, key=lambda expr: (context.selectivity.selectivity(expr), expr.key())
+            remaining, key=lambda expr: (context.estimates.selectivity(expr), expr.key())
         )
         # Most selective clause first means it must sit lowest in the stack.
         joined = self.stack_filters(joined, remaining_sorted)

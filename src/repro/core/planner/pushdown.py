@@ -44,7 +44,7 @@ class TPushdownPlanner(TaggedPlanner):
         if len(query.aliases) == 1:
             joined: PlanNode = leaf_plans[query.aliases[0]]
         else:
-            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.cardinality)
+            joined = greedy_join_tree(query, leaf_plans, estimated_rows, context.estimates)
 
         remaining = context.order_filters(multi_table)
         joined = self.stack_filters(joined, remaining)

@@ -35,6 +35,32 @@ class ExecutionMetrics:
     hash_tables_built: int = 0
     output_rows: int = 0
     morsels_executed: int = 0
+    #: Per-predicate observation counts: expression key -> [rows evaluated,
+    #: rows matched].  Only populated when the execution context runs with
+    #: ``collect_feedback`` (the observed ratio feeds re-optimization).
+    predicate_counts: dict[str, list[int]] = field(default_factory=dict)
+    #: Per-operator actual row counts: logical node id -> [rows in, rows out]
+    #: (``--explain-analyze``); populated under ``collect_feedback`` only.
+    operator_actuals: dict[int, list[int]] = field(default_factory=dict)
+
+    def record_predicate(self, key: str, evaluated: int, matched: int) -> None:
+        """Accumulate one predicate evaluation's observed pass counts."""
+        bucket = self.predicate_counts.setdefault(key, [0, 0])
+        bucket[0] += evaluated
+        bucket[1] += matched
+
+    def record_operator(self, node_id: int, rows_in: int, rows_out: int) -> None:
+        """Accumulate one operator invocation's actual rows in/out."""
+        bucket = self.operator_actuals.setdefault(node_id, [0, 0])
+        bucket[0] += rows_in
+        bucket[1] += rows_out
+
+    def observed_selectivity(self, key: str) -> float | None:
+        """Observed pass rate of a recorded predicate (None when unseen)."""
+        bucket = self.predicate_counts.get(key)
+        if bucket is None or bucket[0] <= 0:
+            return None
+        return bucket[1] / bucket[0]
 
     def merge(self, other: "ExecutionMetrics") -> None:
         """Accumulate another metrics object into this one."""
@@ -53,9 +79,18 @@ class ExecutionMetrics:
         self.hash_tables_built += other.hash_tables_built
         self.output_rows += other.output_rows
         self.morsels_executed += other.morsels_executed
+        for key, (evaluated, matched) in other.predicate_counts.items():
+            self.record_predicate(key, evaluated, matched)
+        for node_id, (rows_in, rows_out) in other.operator_actuals.items():
+            self.record_operator(node_id, rows_in, rows_out)
 
     def as_dict(self) -> dict[str, int]:
-        """The counters as a plain dictionary (for reports)."""
+        """The scalar counters as a plain dictionary (for reports).
+
+        The per-predicate and per-operator observation maps are exposed via
+        :attr:`predicate_counts` / :attr:`operator_actuals` instead so the
+        tabular reports stay scalar-valued.
+        """
         return {
             "predicate_rows_evaluated": self.predicate_rows_evaluated,
             "predicate_evaluations": self.predicate_evaluations,
@@ -102,6 +137,11 @@ class ExecContext:
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
     iostats: IOStats = field(default_factory=IOStats)
     cache: LFUPageCache = field(default_factory=LFUPageCache)
+    #: When True, operators additionally record per-predicate match counts
+    #: and per-operator actual row counts (the raw material of the feedback
+    #: loop and of ``--explain-analyze``).  Off by default: the counting
+    #: passes cost extra array reductions on the execution hot path.
+    collect_feedback: bool = False
 
     def timer(self) -> "Stopwatch":
         """A fresh stopwatch (convenience for callers timing phases)."""
@@ -109,7 +149,7 @@ class ExecContext:
 
     def fork(self) -> "ExecContext":
         """A child context for one morsel: fresh counters, shared page cache."""
-        return ExecContext(cache=self.cache)
+        return ExecContext(cache=self.cache, collect_feedback=self.collect_feedback)
 
     def absorb(self, child: "ExecContext") -> None:
         """Merge a forked child's counters back into this context."""

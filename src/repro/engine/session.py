@@ -45,7 +45,7 @@ entirely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.baseline.planners import BDisjPlanner, BPushConjPlanner, TraditionalPlan
 from repro.bypass.planner import BypassPlan, BypassPlanner
@@ -89,6 +89,16 @@ class PreparedPlan:
         plan_description: pretty-printed plan, as shown by ``explain``.
         planning_seconds: wall-clock cost of the prepare phase.
         catalog_version: catalog version the plan was built against.
+        estimated_rows: estimated output rows per plan node id (tag-aware
+            for tagged plans, generic bottom-up walk otherwise); consumed by
+            ``--explain-analyze``.
+        estimated_output_rows: the plan's estimated output cardinality —
+            the root entry of ``estimated_rows`` (for traditional plans the
+            sum over subplan roots, which over-counts rows matched by
+            several clauses).  The service layer's feedback loop holds this
+            against the observed output cardinality (q-error).
+        selectivity_overrides: feedback-corrected selectivities the plan was
+            built with (empty for a purely a-priori plan).
     """
 
     planner: str
@@ -101,6 +111,9 @@ class PreparedPlan:
     plan_description: str
     planning_seconds: float
     catalog_version: int
+    estimated_rows: dict[int, float] = field(default_factory=dict)
+    estimated_output_rows: float = 0.0
+    selectivity_overrides: dict[str, float] = field(default_factory=dict)
 
 
 class Session:
@@ -183,12 +196,20 @@ class Session:
         query: Query | str,
         planner: str = "tcombined",
         naive_tags: bool = False,
+        selectivity_overrides=None,
     ) -> PreparedPlan:
         """Parse, collect statistics and plan; returns a :class:`PreparedPlan`.
 
         ``tmin`` cannot be prepared: it is an oracle that *executes* every
         tagged candidate and keeps the fastest, so there is no single plan to
         hand back before execution.
+
+        ``selectivity_overrides`` maps expression keys to observed
+        selectivities (see
+        :class:`~repro.optimizer.estimates.EstimateProvider`); the service
+        layer injects runtime feedback here when re-planning a drifted query.
+        Planning stays deterministic in all of its inputs, overrides
+        included.
         """
         planner = planner.lower()
         if planner == "tmin":
@@ -202,7 +223,10 @@ class Session:
             )
         bound = self._bind(query)
         timer = Stopwatch()
-        context = self._planner_context(bound, naive_tags)
+        context = self._planner_context(
+            bound, naive_tags, selectivity_overrides=selectivity_overrides
+        )
+        from repro.optimizer.estimates import estimate_plan_rows
 
         if planner == "bypass":
             planned = BypassPlanner(context).plan()
@@ -210,6 +234,8 @@ class Session:
             annotations = None
             plan = planned
             description = planned.to_string()
+            estimated_rows = estimate_plan_rows(planned.plan, context.estimates)
+            estimated_output = estimated_rows.get(planned.plan.node_id, 0.0)
         elif planner in TRADITIONAL_PLANNERS:
             planner_obj = (BDisjPlanner if planner == "bdisj" else BPushConjPlanner)(context)
             planned = planner_obj.plan()
@@ -219,12 +245,22 @@ class Session:
             description = "\n---\n".join(
                 plan_to_string(subplan) for subplan in planned.subplans
             )
+            estimated_rows = {}
+            estimated_output = 0.0
+            for subplan in planned.subplans:
+                subplan_rows = estimate_plan_rows(subplan, context.estimates)
+                estimated_rows.update(subplan_rows)
+                # Summing the subplan roots over-counts rows matched by
+                # several root clauses; good enough for drift detection.
+                estimated_output += subplan_rows.get(subplan.node_id, 0.0)
         else:
             planned = PLANNER_REGISTRY[planner](context).plan()
             kind = "tagged"
             annotations = planned.annotations
             plan = planned.plan
             description = plan_to_string(planned.plan)
+            estimated_rows = dict(planned.node_rows)
+            estimated_output = estimated_rows.get(planned.plan.node_id, 0.0)
 
         return PreparedPlan(
             planner=planner,
@@ -237,6 +273,9 @@ class Session:
             plan_description=description,
             planning_seconds=timer.elapsed(),
             catalog_version=self.catalog.version,
+            estimated_rows=estimated_rows,
+            estimated_output_rows=estimated_output,
+            selectivity_overrides=dict(selectivity_overrides or {}),
         )
 
     def execute_prepared(
@@ -246,6 +285,7 @@ class Session:
         cache_hit: bool = False,
         parallelism: int | None = None,
         partitions: int | None = None,
+        collect_feedback: bool = False,
     ) -> QueryResult:
         """Execute a :class:`PreparedPlan` and return a :class:`QueryResult`.
 
@@ -261,9 +301,14 @@ class Session:
         on a worker pool; the partition-order merge keeps the output
         byte-identical to running the same partitioning with one worker, at
         any worker count.  Output shaping runs once, after the merge.
+
+        ``collect_feedback`` additionally records per-predicate match counts
+        and per-operator actual row counts into the result's metrics (the
+        inputs of ``--explain-analyze`` and the service feedback loop); it
+        never changes the rows returned.
         """
         query = prepared.query
-        exec_context = ExecContext()
+        exec_context = ExecContext(collect_feedback=collect_feedback)
         effective_parallelism = (
             self.parallelism if parallelism is None else parallelism
         )
@@ -319,7 +364,9 @@ class Session:
 
         return parse_query(query)
 
-    def _planner_context(self, query: Query, naive_tags: bool) -> PlannerContext:
+    def _planner_context(
+        self, query: Query, naive_tags: bool, selectivity_overrides=None
+    ) -> PlannerContext:
         return PlannerContext.for_query(
             query,
             self.catalog,
@@ -329,6 +376,7 @@ class Session:
             sample_size=self.stats_sample_size,
             selectivity_mode=self.selectivity_mode,
             stats_provider=self.stats_provider,
+            selectivity_overrides=selectivity_overrides,
         )
 
     def _execute_tmin(

@@ -1,0 +1,40 @@
+"""The optimizer layer: unified estimation plus runtime feedback.
+
+This package is the single home of "numbers for the planner":
+
+* :mod:`repro.optimizer.estimates` — :class:`EstimateProvider`, the one
+  interface every planner, the benefit scorer and the cost model consume for
+  table statistics, per-expression selectivities and cost constants;
+* :mod:`repro.optimizer.feedback` — :class:`FeedbackStore` and
+  :func:`q_error`, the runtime-observation side: accumulated per-clause
+  match rates keyed by plan-cache fingerprint, and the re-plan policy;
+* :mod:`repro.optimizer.explain` — ``--explain-analyze`` reporting of
+  estimated vs. actual rows per operator.
+
+See the "Optimizer & runtime feedback" section of ``docs/architecture.md``
+for how the pieces close the loop.
+"""
+
+from repro.optimizer.estimates import (
+    EstimateProvider,
+    build_estimate_provider,
+    estimate_plan_rows,
+)
+from repro.optimizer.explain import explain_analyze_report
+from repro.optimizer.feedback import (
+    DEFAULT_QERROR_THRESHOLD,
+    FeedbackStats,
+    FeedbackStore,
+    q_error,
+)
+
+__all__ = [
+    "DEFAULT_QERROR_THRESHOLD",
+    "EstimateProvider",
+    "FeedbackStats",
+    "FeedbackStore",
+    "build_estimate_provider",
+    "estimate_plan_rows",
+    "explain_analyze_report",
+    "q_error",
+]

@@ -1,0 +1,270 @@
+"""The unified estimation layer: one provider for every planning number.
+
+Before this module existed, "get the selectivity of this expression" lived in
+three near-copies — the measured estimator in :mod:`repro.stats.selectivity`,
+the cost model in :mod:`repro.core.planner.cost` and the per-table caches in
+:mod:`repro.service.stats_cache` each re-derived the same quantities.  An
+:class:`EstimateProvider` is now the single object every planner, the benefit
+scorer and the cost model consume: it bundles per-table statistics,
+per-expression selectivities (measured or histogram-backed), cardinality
+formulas and the cost-model constants behind one interface.
+
+The provider is also the injection point for **runtime feedback**: a mapping
+of expression keys to *observed* selectivities (collected by the executor,
+accumulated by :class:`repro.optimizer.feedback.FeedbackStore`) overrides the
+a-priori estimates, so a re-planned query is costed with what actually
+happened rather than what the sample predicted.  Estimation stays fully
+deterministic: the same inputs (tables, sample seed, overrides) always
+produce the same numbers, which keeps plans reproducible and cacheable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.planner.cost import CostParams
+from repro.expr.ast import BooleanExpr
+from repro.plan.logical import (
+    FilterNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    TableScanNode,
+)
+from repro.plan.query import JoinCondition, Query
+from repro.stats.selectivity import SelectivityEstimator
+from repro.stats.table_stats import TableStats, collect_table_stats
+from repro.storage.catalog import Catalog
+
+
+def build_estimate_provider(
+    query: Query,
+    catalog: Catalog,
+    cost_params: CostParams | None = None,
+    sample_size: int = 20_000,
+    selectivity_mode: str = "measured",
+    stats_provider=None,
+    seed: int = 0,
+    selectivity_overrides: Mapping[str, float] | None = None,
+) -> "EstimateProvider":
+    """Collect statistics and build the :class:`EstimateProvider` for one query.
+
+    ``selectivity_mode`` selects how base-predicate selectivities are
+    estimated: ``"measured"`` evaluates each predicate on a sample (the
+    paper's approach), ``"histogram"`` answers simple numeric predicates from
+    per-column equi-depth histograms.
+
+    ``stats_provider`` optionally supplies the two cacheable (per-table,
+    query-independent) ingredients — ``table_stats(table)`` summaries and
+    ``sample_positions(table, sample_size, seed)`` draws — so a caller
+    serving many queries (the service layer's stats cache) computes them once
+    per table version instead of once per call.  When omitted, both are
+    computed from scratch, which is byte-for-byte equivalent because stats
+    collection and sampling are deterministic.
+
+    ``selectivity_overrides`` maps expression keys
+    (:meth:`~repro.expr.ast.BooleanExpr.key`) to observed selectivities; the
+    service layer injects feedback-corrected values here when re-planning a
+    query whose estimates drifted from reality.
+    """
+    if stats_provider is not None:
+        table_stats = {
+            table_name: stats_provider.table_stats(catalog.get(table_name))
+            for table_name in set(query.tables.values())
+        }
+        sample_provider = stats_provider.sample_positions
+    else:
+        table_stats = {
+            table_name: collect_table_stats(catalog.get(table_name))
+            for table_name in set(query.tables.values())
+        }
+        sample_provider = None
+    if selectivity_mode == "measured":
+        estimator = SelectivityEstimator(
+            catalog,
+            query,
+            sample_size=sample_size,
+            seed=seed,
+            sample_provider=sample_provider,
+        )
+    elif selectivity_mode == "histogram":
+        from repro.stats.histograms import HistogramSelectivityEstimator
+
+        estimator = HistogramSelectivityEstimator(
+            catalog,
+            query,
+            sample_size=sample_size,
+            seed=seed,
+            sample_provider=sample_provider,
+        )
+    else:
+        raise ValueError(
+            f"unknown selectivity_mode {selectivity_mode!r}; "
+            "choose 'measured' or 'histogram'"
+        )
+    return EstimateProvider(
+        query,
+        table_stats,
+        estimator,
+        cost_params=cost_params,
+        overrides=selectivity_overrides,
+    )
+
+
+class EstimateProvider:
+    """Every number a planner needs about one query, behind one interface.
+
+    Args:
+        query: the query being planned (supplies alias -> table bindings).
+        table_stats: per-table summary statistics, keyed by table name.
+        estimator: the selectivity backend (measured or histogram).  Its
+            cache-first AND/OR/NOT recursion is the single implementation of
+            the independence-assumption combination; overrides are *seeded*
+            into that cache, so a pinned sub-expression affects every
+            combination containing it.
+        cost_params: cost-model calibration constants.
+        overrides: expression key -> observed selectivity.  This is how
+            runtime feedback corrects the independence assumption for, say,
+            a correlated conjunction.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        table_stats: dict[str, TableStats],
+        estimator: SelectivityEstimator,
+        cost_params: CostParams | None = None,
+        overrides: Mapping[str, float] | None = None,
+    ) -> None:
+        self.query = query
+        self.table_stats = dict(table_stats)
+        self.cost_params = cost_params or CostParams()
+        self._estimator = estimator
+        self._overrides = {
+            key: min(max(float(value), 0.0), 1.0)
+            for key, value in dict(overrides or {}).items()
+        }
+        self._seed_overrides()
+
+    def _seed_overrides(self) -> None:
+        for key, value in self._overrides.items():
+            self._estimator.seed_selectivity(key, value)
+
+    # ------------------------------------------------------------------ #
+    # Selectivity
+    # ------------------------------------------------------------------ #
+    def selectivity(self, expr: BooleanExpr) -> float:
+        """Estimated fraction of rows satisfying ``expr`` (override-aware)."""
+        return self._estimator.selectivity(expr)
+
+    def cost_factor(self, expr: BooleanExpr) -> float:
+        """Relative per-row evaluation cost of a predicate (``F_P``)."""
+        return self._estimator.cost_factor(expr)
+
+    def set_selectivity(self, expr: BooleanExpr, value: float) -> None:
+        """Pin the estimate for an expression (tests, ablations, feedback).
+
+        Already-derived combinations are recomputed, so pinning a
+        sub-expression after its parents were estimated still takes effect.
+        """
+        self._overrides[expr.key()] = min(max(float(value), 0.0), 1.0)
+        self._estimator.reset_estimates()
+        self._seed_overrides()
+
+    @property
+    def overrides(self) -> dict[str, float]:
+        """The active selectivity overrides (a copy)."""
+        return dict(self._overrides)
+
+    # ------------------------------------------------------------------ #
+    # Cardinality
+    # ------------------------------------------------------------------ #
+    def base_rows(self, alias: str) -> float:
+        """Number of rows in the base table bound to ``alias``."""
+        table_name = self.query.tables[alias]
+        return float(self.table_stats[table_name].num_rows)
+
+    def distinct_values(self, alias: str, column: str) -> float:
+        """Distinct-value count of ``alias.column``."""
+        table_name = self.query.tables[alias]
+        return float(self.table_stats[table_name].distinct_count(column))
+
+    def filtered_rows(self, alias: str, predicates: list[BooleanExpr]) -> float:
+        """Rows of ``alias`` surviving the given (conjunctive) predicates."""
+        rows = self.base_rows(alias)
+        for predicate in predicates:
+            rows *= self.selectivity(predicate)
+        return rows
+
+    def join_rows(
+        self, left_rows: float, right_rows: float, condition: JoinCondition
+    ) -> float:
+        """Estimated output size of an equi-join (PostgreSQL-style)."""
+        return self.join_rows_multi(left_rows, right_rows, [condition])
+
+    def join_rows_multi(
+        self, left_rows: float, right_rows: float, conditions: list[JoinCondition]
+    ) -> float:
+        """Join estimate for multiple equi-conditions (independence across keys)."""
+        if not conditions:
+            return left_rows * right_rows
+        result = left_rows * right_rows
+        for condition in conditions:
+            left_ndv = self.distinct_values(condition.left.alias, condition.left.column)
+            right_ndv = self.distinct_values(condition.right.alias, condition.right.column)
+            result /= max(left_ndv, right_ndv, 1.0)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Whole-query estimate
+    # ------------------------------------------------------------------ #
+    def estimate_query_rows(self) -> float:
+        """Plan-independent estimate of the query's output cardinality.
+
+        Joins every table (chaining the per-condition NDV reduction) and
+        applies the selectivity of the full WHERE predicate.  A diagnostic
+        companion to the *plan-derived* root estimates the session stores on
+        prepared plans (see :class:`~repro.engine.session.PreparedPlan`):
+        because this number does not depend on plan shape, it is comparable
+        across planners for the same query.
+        """
+        rows = 1.0
+        for alias in self.query.tables:
+            rows *= self.base_rows(alias)
+        for condition in self.query.join_conditions:
+            left_ndv = self.distinct_values(condition.left.alias, condition.left.column)
+            right_ndv = self.distinct_values(condition.right.alias, condition.right.column)
+            rows /= max(left_ndv, right_ndv, 1.0)
+        if self.query.predicate is not None:
+            rows *= self.selectivity(self.query.predicate)
+        return max(rows, 0.0)
+
+
+def estimate_plan_rows(plan: PlanNode, estimates: EstimateProvider) -> dict[int, float]:
+    """Estimated output rows of every node in a logical plan tree.
+
+    A model-agnostic bottom-up walk (scans emit base rows, filters multiply
+    by predicate selectivity, joins apply the NDV formula); used to annotate
+    traditional and bypass plans for ``--explain-analyze``.  Tagged plans get
+    their (tag-aware) per-node estimates from the cost model instead.
+    """
+    rows_by_node: dict[int, float] = {}
+
+    def walk(node: PlanNode) -> float:
+        if isinstance(node, TableScanNode):
+            rows = estimates.base_rows(node.alias)
+        elif isinstance(node, FilterNode):
+            rows = walk(node.child) * estimates.selectivity(node.predicate)
+        elif isinstance(node, JoinNode):
+            rows = estimates.join_rows_multi(
+                walk(node.left), walk(node.right), node.conditions
+            )
+        elif isinstance(node, ProjectNode):
+            rows = walk(node.child)
+        else:
+            raise TypeError(f"unknown plan node type: {type(node).__name__}")
+        rows_by_node[node.node_id] = rows
+        return rows
+
+    walk(plan)
+    return rows_by_node

@@ -1,0 +1,96 @@
+"""``EXPLAIN ANALYZE``-style reporting: estimated vs. actual rows per operator.
+
+:func:`explain_analyze_report` lines up the planner's per-node row estimates
+(stored on a :class:`~repro.engine.session.PreparedPlan`) against the row
+counts the physical operators actually observed (recorded into
+:attr:`~repro.engine.metrics.ExecutionMetrics.operator_actuals` when the
+execution context runs with ``collect_feedback=True``).  Large gaps in the
+``est.rows`` / ``act.out`` columns are exactly the misestimates the feedback
+loop corrects.
+"""
+
+from __future__ import annotations
+
+from repro.plan.logical import PlanNode
+
+
+def _plan_roots(prepared) -> list[PlanNode]:
+    """The logical root(s) of a prepared plan, across execution models."""
+    if prepared.kind == "traditional":
+        return list(prepared.plan.subplans)
+    if prepared.kind == "bypass":
+        return [prepared.plan.plan]
+    return [prepared.plan]
+
+
+def _format_rows(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.1f}"
+    return str(int(value))
+
+
+def explain_analyze_report(prepared, result) -> str:
+    """A per-operator table of estimated vs. actual rows for one execution.
+
+    Args:
+        prepared: the :class:`~repro.engine.session.PreparedPlan` that ran
+            (supplies the plan tree and per-node row estimates).
+        result: the :class:`~repro.engine.result.QueryResult` of executing it
+            with ``collect_feedback=True`` (supplies per-operator actuals;
+            without feedback collection the actual columns show ``-``).
+
+    Actual counts are *summed over operator invocations*: under partitioned
+    execution a join's build side re-runs per morsel, so its actuals can
+    exceed the serial row counts — the columns report work done, not
+    distinct tuples.
+    """
+    actuals = result.metrics.operator_actuals
+    estimates = prepared.estimated_rows
+    rows: list[tuple[str, str, str, str]] = []
+
+    def walk(node: PlanNode, depth: int) -> None:
+        label = "  " * depth + node.label()
+        actual = actuals.get(node.node_id)
+        rows.append(
+            (
+                label,
+                _format_rows(estimates.get(node.node_id)),
+                _format_rows(actual[0] if actual else None),
+                _format_rows(actual[1] if actual else None),
+            )
+        )
+        for child in node.children:
+            walk(child, depth + 1)
+
+    roots = _plan_roots(prepared)
+    for index, root in enumerate(roots):
+        if index:
+            rows.append(("---", "", "", ""))
+        walk(root, 0)
+
+    headers = ("operator", "est.rows", "act.in", "act.out")
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        for column in range(4)
+    ]
+    lines = [
+        "  ".join(
+            (headers[0].ljust(widths[0]),)
+            + tuple(headers[column].rjust(widths[column]) for column in (1, 2, 3))
+        )
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                (row[0].ljust(widths[0]),)
+                + tuple(row[column].rjust(widths[column]) for column in (1, 2, 3))
+            )
+        )
+    summary = (
+        f"planner={prepared.planner} estimated_output_rows="
+        f"{_format_rows(prepared.estimated_output_rows)} "
+        f"actual_output_rows={result.metrics.output_rows}"
+    )
+    return "\n".join(lines + [summary])

@@ -1,0 +1,208 @@
+"""Runtime cardinality feedback: observed selectivities and q-error.
+
+Estimation errors are inevitable — samples miss skew and the independence
+assumption misprices correlated predicates.  What a *serving* system can do
+about it is observe: physical operators count rows-in/rows-out and per-clause
+match rates during execution (see
+:meth:`repro.engine.metrics.ExecutionMetrics.record_predicate`), and a
+:class:`FeedbackStore` accumulates those observations per plan-cache
+fingerprint.  When the **q-error** between a plan's estimated and observed
+output cardinality exceeds a threshold, the service invalidates that plan and
+re-plans with the observed per-clause selectivities injected through
+:class:`repro.optimizer.estimates.EstimateProvider` overrides.
+
+Everything here is deterministic and ratio-based: observed selectivities are
+``matched / evaluated`` over *accumulated* counts, and both counts scale by
+the same factor when a build side is re-executed per morsel — so the same
+workload produces the same overrides (and therefore the same re-planned
+plans) at any ``parallelism`` / ``partitions`` setting.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.engine.metrics import ExecutionMetrics
+
+#: Default q-error above which the service re-plans a cached query.
+DEFAULT_QERROR_THRESHOLD = 2.0
+
+#: Minimum ratio by which an observed selectivity must differ from the value
+#: the current plan was built with before a re-plan is worthwhile.
+DEFAULT_MIN_OVERRIDE_SHIFT = 1.5
+
+#: Fingerprints tracked before the oldest entries are discarded.
+DEFAULT_MAX_ENTRIES = 1024
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The symmetric relative error ``max(est/act, act/est)``, floored at 1.
+
+    Both quantities are clamped to at least one row so empty results do not
+    divide by zero; a perfect estimate scores 1.0.
+    """
+    estimated = max(float(estimated), 1.0)
+    actual = max(float(actual), 1.0)
+    return max(estimated / actual, actual / estimated)
+
+
+def _ratio(a: float, b: float, floor: float = 1e-6) -> float:
+    """Symmetric ratio of two selectivities, floored away from zero."""
+    a = max(a, floor)
+    b = max(b, floor)
+    return max(a / b, b / a)
+
+
+@dataclass
+class FeedbackStats:
+    """Counters describing how the feedback loop has been used."""
+
+    observations: int = 0
+    replans: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """The counters as a plain dictionary (for reports)."""
+        return {"observations": self.observations, "replans": self.replans}
+
+
+class _FeedbackEntry:
+    """Accumulated observations for one plan-cache fingerprint."""
+
+    __slots__ = ("counts", "applied", "last_estimated", "last_actual")
+
+    def __init__(self) -> None:
+        self.counts: dict[str, list[int]] = {}
+        # Overrides the *current* plan was built with; replans are only
+        # worthwhile while observations keep diverging from these.
+        self.applied: dict[str, float] | None = None
+        self.last_estimated: float = 0.0
+        self.last_actual: float = 0.0
+
+
+class FeedbackStore:
+    """Per-fingerprint accumulator of observed selectivities and q-errors.
+
+    All operations are safe to call from multiple threads.  The store keeps
+    at most ``max_entries`` fingerprints (oldest-first eviction) so an
+    unbounded query stream cannot grow it without limit.
+    """
+
+    def __init__(
+        self,
+        min_override_shift: float = DEFAULT_MIN_OVERRIDE_SHIFT,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if min_override_shift < 1.0:
+            raise ValueError("min_override_shift must be at least 1.0")
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self._min_shift = min_override_shift
+        self._max_entries = max_entries
+        self._entries: OrderedDict[str, _FeedbackEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = FeedbackStats()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(
+        self,
+        fingerprint: str,
+        metrics: ExecutionMetrics,
+        estimated_rows: float,
+        actual_rows: float,
+    ) -> None:
+        """Fold one execution's observations into the fingerprint's entry."""
+        with self._lock:
+            entry = self._entry_locked(fingerprint)
+            for key, (evaluated, matched) in metrics.predicate_counts.items():
+                bucket = entry.counts.setdefault(key, [0, 0])
+                bucket[0] += evaluated
+                bucket[1] += matched
+            entry.last_estimated = float(estimated_rows)
+            entry.last_actual = float(actual_rows)
+            self.stats.observations += 1
+
+    def mark_applied(self, fingerprint: str, overrides: dict[str, float]) -> None:
+        """Remember the overrides the fingerprint's current plan was built with."""
+        with self._lock:
+            entry = self._entry_locked(fingerprint)
+            if overrides and entry.applied is not None:
+                self.stats.replans += 1
+            entry.applied = dict(overrides)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def observed_selectivities(self, fingerprint: str) -> dict[str, float]:
+        """Observed ``matched / evaluated`` per expression key (accumulated)."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return {}
+            return {
+                key: matched / evaluated
+                for key, (evaluated, matched) in entry.counts.items()
+                if evaluated > 0
+            }
+
+    def last_q_error(self, fingerprint: str) -> float | None:
+        """Q-error of the most recent execution, or None before any."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return None
+            return q_error(entry.last_estimated, entry.last_actual)
+
+    def should_replan(self, fingerprint: str, threshold: float) -> bool:
+        """Whether the fingerprint's cached plan is worth invalidating.
+
+        True when the last execution's q-error exceeds ``threshold`` *and*
+        at least one observed selectivity has shifted by
+        ``min_override_shift`` or more relative to the overrides the current
+        plan was built with.  The second condition makes the loop converge:
+        once a plan is built from the observed numbers, further executions
+        observe the same ratios and no more re-plans fire — even when the
+        residual q-error stays above the threshold (e.g. a join misestimate
+        per-clause feedback cannot fix).
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return False
+            if q_error(entry.last_estimated, entry.last_actual) <= threshold:
+                return False
+            applied = entry.applied or {}
+            for key, (evaluated, matched) in entry.counts.items():
+                if evaluated <= 0:
+                    continue
+                observed = matched / evaluated
+                if key not in applied:
+                    return True
+                if _ratio(observed, applied[key]) >= self._min_shift:
+                    return True
+            return False
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every accumulated observation."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _entry_locked(self, fingerprint: str) -> _FeedbackEntry:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            entry = _FeedbackEntry()
+            self._entries[fingerprint] = entry
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(fingerprint)
+        return entry

@@ -36,8 +36,16 @@ class PhysicalOperator(Generic[Batch]):
     :attr:`children` by default and subclasses extend them for private state.
     """
 
-    def __init__(self, children: list["PhysicalOperator"] | None = None) -> None:
+    def __init__(
+        self,
+        children: list["PhysicalOperator"] | None = None,
+        node_id: int | None = None,
+    ) -> None:
         self.children: list[PhysicalOperator] = list(children or [])
+        #: Logical plan node this operator was compiled from (``None`` for
+        #: hand-built trees).  Keys the per-operator actual-row counters that
+        #: ``--explain-analyze`` and the feedback loop consume.
+        self.node_id = node_id
         self._context: ExecContext | None = None
 
     # ------------------------------------------------------------------ #
@@ -68,6 +76,14 @@ class PhysicalOperator(Generic[Batch]):
     # ------------------------------------------------------------------ #
     def _next(self, context: ExecContext) -> Batch | None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Observation helpers
+    # ------------------------------------------------------------------ #
+    def record_rows(self, context: ExecContext, rows_in: int, rows_out: int) -> None:
+        """Record actual rows in/out for this operator (feedback runs only)."""
+        if context.collect_feedback and self.node_id is not None:
+            context.metrics.record_operator(self.node_id, rows_in, rows_out)
 
     # ------------------------------------------------------------------ #
     # Convenience

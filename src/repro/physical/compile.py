@@ -165,7 +165,11 @@ class _Compiler:
             self.partition if node.alias == self.partition_alias else None
         )
         return ScanPhysical(
-            self.kind, node.alias, self.catalog.get(node.table_name), partition
+            self.kind,
+            node.alias,
+            self.catalog.get(node.table_name),
+            partition,
+            node_id=node.node_id,
         )
 
     @staticmethod
@@ -187,7 +191,9 @@ class _Compiler:
         residual = (
             self.predicate_tree.expression if self.predicate_tree is not None else None
         )
-        return TaggedProjectPhysical(child, projection, residual, plan.columns)
+        return TaggedProjectPhysical(
+            child, projection, residual, plan.columns, node_id=plan.node_id
+        )
 
     def _tagged_node(self, node: PlanNode) -> PhysicalOperator:
         if isinstance(node, TableScanNode):
@@ -197,12 +203,19 @@ class _Compiler:
             tag_map = self.annotations.filter_maps.get(node.node_id)
             if tag_map is None:
                 return child
-            return FilterPhysical(TaggedFilterOperator(node.predicate, tag_map), child)
+            return FilterPhysical(
+                TaggedFilterOperator(node.predicate, tag_map), child, node_id=node.node_id
+            )
         if isinstance(node, JoinNode):
             build = self._tagged_node(node.left)
             probe = self._tagged_node(node.right)
             tag_map = self.annotations.join_maps[node.node_id]
-            return JoinPhysical(TaggedJoinOperator(node.conditions, tag_map), build, probe)
+            return JoinPhysical(
+                TaggedJoinOperator(node.conditions, tag_map),
+                build,
+                probe,
+                node_id=node.node_id,
+            )
         self._reject_project(node)
 
     # ------------------------------------------------------------------ #
@@ -227,11 +240,15 @@ class _Compiler:
             return self._scan(node)
         if isinstance(node, FilterNode):
             child = self._traditional_node(node.child)
-            return FilterPhysical(FilterOperator(node.predicate), child)
+            return FilterPhysical(
+                FilterOperator(node.predicate), child, node_id=node.node_id
+            )
         if isinstance(node, JoinNode):
             build = self._traditional_node(node.left)
             probe = self._traditional_node(node.right)
-            return JoinPhysical(HashJoinOperator(node.conditions), build, probe)
+            return JoinPhysical(
+                HashJoinOperator(node.conditions), build, probe, node_id=node.node_id
+            )
         self._reject_project(node)
 
     # ------------------------------------------------------------------ #
@@ -242,7 +259,11 @@ class _Compiler:
             raise ValueError("bypass plans must be rooted at a ProjectNode")
         child = self._bypass_node(plan.child)
         return BypassProjectPhysical(
-            child, self.predicate_tree, plan.columns, self.three_valued
+            child,
+            self.predicate_tree,
+            plan.columns,
+            self.three_valued,
+            node_id=plan.node_id,
         )
 
     def _bypass_node(self, node: PlanNode) -> PhysicalOperator:
@@ -253,11 +274,14 @@ class _Compiler:
             kernel = BypassFilterOperator(
                 node.predicate, self.predicate_tree, three_valued=self.three_valued
             )
-            return FilterPhysical(kernel, child)
+            return FilterPhysical(kernel, child, node_id=node.node_id)
         if isinstance(node, JoinNode):
             build = self._bypass_node(node.left)
             probe = self._bypass_node(node.right)
             return JoinPhysical(
-                BypassJoinOperator(node.conditions, self.predicate_tree), build, probe
+                BypassJoinOperator(node.conditions, self.predicate_tree),
+                build,
+                probe,
+                node_id=node.node_id,
             )
         self._reject_project(node)

@@ -21,6 +21,7 @@ from collections.abc import Mapping
 import numpy as np
 
 from repro.engine.metrics import ExecContext
+from repro.expr import three_valued as tv
 from repro.expr.ast import BooleanExpr, ColumnRef
 from repro.expr.eval import RowBatch
 from repro.plan.query import JoinCondition
@@ -68,7 +69,23 @@ def evaluate_predicate(
     batch = RowBatch(
         batch_tables, batch_indices, cache=context.cache, iostats=context.iostats
     )
-    return predicate.evaluate(batch)
+    truth = predicate.evaluate(batch)
+    if (
+        context.collect_feedback
+        and description in ("filter", "bypass filter")
+        and truth.size
+    ):
+        # The observed per-clause pass rate is the raw material of the
+        # feedback loop: ratios are partition-invariant (evaluated and
+        # matched scale together when a build side re-runs per morsel), so
+        # accumulated counts yield the same selectivities at any
+        # parallelism / partition setting.  Residual evaluations are
+        # excluded — their input is conditioned on the tuples no definite
+        # tag assignment covered, which is not a selectivity observation.
+        context.metrics.record_predicate(
+            predicate.key(), int(truth.size), int(tv.is_true(truth).sum())
+        )
+    return truth
 
 
 def orient_condition(

@@ -51,6 +51,25 @@ def _scan_indices(table: Table, partition: TablePartition | None) -> np.ndarray:
     return partition.positions()
 
 
+def live_rows(batch) -> int:
+    """Live tuples in a batch, across the three batch representations.
+
+    Tagged relations never physically drop rows, so their live count is the
+    total over slice bitmaps; plain relations and bypass stream sets count
+    materialized rows; the root's OutputColumns counts result rows.  Used by
+    the per-operator actual-row counters behind ``--explain-analyze``.
+    """
+    if batch is None:
+        return 0
+    if isinstance(batch, TaggedRelation):
+        return int(batch.total_tuples())
+    if isinstance(batch, StreamSet):
+        return int(sum(stream.num_rows for stream in batch))
+    if isinstance(batch, OutputColumns):
+        return int(batch.row_count)
+    return int(batch.num_rows)
+
+
 # --------------------------------------------------------------------------- #
 # Scans
 # --------------------------------------------------------------------------- #
@@ -68,8 +87,9 @@ class ScanPhysical(PhysicalOperator):
         alias: str,
         table: Table,
         partition: TablePartition | None = None,
+        node_id: int | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(node_id=node_id)
         if kind not in ("traditional", "tagged", "bypass"):
             raise ValueError(f"unknown execution kind {kind!r}")
         self.kind = kind
@@ -88,6 +108,7 @@ class ScanPhysical(PhysicalOperator):
         self._done = True
         indices = _scan_indices(self.table, self.partition)
         context.metrics.operators_executed += 1
+        self.record_rows(context, int(indices.size), int(indices.size))
         if self.kind == "tagged":
             return TaggedRelation(
                 {self.alias: self.table},
@@ -108,15 +129,20 @@ class ScanPhysical(PhysicalOperator):
 class FilterPhysical(PhysicalOperator):
     """Streaming filter around one of the three model filter kernels."""
 
-    def __init__(self, kernel, child: PhysicalOperator) -> None:
-        super().__init__([child])
+    def __init__(
+        self, kernel, child: PhysicalOperator, node_id: int | None = None
+    ) -> None:
+        super().__init__([child], node_id=node_id)
         self.kernel = kernel
 
     def _next(self, context: ExecContext):
         batch = self.children[0].next_batch()
         if batch is None:
             return None
-        return self.kernel.execute(batch, context)
+        output = self.kernel.execute(batch, context)
+        if context.collect_feedback:
+            self.record_rows(context, live_rows(batch), live_rows(output))
+        return output
 
 
 # --------------------------------------------------------------------------- #
@@ -125,8 +151,14 @@ class FilterPhysical(PhysicalOperator):
 class JoinPhysical(PhysicalOperator):
     """Hash join: drains the build (left) child, streams the probe child."""
 
-    def __init__(self, kernel, build: PhysicalOperator, probe: PhysicalOperator) -> None:
-        super().__init__([build, probe])
+    def __init__(
+        self,
+        kernel,
+        build: PhysicalOperator,
+        probe: PhysicalOperator,
+        node_id: int | None = None,
+    ) -> None:
+        super().__init__([build, probe], node_id=node_id)
         self.kernel = kernel
         self._build_batch = None
 
@@ -144,10 +176,15 @@ class JoinPhysical(PhysicalOperator):
             if not build_batches:
                 return None
             self._build_batch = merge_batches(build_batches)
+            if context.collect_feedback:
+                self.record_rows(context, live_rows(self._build_batch), 0)
         probe_batch = self.children[1].next_batch()
         if probe_batch is None:
             return None
-        return self.kernel.execute(self._build_batch, probe_batch, context)
+        output = self.kernel.execute(self._build_batch, probe_batch, context)
+        if context.collect_feedback:
+            self.record_rows(context, live_rows(probe_batch), live_rows(output))
+        return output
 
 
 # --------------------------------------------------------------------------- #
@@ -162,8 +199,9 @@ class TaggedProjectPhysical(PhysicalOperator):
         projection: ProjectionTagSet | None,
         residual_predicate,
         columns: list,
+        node_id: int | None = None,
     ) -> None:
-        super().__init__([child])
+        super().__init__([child], node_id=node_id)
         self.projection = projection
         self.residual_predicate = residual_predicate
         self.columns = list(columns or [])
@@ -177,6 +215,8 @@ class TaggedProjectPhysical(PhysicalOperator):
             projection, residual_predicate=self.residual_predicate
         )
         positions = kernel.execute(relation, context)
+        if context.collect_feedback:
+            self.record_rows(context, live_rows(relation), int(positions.size))
         return materialize_output(
             relation.tables, relation.indices, positions, self.columns
         )
@@ -196,8 +236,9 @@ class TraditionalProjectPhysical(PhysicalOperator):
         children: list[PhysicalOperator],
         columns: list,
         needs_union: bool,
+        node_id: int | None = None,
     ) -> None:
-        super().__init__(children)
+        super().__init__(children, node_id=node_id)
         self.columns = list(columns or [])
         self.needs_union = needs_union
         self._done = False
@@ -221,6 +262,12 @@ class TraditionalProjectPhysical(PhysicalOperator):
                 final = UnionOperator().execute(non_empty, context)
         positions = np.arange(final.num_rows, dtype=np.int64)
         context.metrics.output_rows += final.num_rows
+        if context.collect_feedback:
+            self.record_rows(
+                context,
+                sum(live_rows(relation) for relation in relations),
+                int(final.num_rows),
+            )
         return materialize_output(final.tables, final.indices, positions, self.columns)
 
 
@@ -233,8 +280,9 @@ class BypassProjectPhysical(PhysicalOperator):
         predicate_tree,
         columns: list,
         three_valued: bool,
+        node_id: int | None = None,
     ) -> None:
-        super().__init__([child])
+        super().__init__([child], node_id=node_id)
         self.kernel = BypassProjectOperator(
             predicate_tree, columns, three_valued=three_valued
         )
@@ -243,11 +291,15 @@ class BypassProjectPhysical(PhysicalOperator):
         streams = self.children[0].next_batch()
         if streams is None:
             return None
-        return self.kernel.execute(streams, context)
+        output = self.kernel.execute(streams, context)
+        if context.collect_feedback:
+            self.record_rows(context, live_rows(streams), live_rows(output))
+        return output
 
 
 __all__ = [
     "BypassProjectPhysical",
+    "live_rows",
     "FilterPhysical",
     "JoinPhysical",
     "ScanPhysical",

@@ -105,3 +105,16 @@ class PlanCache:
             dropped = len(self._entries)
             self._entries.clear()
             self.stats.invalidations += dropped
+
+    def invalidate_entry(self, key: str) -> bool:
+        """Drop one cached plan; returns True when the key was present.
+
+        The feedback loop uses this to retire exactly the plan whose
+        estimates drifted — every other cached plan stays warm.
+        """
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return True

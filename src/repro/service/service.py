@@ -9,11 +9,18 @@ It wraps a :class:`~repro.engine.session.Session` and adds the three things
 2. a **stats cache** — even novel queries reuse per-table statistics and
    selectivity samples (see :mod:`repro.service.stats_cache`);
 3. a **batch executor** — a thread pool runs many queries concurrently with
-   a per-query timeout, returning structured per-query outcomes.
+   a per-query timeout, returning structured per-query outcomes;
+4. optionally, a **feedback loop** (``feedback=True``) — executions record
+   observed per-clause selectivities and output cardinality, and when a
+   cached plan's q-error exceeds ``qerror_threshold`` the service retires
+   that one cache entry and re-plans with the observed selectivities
+   injected through the estimate provider (see :mod:`repro.optimizer`).
 
 Results are identical to serial ``Session.execute`` calls: planning and
 statistics are deterministic, prepared plans are immutable during execution,
-and every execution gets its own private metrics/IO context.
+and every execution gets its own private metrics/IO context.  The feedback
+loop never changes the rows a query returns — only which (equivalent) plan
+serves it.
 
 Example::
 
@@ -35,7 +42,8 @@ from dataclasses import dataclass, field
 
 from repro.engine.metrics import ExecutionMetrics, Stopwatch, aggregate_metrics
 from repro.engine.result import QueryResult
-from repro.engine.session import Session
+from repro.engine.session import PreparedPlan, Session
+from repro.optimizer.feedback import DEFAULT_QERROR_THRESHOLD, FeedbackStore
 from repro.plan.query import Query
 from repro.service.fingerprint import query_fingerprint
 from repro.service.plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
@@ -135,6 +143,14 @@ class QueryService:
             compose; the returned rows are the same either way.
         partitions: table partitions per query served through this service
             (``None`` keeps the session's setting).
+        feedback: enable the runtime feedback loop — executions record
+            observed per-clause selectivities (into :attr:`feedback_store`),
+            and cached plans whose estimated-vs-actual output cardinality
+            drifts beyond ``qerror_threshold`` are invalidated and re-planned
+            with the observed selectivities.  Off by default (observation
+            adds counting passes to the execution hot path).
+        qerror_threshold: q-error (``max(est/act, act/est)`` of output rows)
+            above which a cached plan is considered drifted.
     """
 
     def __init__(
@@ -145,6 +161,8 @@ class QueryService:
         default_timeout: float | None = None,
         parallelism: int | None = None,
         partitions: int | None = None,
+        feedback: bool = False,
+        qerror_threshold: float = DEFAULT_QERROR_THRESHOLD,
     ) -> None:
         if isinstance(session, Catalog):
             session = Session(session)
@@ -155,6 +173,9 @@ class QueryService:
             self.session.stats_provider = StatsCache(self.session.catalog)
         self.stats_cache = self.session.stats_provider
         self.plan_cache = PlanCache(plan_cache_size)
+        self.feedback = feedback
+        self.qerror_threshold = qerror_threshold
+        self.feedback_store = FeedbackStore()
         self.default_timeout = default_timeout
         self._max_workers = max(1, max_workers)
         self._pool: ThreadPoolExecutor | None = None
@@ -194,23 +215,35 @@ class QueryService:
         key = self._fingerprint(query, planner, naive_tags)
         prepared, reused = self._prepared_for(key, query, planner, naive_tags)
         if not reused:
-            return self.session.execute_prepared(
-                prepared, parallelism=self.parallelism, partitions=self.partitions
+            result = self.session.execute_prepared(
+                prepared,
+                parallelism=self.parallelism,
+                partitions=self.partitions,
+                collect_feedback=self.feedback,
             )
-        return self.session.execute_prepared(
-            prepared,
-            planning_seconds=lookup_timer.elapsed(),
-            cache_hit=True,
-            parallelism=self.parallelism,
-            partitions=self.partitions,
-        )
+        else:
+            result = self.session.execute_prepared(
+                prepared,
+                planning_seconds=lookup_timer.elapsed(),
+                cache_hit=True,
+                parallelism=self.parallelism,
+                partitions=self.partitions,
+                collect_feedback=self.feedback,
+            )
+        if self.feedback:
+            self._observe(key, prepared, result)
+        return result
 
     def _prepared_for(self, key: str, query, planner: str, naive_tags: bool):
         """The prepared plan for ``key``: cached, awaited, or freshly planned.
 
         Returns ``(prepared, reused)`` where ``reused`` is True when this
         call did not plan itself (cache hit, or another thread's in-flight
-        prepare was awaited).
+        prepare was awaited).  With feedback enabled, fresh planning injects
+        the fingerprint's accumulated observed selectivities — this is the
+        re-optimization half of the feedback loop (the first plan for a
+        never-observed query gets an empty override set and is identical to
+        planning without feedback).
         """
         prepared = self.plan_cache.get(key)
         if prepared is not None:
@@ -224,8 +257,17 @@ class QueryService:
         if not owner:
             return pending.result(), True
         try:
-            prepared = self.session.prepare(query, planner, naive_tags)
+            overrides = (
+                self.feedback_store.observed_selectivities(key)
+                if self.feedback
+                else None
+            )
+            prepared = self.session.prepare(
+                query, planner, naive_tags, selectivity_overrides=overrides
+            )
             self.plan_cache.put(key, prepared)
+            if self.feedback:
+                self.feedback_store.mark_applied(key, overrides or {})
             pending.set_result(prepared)
             return prepared, False
         except BaseException as error:
@@ -234,6 +276,24 @@ class QueryService:
         finally:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
+
+    def _observe(self, key: str, prepared: PreparedPlan, result: QueryResult) -> None:
+        """Fold one execution's observations in; retire the plan on drift.
+
+        The observed output cardinality is the projection operators' count
+        *before* output shaping, which is what ``estimated_output_rows``
+        estimates.  Invalidating only ``key`` keeps every other cached plan
+        warm; the next request for this fingerprint re-plans with the
+        accumulated observed selectivities.
+        """
+        self.feedback_store.record(
+            key,
+            result.metrics,
+            prepared.estimated_output_rows,
+            result.metrics.output_rows,
+        )
+        if self.feedback_store.should_replan(key, self.qerror_threshold):
+            self.plan_cache.invalidate_entry(key)
 
     def warm(
         self,
@@ -314,16 +374,19 @@ class QueryService:
     # Maintenance
     # ------------------------------------------------------------------ #
     def invalidate(self) -> None:
-        """Drop every cached plan and statistic."""
+        """Drop every cached plan, statistic and feedback observation."""
         self.plan_cache.invalidate()
         if isinstance(self.stats_cache, StatsCache):
             self.stats_cache.invalidate()
+        self.feedback_store.clear()
 
     def cache_metrics(self) -> dict[str, dict[str, float]]:
         """Hit/miss statistics of the plan and stats caches (for reports)."""
         metrics = {"plan_cache": self.plan_cache.stats.as_dict()}
         if isinstance(self.stats_cache, StatsCache):
             metrics["stats_cache"] = self.stats_cache.stats.as_dict()
+        if self.feedback:
+            metrics["feedback"] = self.feedback_store.stats.as_dict()
         return metrics
 
     def close(self) -> None:

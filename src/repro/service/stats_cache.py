@@ -7,10 +7,11 @@ deterministic functions of the table contents, so a session serving many
 queries can compute them once per catalog version instead of once per query
 — without changing any plan or result.
 
-Entries are keyed by ``(table name, catalog version)``; bumping the
-catalog's version counter (any :meth:`~repro.storage.catalog.Catalog.add`,
-``replace`` or ``drop``) therefore invalidates the cache without explicit
-coordination.  Entries from older versions are pruned eagerly.
+Entries are keyed by ``(table name, per-table version)`` — see
+:meth:`~repro.storage.catalog.Catalog.table_version` — so invalidation is
+**per table**: replacing or dropping one table retires only that table's
+cached statistics and samples, while every other table's entries survive the
+catalog version bump.  Stale entries are pruned eagerly.
 
 A :class:`StatsCache` satisfies the ``stats_provider`` protocol accepted by
 :class:`~repro.engine.session.Session` and ``PlannerContext.for_query``.
@@ -48,7 +49,7 @@ class StatsCache:
     # ------------------------------------------------------------------ #
     def table_stats(self, table: Table) -> TableStats:
         """Summary statistics for ``table``, computed at most once per version."""
-        key = (table.name, self._catalog.version)
+        key = (table.name, self._table_version(table))
         with self._lock:
             cached = self._stats.get(key)
             if cached is not None:
@@ -64,7 +65,7 @@ class StatsCache:
 
     def sample_positions(self, table: Table, sample_size: int, seed: int) -> np.ndarray:
         """Sorted sample positions for ``table``, computed at most once per version."""
-        key = (table.name, self._catalog.version, sample_size, seed)
+        key = (table.name, self._table_version(table), sample_size, seed)
         with self._lock:
             cached = self._samples.get(key)
             if cached is not None:
@@ -83,19 +84,42 @@ class StatsCache:
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
-    def invalidate(self) -> None:
-        """Drop every cached statistic and sample."""
+    def invalidate(self, table: str | None = None) -> None:
+        """Drop cached statistics and samples — all of them, or one table's."""
         with self._lock:
-            dropped = len(self._stats) + len(self._samples)
-            self._stats.clear()
-            self._samples.clear()
+            if table is None:
+                dropped = len(self._stats) + len(self._samples)
+                self._stats.clear()
+                self._samples.clear()
+            else:
+                stale_stats = [key for key in self._stats if key[0] == table]
+                stale_samples = [key for key in self._samples if key[0] == table]
+                for key in stale_stats:
+                    del self._stats[key]
+                for key in stale_samples:
+                    del self._samples[key]
+                dropped = len(stale_stats) + len(stale_samples)
             self.stats.invalidations += dropped
 
+    def _table_version(self, table: Table) -> int:
+        """Version key for ``table`` (``-1`` for tables outside the catalog,
+        e.g. when a caller probes a detached table object)."""
+        try:
+            return self._catalog.table_version(table.name)
+        except KeyError:
+            return -1
+
     def _prune_locked(self) -> None:
-        """Discard entries built against older catalog versions (lock held)."""
-        current = self._catalog.version
-        stale_stats = [key for key in self._stats if key[1] != current]
-        stale_samples = [key for key in self._samples if key[1] != current]
+        """Discard entries whose table was replaced or dropped (lock held)."""
+        def is_stale(key) -> bool:
+            name, version = key[0], key[1]
+            try:
+                return self._catalog.table_version(name) != version
+            except KeyError:
+                return True
+
+        stale_stats = [key for key in self._stats if is_stale(key)]
+        stale_samples = [key for key in self._samples if is_stale(key)]
         for key in stale_stats:
             del self._stats[key]
         for key in stale_samples:

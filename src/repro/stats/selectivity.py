@@ -102,6 +102,19 @@ class SelectivityEstimator:
         """Override the estimate for an expression (used by tests/ablations)."""
         self._cache[expr.key()] = min(max(value, 0.0), 1.0)
 
+    def seed_selectivity(self, key: str, value: float) -> None:
+        """Pin the estimate for an expression *key* (feedback overrides).
+
+        Seeded values participate in the cache-first recursion of
+        :meth:`selectivity`, so pinning a sub-expression affects every
+        AND/OR/NOT combination that contains it.
+        """
+        self._cache[key] = min(max(value, 0.0), 1.0)
+
+    def reset_estimates(self) -> None:
+        """Forget every cached and pinned estimate (samples are kept)."""
+        self._cache.clear()
+
     def cost_factor(self, expr: BooleanExpr) -> float:
         """Relative per-row evaluation cost of a predicate (``F_P``).
 

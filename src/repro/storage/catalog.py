@@ -23,6 +23,7 @@ class Catalog:
     def __init__(self, tables: Iterable[Table] = ()) -> None:
         self._tables: dict[str, Table] = {}
         self._version = 0
+        self._table_versions: dict[str, int] = {}
         for table in tables:
             self.add(table)
 
@@ -31,23 +32,36 @@ class Catalog:
         """Mutation counter; changes whenever the catalog contents change."""
         return self._version
 
+    def table_version(self, name: str) -> int:
+        """Mutation counter of one table: the global version at which it was
+        last added or replaced.  Unlike :attr:`version`, it does *not* change
+        when an unrelated table mutates, so per-table derived state (cached
+        statistics, samples) keys on it and survives other tables' churn.
+        Raises KeyError for unknown tables."""
+        if name not in self._table_versions:
+            raise KeyError(f"unknown table {name!r}")
+        return self._table_versions[name]
+
     def add(self, table: Table) -> None:
         """Register a table; raises ValueError on a duplicate name."""
         if table.name in self._tables:
             raise ValueError(f"table {table.name!r} already registered")
         self._tables[table.name] = table
         self._version += 1
+        self._table_versions[table.name] = self._version
 
     def replace(self, table: Table) -> None:
         """Register a table, overwriting any existing one with the same name."""
         self._tables[table.name] = table
         self._version += 1
+        self._table_versions[table.name] = self._version
 
     def drop(self, name: str) -> None:
         """Remove a table by name; raises KeyError when absent."""
         if name not in self._tables:
             raise KeyError(f"unknown table {name!r}")
         del self._tables[name]
+        del self._table_versions[name]
         self._version += 1
 
     def get(self, name: str) -> Table:

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.expr.ast import BooleanExpr
 from repro.expr.builders import and_, col, ilike, in_, lit, or_
 from repro.plan.query import JoinCondition, Query
 

@@ -9,7 +9,7 @@ from repro.baseline.relation import Relation
 from repro.core.planner.base import PlannerContext
 from repro.engine.metrics import ExecContext
 from repro.expr.builders import and_, col, lit, or_
-from repro.plan.logical import FilterNode, JoinNode, ProjectNode, TableScanNode, collect_filters
+from repro.plan.logical import JoinNode, ProjectNode, TableScanNode, collect_filters
 from repro.plan.query import JoinCondition, Query
 
 

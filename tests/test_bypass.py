@@ -22,7 +22,7 @@ from repro.core.tags import Tag
 from repro.engine.metrics import ExecContext
 from repro.expr.builders import and_, col, lit, or_
 from repro.expr.three_valued import FALSE, TRUE
-from repro.plan.query import JoinCondition, Query
+from repro.plan.query import Query
 from repro.workloads.synthetic import SyntheticConfig, generate_synthetic_catalog, make_dnf_query
 
 from tests.conftest import PAPER_QUERY_MATCHES

@@ -4,12 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Session
 from repro.core.planner import PLANNER_REGISTRY, TMIN_CANDIDATES
 from repro.core.planner.base import PlannerContext
 from repro.core.planner.exhaustive import TExhaustivePlanner
 from repro.core.planner.pushdown import TPushdownPlanner
-from repro.plan.logical import JoinNode, collect_joins
+from repro.plan.logical import collect_joins
 from repro.workloads.job import job_query
 from repro.workloads.synthetic import make_cnf_query, make_dnf_query
 

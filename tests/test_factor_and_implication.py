@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.factor import factor_common_subexpressions
 from repro.core.implication import implied_truth_value, implies, negate, refutes
-from repro.expr.ast import AndExpr, OrExpr
+from repro.expr.ast import AndExpr
 from repro.expr.builders import and_, between, col, ilike, in_, lit, or_
 from repro.expr.three_valued import FALSE, TRUE, UNKNOWN
 

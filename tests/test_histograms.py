@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro import Catalog, Column, Session, Table
 from repro.expr.builders import and_, between, col, ilike, lit, or_
-from repro.plan.query import JoinCondition, Query
+from repro.plan.query import Query
 from repro.stats.histograms import EquiDepthHistogram, HistogramSelectivityEstimator
 from repro.workloads.synthetic import SyntheticConfig, generate_synthetic_catalog, make_dnf_query
 

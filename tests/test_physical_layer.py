@@ -8,7 +8,6 @@ import pytest
 from repro import Catalog, Session, Table
 from repro.engine.metrics import ExecContext, ExecutionMetrics
 from repro.engine.parallel import choose_partition_alias, execute_plan
-from repro.physical.base import PhysicalOperator
 from repro.physical.batches import (
     merge_output_columns,
     merge_relations,
@@ -201,11 +200,22 @@ class TestMergeSafeMetrics:
         """merge() must accumulate every dataclass field (none forgotten)."""
         source = ExecutionMetrics()
         for index, name in enumerate(vars(source), start=1):
+            if isinstance(getattr(source, name), dict):
+                continue  # observation maps are exercised below
             setattr(source, name, index)
+        source.record_predicate("t.a > 1", 10, 4)
+        source.record_operator(3, 8, 2)
         target = ExecutionMetrics()
         target.merge(source)
         assert vars(target) == vars(source)
-        assert set(source.as_dict()) == set(vars(source))
+        target.merge(source)
+        assert target.predicate_counts == {"t.a > 1": [20, 8]}
+        assert target.operator_actuals == {3: [16, 4]}
+        assert target.observed_selectivity("t.a > 1") == pytest.approx(0.4)
+        scalar_fields = {
+            name for name, value in vars(source).items() if not isinstance(value, dict)
+        }
+        assert set(source.as_dict()) == scalar_fields
 
 
 class TestPartitionAliasChoice:

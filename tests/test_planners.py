@@ -25,6 +25,14 @@ from repro.plan.logical import (
 from repro.plan.query import JoinCondition, Query
 
 
+class _StubEstimates:
+    """Minimal estimates object for driving benefit scoring in isolation."""
+
+    def __init__(self, selectivity, cost_factor=lambda expr: 1.0):
+        self.selectivity = selectivity
+        self.cost_factor = cost_factor
+
+
 @pytest.fixture
 def context(paper_catalog, paper_query):
     return PlannerContext.for_query(paper_query, paper_catalog)
@@ -73,18 +81,15 @@ class TestBenefitScore:
 
     def test_benefiting_order_prefers_high_benefit_low_cost(self, tree):
         selectivities = {self.p1.key(): 0.1, self.p2.key(): 0.9, self.p3.key(): 0.5, self.p4.key(): 0.5}
-        order = benefiting_order(
-            tree,
-            [self.p2, self.p1, self.p3, self.p4],
-            lambda expr: selectivities[expr.key()],
-            lambda expr: 1.0,
-        )
+        estimates = _StubEstimates(lambda expr: selectivities[expr.key()])
+        order = benefiting_order(tree, [self.p2, self.p1, self.p3, self.p4], estimates)
         assert order[0].key() == self.p1.key()
 
     def test_benefiting_order_without_tree_sorts_by_selectivity(self):
         a = col("t", "a") > lit(1)
         b = col("t", "b") > lit(2)
-        order = benefiting_order(None, [a, b], lambda e: 0.9 if e.key() == a.key() else 0.1, lambda e: 1.0)
+        estimates = _StubEstimates(lambda e: 0.9 if e.key() == a.key() else 0.1)
+        order = benefiting_order(None, [a, b], estimates)
         assert order[0].key() == b.key()
 
 
@@ -100,7 +105,7 @@ class TestJoinOrdering:
         context = PlannerContext.for_query(query, paper_catalog)
         leaf_plans = {alias: TableScanNode(alias, query.tables[alias]) for alias in query.aliases}
         rows = {"a": 1000.0, "b": 10.0, "c": 500.0}
-        tree = greedy_join_tree(query, leaf_plans, rows, context.cardinality)
+        tree = greedy_join_tree(query, leaf_plans, rows, context.estimates)
         joins = collect_joins(tree)
         # The first (deepest) join must involve the small 'b' input.
         deepest = joins[-1]
@@ -111,12 +116,12 @@ class TestJoinOrdering:
         context = PlannerContext.for_query(query, paper_catalog)
         leaf_plans = {alias: TableScanNode(alias, query.tables[alias]) for alias in query.aliases}
         with pytest.raises(ValueError, match="disconnected"):
-            greedy_join_tree(query, leaf_plans, {"a": 1.0, "b": 1.0}, context.cardinality)
+            greedy_join_tree(query, leaf_plans, {"a": 1.0, "b": 1.0}, context.estimates)
 
     def test_single_input(self, paper_catalog, paper_query):
         context = PlannerContext.for_query(paper_query, paper_catalog)
         scan = TableScanNode("t", "title")
-        assert greedy_join_tree(paper_query, {"t": scan}, {"t": 7.0}, context.cardinality) is scan
+        assert greedy_join_tree(paper_query, {"t": scan}, {"t": 7.0}, context.estimates) is scan
 
 
 class TestCostModel:
@@ -125,29 +130,23 @@ class TestCostModel:
         pushconj = TPushConjPlanner(context).build_plan()
         annotations_a = context.tag_map_builder().build(pushdown)
         annotations_b = context.tag_map_builder().build(pushconj)
-        cost_a = estimate_plan_cost(
-            pushdown, annotations_a, context.selectivity, context.cardinality
-        ).total
-        cost_b = estimate_plan_cost(
-            pushconj, annotations_b, context.selectivity, context.cardinality
-        ).total
+        cost_a = estimate_plan_cost(pushdown, annotations_a, context.estimates).total
+        cost_b = estimate_plan_cost(pushconj, annotations_b, context.estimates).total
         assert cost_a > 0 and cost_b > 0
 
     def test_cost_breakdown_components(self, context):
         plan = TPushdownPlanner(context).build_plan()
         annotations = context.tag_map_builder().build(plan)
-        breakdown = estimate_plan_cost(plan, annotations, context.selectivity, context.cardinality)
+        breakdown = estimate_plan_cost(plan, annotations, context.estimates)
         assert breakdown.total == pytest.approx(breakdown.filter_cost + breakdown.join_cost)
         assert breakdown.join_cost > 0
 
     def test_alpha_scales_filter_cost(self, context):
         plan = TPushdownPlanner(context).build_plan()
         annotations = context.tag_map_builder().build(plan)
-        cheap = estimate_plan_cost(
-            plan, annotations, context.selectivity, context.cardinality, CostParams(alpha=1.0)
-        )
+        cheap = estimate_plan_cost(plan, annotations, context.estimates, CostParams(alpha=1.0))
         expensive = estimate_plan_cost(
-            plan, annotations, context.selectivity, context.cardinality, CostParams(alpha=10.0)
+            plan, annotations, context.estimates, CostParams(alpha=10.0)
         )
         assert expensive.filter_cost == pytest.approx(10 * cheap.filter_cost)
         assert expensive.join_cost == pytest.approx(cheap.join_cost)

@@ -160,7 +160,7 @@ def test_catalog_version_bump_invalidates_plans_and_stats(service):
     assert service.execute(SQL).cache_hit  # the replacement plan is cached again
 
 
-def test_stats_cache_prunes_entries_from_old_versions():
+def test_stats_cache_invalidation_is_per_table():
     catalog = movie_catalog()
     cache = StatsCache(catalog)
     table = catalog.get("title")
@@ -168,9 +168,30 @@ def test_stats_cache_prunes_entries_from_old_versions():
     cache.sample_positions(table, 5, 0)
     assert cache.stats.insertions == 2
 
+    # Replacing an *unrelated* table must not disturb title's cached entries.
     catalog.replace(Table.from_dict("movie_info_idx", {"movie_id": [1], "info": [5.0]}))
     cache.table_stats(catalog.get("title"))
-    assert cache.stats.evictions == 2  # both old-version entries pruned
+    cache.sample_positions(catalog.get("title"), 5, 0)
+    assert cache.stats.evictions == 0
+    assert cache.stats.hits == 2
+
+    # Replacing title itself retires exactly its two entries.
+    catalog.replace(
+        Table.from_dict("title", {"id": [1], "title": ["TDK"], "production_year": [2008]})
+    )
+    cache.table_stats(catalog.get("title"))
+    assert cache.stats.evictions == 2
+
+
+def test_stats_cache_per_table_explicit_invalidate():
+    catalog = movie_catalog()
+    cache = StatsCache(catalog)
+    cache.table_stats(catalog.get("title"))
+    cache.table_stats(catalog.get("movie_info_idx"))
+    cache.invalidate(table="title")
+    assert cache.stats.invalidations == 1
+    cache.table_stats(catalog.get("movie_info_idx"))  # still cached
+    assert cache.stats.hits == 1
 
 
 def test_stats_cache_shared_across_distinct_queries(service):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.expr.builders import and_, col, ilike, lit, not_, or_
-from repro.plan.query import JoinCondition, Query
 from repro.stats.cardinality import CardinalityEstimator
 from repro.stats.selectivity import DEFAULT_SELECTIVITY, SelectivityEstimator
 from repro.stats.table_stats import collect_catalog_stats, collect_table_stats

@@ -1,6 +1,5 @@
 """Unit tests for tagged relations and the tagged operators on the paper's example."""
 
-import numpy as np
 import pytest
 
 from repro.core.operators import (
@@ -13,12 +12,11 @@ from repro.core.tagged_relation import TaggedRelation
 from repro.core.tagmap import FilterEntry, FilterTagMap, JoinTagMap, ProjectionTagSet, TagMapBuilder
 from repro.core.tags import Tag
 from repro.engine.metrics import ExecContext
-from repro.expr.builders import and_, col, lit, or_
+from repro.expr.builders import col, lit
 from repro.expr.three_valued import FALSE, TRUE
 from repro.plan.logical import FilterNode, JoinNode, ProjectNode, TableScanNode
 from repro.plan.query import JoinCondition
 from repro.storage.bitmap import Bitmap
-from repro.storage.table import Table
 
 
 @pytest.fixture

@@ -167,7 +167,7 @@ class TestJobGroups:
             assert nx.is_connected(graph), query.name
 
     def test_queries_reference_existing_columns(self, imdb_catalog):
-        from repro.expr.ast import iter_base_predicates, ColumnRef
+        from repro.expr.ast import iter_base_predicates
 
         for query in job_query_groups():
             for alias, table_name in query.tables.items():
