@@ -5,9 +5,9 @@ PYTHON ?= python
 RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
 
 # Tag stamped into the BENCH_*.json artifacts written by `make bench`.
-BENCH_TAG ?= PR3
+BENCH_TAG ?= PR4
 
-.PHONY: test lint bench-smoke bench bench-parallel bench-feedback docs-check examples
+.PHONY: test lint bench-smoke bench bench-parallel bench-feedback bench-index docs-check examples
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -24,6 +24,7 @@ bench-smoke:
 	$(RUN) -m pytest benchmarks/bench_service_throughput.py \
 	    benchmarks/bench_parallel_scan.py \
 	    benchmarks/bench_feedback_replan.py \
+	    benchmarks/bench_index_pruning.py \
 	    benchmarks/bench_fig4a_selectivity.py -q --benchmark-disable \
 	    -k "not speedup"
 
@@ -33,9 +34,15 @@ bench-parallel:
 	$(RUN) -m pytest benchmarks/bench_parallel_scan.py -q
 
 ## feedback-driven re-planning: work + wall-clock assertions, persists
-## its measurements into BENCH_PR3.json
+## its measurements into the current BENCH_*.json
 bench-feedback:
 	$(RUN) -m pytest benchmarks/bench_feedback_replan.py -q
+
+## access-path pruning: page-count + wall-clock assertions, persists its
+## measurements into BENCH_PR4.json (the page assertion also runs in
+## bench-smoke; this target adds the timing half)
+bench-index:
+	$(RUN) -m pytest benchmarks/bench_index_pruning.py -q
 
 ## full benchmark suite with timing (slow); always leaves a BENCH_*.json
 ## artifact behind so the perf trajectory is tracked

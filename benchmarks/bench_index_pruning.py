@@ -1,0 +1,163 @@
+"""Access-path pruning: selective scans must touch ≥2x fewer pages.
+
+The workload is a 60k-row events table whose ``category`` column is stored
+in sorted runs (the common clustered layout for a dictionary-sorted import)
+and whose ``ts`` column is monotonically increasing — exactly the layouts
+zone maps and secondary indexes exploit.  A bitmap index on ``category`` and
+a sorted index on ``ts`` are created up front; the comparison session runs
+with ``access_paths=False`` and therefore reads every page the predicates
+touch.
+
+Assertions:
+
+* **pages** (always; part of ``make bench-smoke``) — on every selective
+  point / range / disjunctive / join query, the warm pruned execution reads
+  at least 2x fewer pages (cache misses + hits) than the warm full-scan
+  execution, with byte-identical rows;
+* **speedup** (timing; deselected by ``make bench-smoke``, run by
+  ``make bench-index``) — warm pruned executions are faster in wall-clock
+  terms as well.
+
+Results are persisted to ``BENCH_PR4.json`` (see :mod:`repro.bench.persist`).
+
+Not tied to a paper figure — this benchmarks the repo's access-path layer,
+not the paper's planners (see docs/benchmarks.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Column, QueryService, Session, Table
+from repro.access.manager import ensure_access_manager
+from repro.bench.persist import record_bench_result
+from repro.engine.metrics import Stopwatch
+
+#: Rows in the events table (59 pages at the default page size).
+EVENT_ROWS = 60_000
+
+#: Distinct categories; the column is stored in sorted runs of equal size.
+CATEGORIES = 80
+
+#: Warm executions averaged by the timing comparison.
+TIMED_RUNS = 3
+
+QUERIES = {
+    "point": (
+        "SELECT e.id FROM events AS e WHERE e.category = 'cat_07'"
+    ),
+    "range": (
+        "SELECT e.id, e.value FROM events AS e WHERE e.ts BETWEEN 1000 AND 2500"
+    ),
+    "disjunctive": (
+        "SELECT e.id FROM events AS e "
+        "WHERE (e.category = 'cat_03' AND e.value < 0.5) OR e.ts < 800"
+    ),
+    "join": (
+        "SELECT e.id, d.weight FROM events AS e JOIN dims AS d ON e.cat_id = d.did "
+        "WHERE e.ts < 900 AND d.weight >= 0.0"
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def catalogs():
+    """Identical data twice: one catalog with indexes, one untouched."""
+
+    def build() -> Catalog:
+        rng = np.random.default_rng(19)
+        run = EVENT_ROWS // CATEGORIES
+        events = Table(
+            "events",
+            [
+                Column("id", np.arange(EVENT_ROWS)),
+                Column("category", [f"cat_{i // run:02d}" for i in range(EVENT_ROWS)]),
+                Column("cat_id", np.arange(EVENT_ROWS) // run),
+                Column("ts", np.arange(EVENT_ROWS)),
+                Column("value", rng.uniform(0.0, 1.0, EVENT_ROWS)),
+            ],
+        )
+        dims = Table(
+            "dims",
+            [
+                Column("did", np.arange(CATEGORIES)),
+                Column("weight", rng.uniform(0.0, 1.0, CATEGORIES)),
+            ],
+        )
+        return Catalog([events, dims])
+
+    indexed = build()
+    manager = ensure_access_manager(indexed)
+    manager.create_index("events", "category", kind="bitmap")
+    manager.create_index("events", "ts", kind="sorted")
+    return {"indexed": indexed, "plain": build()}
+
+
+def _warm_result(service: QueryService, sql: str):
+    service.execute(sql)  # cold: fills the plan cache
+    result = service.execute(sql)
+    assert result.cache_hit
+    return result
+
+
+def _pages(result) -> int:
+    return result.iostats.pages_read + result.iostats.pages_hit
+
+
+def test_pruned_scans_read_2x_fewer_pages(catalogs):
+    """Warm pruned executions: >= 2x fewer pages, byte-identical rows."""
+    payload = {}
+    with QueryService(Session(catalogs["indexed"], access_paths=True)) as pruned_service:
+        with QueryService(Session(catalogs["plain"], access_paths=False)) as full_service:
+            for name, sql in QUERIES.items():
+                pruned = _warm_result(pruned_service, sql)
+                full = _warm_result(full_service, sql)
+                assert pruned.rows == full.rows, name
+                assert pruned.metrics.pages_pruned > 0, name
+                assert 2 * _pages(pruned) <= _pages(full), (
+                    f"{name}: pruned execution touched {_pages(pruned)} pages vs "
+                    f"{_pages(full)} unpruned (expected >= 2x reduction)"
+                )
+                payload[name] = {
+                    "rows": pruned.row_count,
+                    "pages_pruned_run": _pages(pruned),
+                    "pages_full_scan": _pages(full),
+                    "pages_pruned_counter": pruned.metrics.pages_pruned,
+                    "page_reduction": round(_pages(full) / max(_pages(pruned), 1), 2),
+                }
+    record_bench_result("bench_index_pruning", payload)
+
+
+def test_index_pruning_warm_speedup(catalogs):
+    """Wall-clock: warm pruned executions beat warm full scans."""
+    def warm_series(service: QueryService) -> float:
+        for sql in QUERIES.values():
+            service.execute(sql)  # fill plan cache
+        timer = Stopwatch()
+        for _ in range(TIMED_RUNS):
+            for sql in QUERIES.values():
+                result = service.execute(sql)
+                assert result.cache_hit
+        return timer.elapsed() / TIMED_RUNS
+
+    with QueryService(Session(catalogs["indexed"], access_paths=True)) as pruned_service:
+        pruned_seconds = warm_series(pruned_service)
+    with QueryService(Session(catalogs["plain"], access_paths=False)) as full_service:
+        full_seconds = warm_series(full_service)
+
+    speedup = full_seconds / max(pruned_seconds, 1e-9)
+    record_bench_result(
+        "bench_index_pruning",
+        {
+            "timing": {
+                "full_warm_seconds": round(full_seconds, 5),
+                "pruned_warm_seconds": round(pruned_seconds, 5),
+                "speedup": round(speedup, 2),
+            }
+        },
+    )
+    assert speedup > 1.0, (
+        f"pruned warm {pruned_seconds:.4f}s vs full {full_seconds:.4f}s "
+        f"({speedup:.2f}x, expected > 1x)"
+    )

@@ -1,0 +1,85 @@
+"""Dictionary encoding of low-cardinality columns.
+
+A :class:`DictionaryEncoding` replaces a column's values with small integer
+codes into a sorted dictionary of its distinct non-NULL values.  It is the
+substrate of the bitmap index (:mod:`repro.access.indexes`): grouping row
+positions by code is a single stable argsort over the codes, and range
+predicates reduce to a binary search over the (sorted) dictionary.  (Note
+that :attr:`DictionaryEncoding.num_values` excludes float NaN cells, so it
+can undercount :meth:`~repro.storage.column.Column.distinct_count` — the
+two are deliberately not shared.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.column import Column, ColumnType
+
+#: Code stored for NULL cells (no dictionary entry).
+NULL_CODE = -1
+
+
+class DictionaryEncoding:
+    """Sorted-dictionary encoding of one column.
+
+    Attributes:
+        values: the sorted distinct non-NULL values (the dictionary).
+        codes: int32 array mapping each row to its dictionary slot, with
+            :data:`NULL_CODE` for NULL cells.
+    """
+
+    __slots__ = ("values", "codes")
+
+    def __init__(self, values: np.ndarray, codes: np.ndarray) -> None:
+        self.values = values
+        self.codes = codes
+
+    @classmethod
+    def encode(cls, column: Column) -> "DictionaryEncoding":
+        """Encode ``column`` (NaN float cells are treated like NULLs)."""
+        data = column.data
+        excluded = column.null_mask.copy()
+        if column.ctype is ColumnType.FLOAT:
+            excluded |= np.isnan(data.astype(np.float64))
+        codes = np.full(len(column), NULL_CODE, dtype=np.int32)
+        valid = ~excluded
+        if valid.any():
+            uniques, inverse = np.unique(data[valid], return_inverse=True)
+            codes[valid] = inverse.astype(np.int32)
+        else:
+            uniques = np.empty(0, dtype=data.dtype)
+        return cls(uniques, codes)
+
+    @property
+    def num_values(self) -> int:
+        """Number of dictionary entries (distinct non-NULL values)."""
+        return int(self.values.shape[0])
+
+    @property
+    def num_rows(self) -> int:
+        """Number of encoded rows."""
+        return int(self.codes.shape[0])
+
+    def code_of(self, value) -> int:
+        """Dictionary code of ``value``, or :data:`NULL_CODE` when absent."""
+        position = int(np.searchsorted(self.values, value))
+        if position < self.num_values and self.values[position] == value:
+            return position
+        return NULL_CODE
+
+    def grouped_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(order, boundaries)`` grouping row positions by code.
+
+        ``order`` lists row positions sorted by code (NULL rows first);
+        ``boundaries[c] : boundaries[c + 1]`` slices the positions of code
+        ``c`` out of ``order``.
+        """
+        order = np.argsort(self.codes, kind="stable").astype(np.int64)
+        boundaries = np.searchsorted(
+            self.codes[order], np.arange(self.num_values + 1, dtype=np.int32)
+        )
+        return order, boundaries
+
+    def __repr__(self) -> str:
+        return f"DictionaryEncoding(values={self.num_values}, rows={self.num_rows})"

@@ -1,0 +1,105 @@
+"""Deriving what a scan may prune on, and composing candidate row sets.
+
+**Which rows may a base-table scan drop?**  A query's final rows are those
+where the whole WHERE predicate evaluates to TRUE, so a scan of alias ``a``
+may drop any row that provably cannot appear in such a result — any row
+where some predicate *implied by* the WHERE clause and referencing only
+``a`` is not TRUE (FALSE and UNKNOWN are equally safe to drop; implication
+under three-valued logic means "WHERE TRUE ⇒ implied TRUE").
+:func:`implied_alias_predicate` extracts the strongest such predicate by
+recursion:
+
+* a base predicate referencing only ``a`` implies itself;
+* a conjunction implies the conjunction of whatever its conjuncts imply
+  (conjuncts implying nothing are simply skipped);
+* a disjunction implies the disjunction of its branches' implications —
+  but only when *every* branch implies something;
+* anything under a NOT is conservatively skipped.
+
+**How is the candidate set built?**  :func:`candidate_mask` mirrors that
+recursion over the implied predicate, asking per base predicate for either
+an exact TRUE-row set (a secondary index) or a superset (zone-map page
+mask).  Supersets stay supersets under the composition rules: AND
+intersects whatever evidence exists, OR unions only when every branch has
+evidence.  The result is therefore always a sound superset of the rows the
+scan must produce.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.expr.ast import AndExpr, BooleanExpr, NotExpr, OrExpr, flatten
+
+
+def implied_alias_predicate(predicate: BooleanExpr | None, alias: str) -> BooleanExpr | None:
+    """The strongest single-alias predicate implied by ``predicate``.
+
+    Returns ``None`` when nothing about ``alias`` is implied (cross-table
+    comparisons, negations, or branches mentioning other tables only).
+    """
+    if predicate is None:
+        return None
+    implied = _implied(flatten(predicate), alias)
+    return flatten(implied) if implied is not None else None
+
+
+def _implied(predicate: BooleanExpr, alias: str) -> BooleanExpr | None:
+    if isinstance(predicate, NotExpr):
+        return None
+    if isinstance(predicate, AndExpr):
+        parts = [
+            part
+            for part in (_implied(child, alias) for child in predicate.children())
+            if part is not None
+        ]
+        if not parts:
+            return None
+        return parts[0] if len(parts) == 1 else AndExpr(parts)
+    if isinstance(predicate, OrExpr):
+        parts = []
+        for child in predicate.children():
+            part = _implied(child, alias)
+            if part is None:
+                return None
+            parts.append(part)
+        return parts[0] if len(parts) == 1 else OrExpr(parts)
+    if predicate.tables() == frozenset({alias}):
+        return predicate
+    return None
+
+
+#: Signature of the per-base-predicate evidence callbacks: return a boolean
+#: candidate row mask (True = the row may satisfy the predicate) or None
+#: when no evidence exists for that predicate.
+EvidenceFn = Callable[[BooleanExpr], "np.ndarray | None"]
+
+
+def candidate_mask(predicate: BooleanExpr, evidence: EvidenceFn) -> np.ndarray | None:
+    """Compose per-base-predicate evidence into one candidate row mask.
+
+    ``evidence`` is consulted for every base predicate; AND intersects the
+    masks that exist, OR unions them only when every branch produced one.
+    Returns ``None`` when no pruning evidence exists anywhere.
+    """
+    if isinstance(predicate, NotExpr):
+        return None
+    if isinstance(predicate, AndExpr):
+        combined: np.ndarray | None = None
+        for child in predicate.children():
+            mask = candidate_mask(child, evidence)
+            if mask is None:
+                continue
+            combined = mask if combined is None else (combined & mask)
+        return combined
+    if isinstance(predicate, OrExpr):
+        combined = None
+        for child in predicate.children():
+            mask = candidate_mask(child, evidence)
+            if mask is None:
+                return None
+            combined = mask if combined is None else (combined | mask)
+        return combined
+    return evidence(predicate)

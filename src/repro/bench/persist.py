@@ -19,8 +19,10 @@ from pathlib import Path
 RESULTS_PATH_ENV = "BENCH_RESULTS_PATH"
 
 #: Default results file (relative to the working directory, i.e. the repo
-#: root under ``make bench``).
-DEFAULT_RESULTS_FILE = "BENCH_PR3.json"
+#: root under ``make bench``).  Bumped per PR so each PR's benchmark
+#: campaign leaves its own artifact; earlier ``BENCH_*.json`` files stay on
+#: the record.
+DEFAULT_RESULTS_FILE = "BENCH_PR4.json"
 
 
 def results_path(path: str | os.PathLike | None = None) -> Path:

@@ -9,6 +9,7 @@ Subcommands::
     compare    run one query under several planners and print a speedup table
     batch      run a file of queries through the caching QueryService
     serve      interactive loop: read SQL from stdin, serve with plan caching
+    index      create / drop / list secondary indexes on a saved dataset
     fuzz       differential-test all planners against the naive oracle
     figures    regenerate the paper's figures (delegates to repro.bench.figures)
 
@@ -21,6 +22,8 @@ Examples::
     python -m repro compare --data data/t0t1t2 --sql "..." --planners tcombined bdisj
     python -m repro batch --data data/t0t1t2 --file queries.sql --repeat 5 --workers 4
     python -m repro serve --data data/t0t1t2 --planner tcombined
+    python -m repro index create --data data/t0t1t2 --table T1 --column A1
+    python -m repro index list --data data/t0t1t2
     python -m repro fuzz --queries 20 --seed 7
     python -m repro figures fig4a --quick
 """
@@ -88,6 +91,7 @@ def _session_for(args: argparse.Namespace) -> Session:
         load_catalog(args.data),
         parallelism=getattr(args, "parallelism", 1),
         partitions=getattr(args, "partitions", None),
+        access_paths=not getattr(args, "no_access_paths", False),
     )
 
 
@@ -311,6 +315,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.storage.disk import (
+        add_index_to_saved_catalog,
+        drop_index_from_saved_catalog,
+        list_saved_indexes,
+    )
+
+    if args.index_command == "create":
+        try:
+            definition = add_index_to_saved_catalog(
+                args.data, args.table, args.column, kind=args.kind
+            )
+        except (KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"created index {definition.describe()}")
+        return 0
+    if args.index_command == "drop":
+        try:
+            entry = drop_index_from_saved_catalog(args.data, args.table, args.column)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"dropped index {entry['table']}.{entry['column']} ({entry['kind']})")
+        return 0
+    entries = list_saved_indexes(args.data)
+    if not entries:
+        print("(no indexes)")
+        return 0
+    print(
+        format_table(
+            ["table", "column", "kind", "file"],
+            [[entry["table"], entry["column"], entry["kind"], entry["file"]] for entry in entries],
+        )
+    )
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     reports = run_fuzz_campaign(
         num_queries=args.queries,
@@ -366,6 +408,12 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="table partitions per query (defaults to --parallelism)",
+    )
+    parser.add_argument(
+        "--no-access-paths",
+        action="store_true",
+        help="disable zone-map/index scan pruning (results are identical "
+        "either way; every page is read)",
     )
 
 
@@ -444,6 +492,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_feedback_flags(serve)
     _add_parallel_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    index = subparsers.add_parser(
+        "index", help="create / drop / list secondary indexes on a saved dataset"
+    )
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_create = index_sub.add_parser("create", help="create an index")
+    index_create.add_argument("--data", required=True, help="catalog directory")
+    index_create.add_argument("--table", required=True)
+    index_create.add_argument("--column", required=True)
+    index_create.add_argument(
+        "--kind",
+        default="auto",
+        choices=("auto", "bitmap", "sorted"),
+        help="bitmap (low-distinct), sorted (ranges) or auto (by distinct count)",
+    )
+    index_create.set_defaults(func=_cmd_index)
+    index_drop = index_sub.add_parser("drop", help="drop an index")
+    index_drop.add_argument("--data", required=True, help="catalog directory")
+    index_drop.add_argument("--table", required=True)
+    index_drop.add_argument("--column", required=True)
+    index_drop.set_defaults(func=_cmd_index)
+    index_list = index_sub.add_parser("list", help="list indexes")
+    index_list.add_argument("--data", required=True, help="catalog directory")
+    index_list.set_defaults(func=_cmd_index)
 
     fuzz = subparsers.add_parser("fuzz", help="differential-test planners against the oracle")
     fuzz.add_argument("--queries", type=int, default=10)

@@ -66,14 +66,18 @@ class PlannerContext:
         selectivity_mode: str = "measured",
         stats_provider=None,
         selectivity_overrides=None,
+        access_manager=None,
     ) -> "PlannerContext":
         """Build the estimate provider and predicate tree for ``query``.
 
         All estimation knobs (``sample_size``, ``selectivity_mode``,
-        ``stats_provider``, ``selectivity_overrides``) are forwarded to
+        ``stats_provider``, ``selectivity_overrides``, ``access_manager``)
+        are forwarded to
         :func:`repro.optimizer.estimates.build_estimate_provider`; see there
         for their meaning.  ``selectivity_overrides`` is how the service
-        layer injects runtime-observed selectivities when re-planning.
+        layer injects runtime-observed selectivities when re-planning;
+        ``access_manager`` is an opaque handle this package never inspects —
+        access-path choices reach planners only through the provider.
         """
         # Imported lazily: the optimizer package imports the cost model from
         # this package, so a module-level import would be circular.
@@ -87,6 +91,7 @@ class PlannerContext:
             selectivity_mode=selectivity_mode,
             stats_provider=stats_provider,
             selectivity_overrides=selectivity_overrides,
+            access_manager=access_manager,
         )
         tree = PredicateTree(query.predicate) if query.predicate is not None else None
         return cls(

@@ -32,12 +32,18 @@ class CostParams:
 
     ``alpha`` calibrates filter costs against join costs; the ``f_*``
     constants are the per-row cost factors of the join components.
+    ``f_page_io`` weighs the per-leaf scan I/O term (estimated pages touched
+    under the chosen access path — full, zone-pruned or index scan).  Every
+    candidate plan for one query scans the same aliases, so the term shifts
+    plan costs uniformly within a planner's search and only differentiates
+    *access paths*, never join orders.
     """
 
     alpha: float = 1.0
     f_hash_lookup: float = 1.0
     f_hash_build: float = 2.0
     f_index_build: float = 1.0
+    f_page_io: float = 1.0
 
 
 @dataclass
@@ -52,6 +58,7 @@ class PlanCostBreakdown:
     total: float = 0.0
     filter_cost: float = 0.0
     join_cost: float = 0.0
+    scan_cost: float = 0.0
     node_rows: dict[int, float] = field(default_factory=dict)
 
     def add_filter(self, amount: float) -> None:
@@ -60,6 +67,10 @@ class PlanCostBreakdown:
 
     def add_join(self, amount: float) -> None:
         self.join_cost += amount
+        self.total += amount
+
+    def add_scan(self, amount: float) -> None:
+        self.scan_cost += amount
         self.total += amount
 
 
@@ -92,6 +103,12 @@ def _estimate_node(
     """Return estimated rows per output tag of ``node``."""
     if isinstance(node, TableScanNode):
         output = {Tag.empty(): estimates.base_rows(node.alias)}
+        # Per-leaf scan I/O under the chosen access path (full / zone-pruned
+        # / index scan); providers without access-path awareness (test
+        # doubles) simply contribute no scan term.
+        scan_pages = getattr(estimates, "scan_pages", None)
+        if scan_pages is not None:
+            breakdown.add_scan(params.f_page_io * float(scan_pages(node.alias)))
     elif isinstance(node, FilterNode):
         input_rows = _estimate_node(
             node.child, annotations, estimates, params, breakdown

@@ -35,6 +35,13 @@ class ExecutionMetrics:
     hash_tables_built: int = 0
     output_rows: int = 0
     morsels_executed: int = 0
+    #: Pages skipped by zone-map / index scan pruning, summed over scans
+    #: (in units of one column's pages; a skipped page is never read, so it
+    #: contributes to neither ``pages_read`` nor ``pages_hit`` of IOStats).
+    pages_pruned: int = 0
+    #: Morsels the parallel driver skipped because the partitioning alias
+    #: had no candidate rows in their row range.
+    partitions_skipped: int = 0
     #: Per-predicate observation counts: expression key -> [rows evaluated,
     #: rows matched].  Only populated when the execution context runs with
     #: ``collect_feedback`` (the observed ratio feeds re-optimization).
@@ -42,6 +49,10 @@ class ExecutionMetrics:
     #: Per-operator actual row counts: logical node id -> [rows in, rows out]
     #: (``--explain-analyze``); populated under ``collect_feedback`` only.
     operator_actuals: dict[int, list[int]] = field(default_factory=dict)
+    #: Per-scan pruning outcome: logical node id -> [pages in range, pages
+    #: pruned].  Recorded whenever a scan prunes (cheap: once per scan), so
+    #: ``--explain-analyze`` can report pages pruned per operator.
+    scan_pruning: dict[int, list[int]] = field(default_factory=dict)
 
     def record_predicate(self, key: str, evaluated: int, matched: int) -> None:
         """Accumulate one predicate evaluation's observed pass counts."""
@@ -54,6 +65,14 @@ class ExecutionMetrics:
         bucket = self.operator_actuals.setdefault(node_id, [0, 0])
         bucket[0] += rows_in
         bucket[1] += rows_out
+
+    def record_scan_pruning(self, node_id: int | None, pages_total: int, pages_pruned: int) -> None:
+        """Accumulate one scan invocation's page-pruning outcome."""
+        self.pages_pruned += pages_pruned
+        if node_id is not None:
+            bucket = self.scan_pruning.setdefault(node_id, [0, 0])
+            bucket[0] += pages_total
+            bucket[1] += pages_pruned
 
     def observed_selectivity(self, key: str) -> float | None:
         """Observed pass rate of a recorded predicate (None when unseen)."""
@@ -79,10 +98,18 @@ class ExecutionMetrics:
         self.hash_tables_built += other.hash_tables_built
         self.output_rows += other.output_rows
         self.morsels_executed += other.morsels_executed
+        self.pages_pruned += other.pages_pruned
+        self.partitions_skipped += other.partitions_skipped
         for key, (evaluated, matched) in other.predicate_counts.items():
             self.record_predicate(key, evaluated, matched)
         for node_id, (rows_in, rows_out) in other.operator_actuals.items():
             self.record_operator(node_id, rows_in, rows_out)
+        for node_id, (pages_total, pages_pruned) in other.scan_pruning.items():
+            # The scalar total was already merged above; only the per-node
+            # buckets accumulate here.
+            bucket = self.scan_pruning.setdefault(node_id, [0, 0])
+            bucket[0] += pages_total
+            bucket[1] += pages_pruned
 
     def as_dict(self) -> dict[str, int]:
         """The scalar counters as a plain dictionary (for reports).
@@ -107,6 +134,8 @@ class ExecutionMetrics:
             "hash_tables_built": self.hash_tables_built,
             "output_rows": self.output_rows,
             "morsels_executed": self.morsels_executed,
+            "pages_pruned": self.pages_pruned,
+            "partitions_skipped": self.partitions_skipped,
         }
 
 
@@ -142,6 +171,13 @@ class ExecContext:
     #: loop and of ``--explain-analyze``).  Off by default: the counting
     #: passes cost extra array reductions on the execution hot path.
     collect_feedback: bool = False
+    #: Aliases whose scans were restricted by access-path pruning this
+    #: execution.  Predicate observations touching them are *conditioned on
+    #: the candidate set* (an index-pruned scan makes its own predicate look
+    #: ~100% selective), so the feedback recorder skips them — the feedback
+    #: loop then falls back to a-priori estimates for those clauses instead
+    #: of learning biased ones.
+    feedback_excluded_aliases: frozenset = frozenset()
 
     def timer(self) -> "Stopwatch":
         """A fresh stopwatch (convenience for callers timing phases)."""
@@ -149,7 +185,11 @@ class ExecContext:
 
     def fork(self) -> "ExecContext":
         """A child context for one morsel: fresh counters, shared page cache."""
-        return ExecContext(cache=self.cache, collect_feedback=self.collect_feedback)
+        return ExecContext(
+            cache=self.cache,
+            collect_feedback=self.collect_feedback,
+            feedback_excluded_aliases=self.feedback_excluded_aliases,
+        )
 
     def absorb(self, child: "ExecContext") -> None:
         """Merge a forked child's counters back into this context."""

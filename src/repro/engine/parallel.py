@@ -39,7 +39,9 @@ from repro.engine.metrics import ExecContext
 from repro.engine.result import OutputColumns
 from repro.physical.batches import merge_output_columns
 from repro.physical.compile import compile_plan, plan_scan_aliases
+from repro.plan.logical import TableScanNode
 from repro.storage.catalog import Catalog
+from repro.storage.table import owned_page_range
 
 # Morsel pools are shared process-wide, one per worker count (in practice a
 # handful of distinct counts).  Creating a pool per query would spawn and
@@ -78,6 +80,23 @@ def _choose_from_scans(scans: dict[str, str], catalog: Catalog) -> str | None:
     )
 
 
+def _alias_scan_node_id(kind: str, plan, alias: str) -> int | None:
+    """The logical node id of ``alias``'s scan, when it is unambiguous.
+
+    Traditional plans scan every alias once *per subplan*, so per-node
+    attribution of driver-skipped pages is ambiguous there (None keeps the
+    accounting in the scalar ``pages_pruned`` counter only).
+    """
+    if kind == "traditional":
+        return None
+    ids = [
+        node.node_id
+        for node in plan.walk()
+        if isinstance(node, TableScanNode) and node.alias == alias
+    ]
+    return ids[0] if len(ids) == 1 else None
+
+
 def execute_plan(
     kind: str,
     plan,
@@ -88,6 +107,7 @@ def execute_plan(
     three_valued: bool = True,
     parallelism: int = 1,
     partitions: int | None = None,
+    access_plan=None,
 ) -> OutputColumns:
     """Execute a planner's output through the physical layer.
 
@@ -103,12 +123,24 @@ def execute_plan(
         parallelism: worker threads driving morsels (1 = run inline).
         partitions: number of table partitions; defaults to ``parallelism``.
             ``partitions=1`` bypasses the morsel loop entirely.
+        access_plan: optional
+            :class:`~repro.access.chooser.QueryAccessPlan`; its resolved
+            candidate bitmaps restrict the scans (zone-map/index pruning) and
+            let the driver skip morsels whose partition of the partitioning
+            alias holds no candidate row.  Pruning never changes the rows
+            returned, only the pages touched.
     """
     if parallelism < 1:
         raise ValueError(f"parallelism must be positive, got {parallelism}")
     num_partitions = parallelism if partitions is None else partitions
     if num_partitions < 1:
         raise ValueError(f"partitions must be positive, got {num_partitions}")
+
+    scan_candidates = access_plan.resolve_all() if access_plan is not None else {}
+    if scan_candidates and context.collect_feedback:
+        # Predicate observations over pruned aliases are conditioned on the
+        # candidate set and must not feed the selectivity feedback loop.
+        context.feedback_excluded_aliases = frozenset(scan_candidates)
 
     alias = None
     if num_partitions > 1:
@@ -123,11 +155,42 @@ def execute_plan(
             annotations=annotations,
             predicate_tree=predicate_tree,
             three_valued=three_valued,
+            scan_candidates=scan_candidates,
         )
         context.metrics.morsels_executed += 1
         return physical.execute(context)
 
     table = catalog.get(scans[alias])
+    all_partitions = table.partitions(num_partitions)
+    alias_candidates = scan_candidates.get(alias)
+    if alias_candidates is not None:
+        # A morsel whose slice of the partitioning alias holds no candidate
+        # row contributes nothing to the output; skip compiling and running
+        # it.  Keep at least one morsel so the root still emits its (empty)
+        # output structure.
+        live = [
+            partition
+            for partition in all_partitions
+            if bool(alias_candidates.mask[partition.start : partition.stop].any())
+        ]
+        if not live:
+            live = all_partitions[:1]
+        page_size = table.page_size
+        scan_node_id = _alias_scan_node_id(kind, plan, alias)
+        for partition in all_partitions:
+            if partition in live:
+                continue
+            # Every page owned by a skipped morsel is pruned; record it
+            # here (against the scan's node when unambiguous) since no scan
+            # operator runs for the morsel.
+            first_page, end_page = owned_page_range(
+                partition.start, partition.stop, page_size
+            )
+            if end_page > first_page:
+                pages = end_page - first_page
+                context.metrics.record_scan_pruning(scan_node_id, pages, pages)
+        context.metrics.partitions_skipped += len(all_partitions) - len(live)
+        all_partitions = live
     morsels = [
         (
             partition,
@@ -140,9 +203,10 @@ def execute_plan(
                 three_valued=three_valued,
                 partition_alias=alias,
                 partition=partition,
+                scan_candidates=scan_candidates,
             ),
         )
-        for partition in table.partitions(num_partitions)
+        for partition in all_partitions
     ]
 
     def run_morsel(physical) -> tuple[OutputColumns, ExecContext]:

@@ -114,6 +114,12 @@ class PreparedPlan:
     estimated_rows: dict[int, float] = field(default_factory=dict)
     estimated_output_rows: float = 0.0
     selectivity_overrides: dict[str, float] = field(default_factory=dict)
+    #: Per-alias access-path choices
+    #: (:class:`~repro.access.chooser.QueryAccessPlan`); ``None`` when access
+    #: paths are disabled.  Execution resolves it into candidate bitmaps that
+    #: prune scans; resolution is memoized per table version, so repeated
+    #: executions of a cached plan pay nothing.
+    access_plan: object | None = None
 
 
 class Session:
@@ -139,6 +145,14 @@ class Session:
             the result *set*, but may reorder rows (join output follows
             probe order).  Planning is unaffected by either knob — only the
             execution phase is morselized.
+        access_paths: consult the catalog's access-path layer (zone maps and
+            secondary indexes, see :mod:`repro.access`) when planning and
+            prune scans with it when executing.  Pruning is sound — results
+            are byte-identical with the knob on or off — it only changes
+            which pages are touched.  When enabled and the catalog has no
+            :class:`~repro.access.manager.AccessPathManager` yet, one is
+            registered lazily (zone maps build on first use; secondary
+            indexes only ever exist when created explicitly).
     """
 
     def __init__(
@@ -151,6 +165,7 @@ class Session:
         stats_provider=None,
         parallelism: int = 1,
         partitions: int | None = None,
+        access_paths: bool = True,
     ) -> None:
         if parallelism < 1:
             raise ValueError(f"parallelism must be positive, got {parallelism}")
@@ -164,6 +179,7 @@ class Session:
         self.stats_provider = stats_provider
         self.parallelism = parallelism
         self.partitions = partitions
+        self.access_paths = access_paths
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -276,6 +292,7 @@ class Session:
             estimated_rows=estimated_rows,
             estimated_output_rows=estimated_output,
             selectivity_overrides=dict(selectivity_overrides or {}),
+            access_plan=context.estimates.access_plan(),
         )
 
     def execute_prepared(
@@ -325,6 +342,7 @@ class Session:
             three_valued=self.three_valued,
             parallelism=effective_parallelism,
             partitions=effective_partitions,
+            access_plan=prepared.access_plan if self.access_paths else None,
         )
         if query.has_output_shaping:
             output = apply_output_shaping(output, query)
@@ -364,6 +382,14 @@ class Session:
 
         return parse_query(query)
 
+    def _access_manager(self):
+        """The catalog's access-path manager (created lazily), or None."""
+        if not self.access_paths:
+            return None
+        from repro.access.manager import ensure_access_manager
+
+        return ensure_access_manager(self.catalog)
+
     def _planner_context(
         self, query: Query, naive_tags: bool, selectivity_overrides=None
     ) -> PlannerContext:
@@ -377,6 +403,7 @@ class Session:
             selectivity_mode=self.selectivity_mode,
             stats_provider=self.stats_provider,
             selectivity_overrides=selectivity_overrides,
+            access_manager=self._access_manager(),
         )
 
     def _execute_tmin(

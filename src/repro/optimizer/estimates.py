@@ -46,6 +46,7 @@ def build_estimate_provider(
     stats_provider=None,
     seed: int = 0,
     selectivity_overrides: Mapping[str, float] | None = None,
+    access_manager=None,
 ) -> "EstimateProvider":
     """Collect statistics and build the :class:`EstimateProvider` for one query.
 
@@ -66,6 +67,14 @@ def build_estimate_provider(
     (:meth:`~repro.expr.ast.BooleanExpr.key`) to observed selectivities; the
     service layer injects feedback-corrected values here when re-planning a
     query whose estimates drifted from reality.
+
+    ``access_manager`` optionally supplies the catalog's
+    :class:`~repro.access.manager.AccessPathManager`; when given, the
+    provider exposes per-leaf access-path choices (index-scan vs
+    zone-pruned-scan vs full-scan) through :meth:`EstimateProvider.access_plan`
+    and the cost model's scan term.  Planners consume those choices only
+    through the provider, keeping ``repro.core.planner`` free of access-path
+    imports.
     """
     if stats_provider is not None:
         table_stats = {
@@ -102,12 +111,18 @@ def build_estimate_provider(
             f"unknown selectivity_mode {selectivity_mode!r}; "
             "choose 'measured' or 'histogram'"
         )
+    access_chooser = None
+    if access_manager is not None:
+        from repro.access.chooser import AccessPathChooser
+
+        access_chooser = AccessPathChooser(query, access_manager)
     return EstimateProvider(
         query,
         table_stats,
         estimator,
         cost_params=cost_params,
         overrides=selectivity_overrides,
+        access_chooser=access_chooser,
     )
 
 
@@ -135,6 +150,7 @@ class EstimateProvider:
         estimator: SelectivityEstimator,
         cost_params: CostParams | None = None,
         overrides: Mapping[str, float] | None = None,
+        access_chooser=None,
     ) -> None:
         self.query = query
         self.table_stats = dict(table_stats)
@@ -144,6 +160,8 @@ class EstimateProvider:
             key: min(max(float(value), 0.0), 1.0)
             for key, value in dict(overrides or {}).items()
         }
+        self._access_chooser = access_chooser
+        self._access_plan = None
         self._seed_overrides()
 
     def _seed_overrides(self) -> None:
@@ -214,6 +232,39 @@ class EstimateProvider:
             right_ndv = self.distinct_values(condition.right.alias, condition.right.column)
             result /= max(left_ndv, right_ndv, 1.0)
         return result
+
+    # ------------------------------------------------------------------ #
+    # Access paths
+    # ------------------------------------------------------------------ #
+    def access_plan(self):
+        """Per-alias access-path choices (:class:`QueryAccessPlan`) or None.
+
+        Built lazily from the :class:`~repro.access.chooser.AccessPathChooser`
+        this provider was constructed with; ``None`` when access paths are
+        disabled or no manager is registered on the catalog.  This is the
+        *only* interface through which planners (and the session) learn about
+        zone maps and indexes.
+        """
+        if self._access_chooser is None:
+            return None
+        if self._access_plan is None:
+            self._access_plan = self._access_chooser.build_plan(self)
+        return self._access_plan
+
+    def scan_pages(self, alias: str) -> float:
+        """Estimated pages one scan of ``alias`` touches per referenced column.
+
+        Reflects the chosen access path: a full scan reads every page, an
+        index or zone-pruned scan only its estimated candidate pages.  Used
+        by the cost model's per-leaf scan term, so every planner costs
+        index-scan vs zone-pruned-scan vs full-scan without importing the
+        access layer.
+        """
+        plan = self.access_plan()
+        choice = plan.choice(alias) if plan is not None else None
+        if choice is None:
+            return float(self.table_stats[self.query.tables[alias]].num_pages)
+        return float(choice.total_pages if choice.kind == "full" else choice.est_pages)
 
     # ------------------------------------------------------------------ #
     # Whole-query estimate

@@ -11,7 +11,7 @@ loop corrects.
 
 from __future__ import annotations
 
-from repro.plan.logical import PlanNode
+from repro.plan.logical import PlanNode, TableScanNode
 
 
 def _plan_roots(prepared) -> list[PlanNode]:
@@ -45,13 +45,35 @@ def explain_analyze_report(prepared, result) -> str:
     execution a join's build side re-runs per morsel, so its actuals can
     exceed the serial row counts — the columns report work done, not
     distinct tuples.
+
+    Scan rows carry an extra ``pruned`` column (``pages pruned / pages in
+    range``) plus the chosen access path, fed by the per-scan pruning
+    counters and the prepared plan's
+    :class:`~repro.access.chooser.QueryAccessPlan`; ``-`` means the scan ran
+    unpruned (full access path, or access paths disabled).
     """
     actuals = result.metrics.operator_actuals
     estimates = prepared.estimated_rows
-    rows: list[tuple[str, str, str, str]] = []
+    pruning = result.metrics.scan_pruning
+    access_plan = prepared.access_plan
+    rows: list[tuple[str, str, str, str, str]] = []
+
+    def scan_annotation(node: TableScanNode) -> tuple[str, str]:
+        """(extra label text, pruned column) for a scan node."""
+        choice = access_plan.choice(node.alias) if access_plan is not None else None
+        label = ""
+        if choice is not None and choice.kind != "full":
+            label = f" [{choice.describe()}]"
+        outcome = pruning.get(node.node_id)
+        pruned = f"{outcome[1]}/{outcome[0]}" if outcome else "-"
+        return label, pruned
 
     def walk(node: PlanNode, depth: int) -> None:
         label = "  " * depth + node.label()
+        pruned = ""
+        if isinstance(node, TableScanNode):
+            extra, pruned = scan_annotation(node)
+            label += extra
         actual = actuals.get(node.node_id)
         rows.append(
             (
@@ -59,6 +81,7 @@ def explain_analyze_report(prepared, result) -> str:
                 _format_rows(estimates.get(node.node_id)),
                 _format_rows(actual[0] if actual else None),
                 _format_rows(actual[1] if actual else None),
+                pruned,
             )
         )
         for child in node.children:
@@ -67,30 +90,32 @@ def explain_analyze_report(prepared, result) -> str:
     roots = _plan_roots(prepared)
     for index, root in enumerate(roots):
         if index:
-            rows.append(("---", "", "", ""))
+            rows.append(("---", "", "", "", ""))
         walk(root, 0)
 
-    headers = ("operator", "est.rows", "act.in", "act.out")
+    headers = ("operator", "est.rows", "act.in", "act.out", "pruned")
     widths = [
         max(len(headers[column]), *(len(row[column]) for row in rows))
-        for column in range(4)
+        for column in range(len(headers))
     ]
+    value_columns = tuple(range(1, len(headers)))
     lines = [
         "  ".join(
             (headers[0].ljust(widths[0]),)
-            + tuple(headers[column].rjust(widths[column]) for column in (1, 2, 3))
+            + tuple(headers[column].rjust(widths[column]) for column in value_columns)
         )
     ]
     for row in rows:
         lines.append(
             "  ".join(
                 (row[0].ljust(widths[0]),)
-                + tuple(row[column].rjust(widths[column]) for column in (1, 2, 3))
+                + tuple(row[column].rjust(widths[column]) for column in value_columns)
             )
         )
     summary = (
         f"planner={prepared.planner} estimated_output_rows="
         f"{_format_rows(prepared.estimated_output_rows)} "
-        f"actual_output_rows={result.metrics.output_rows}"
+        f"actual_output_rows={result.metrics.output_rows} "
+        f"pages_pruned={result.metrics.pages_pruned}"
     )
     return "\n".join(lines + [summary])

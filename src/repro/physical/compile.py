@@ -40,6 +40,7 @@ from repro.physical.operators import (
     TraditionalProjectPhysical,
 )
 from repro.plan.logical import FilterNode, JoinNode, PlanNode, ProjectNode, TableScanNode
+from repro.storage.bitmap import Bitmap
 from repro.storage.catalog import Catalog
 from repro.storage.table import TablePartition
 
@@ -80,6 +81,7 @@ def compile_plan(
     three_valued: bool = True,
     partition_alias: str | None = None,
     partition: TablePartition | None = None,
+    scan_candidates: dict[str, "Bitmap"] | None = None,
 ) -> PhysicalPlan:
     """Compile a planner's output into a :class:`PhysicalPlan`.
 
@@ -95,6 +97,8 @@ def compile_plan(
         three_valued: SQL three-valued logic for bypass evaluation.
         partition_alias: alias whose scan is restricted to ``partition``.
         partition: the row-range slice for ``partition_alias``.
+        scan_candidates: alias -> access-path candidate bitmap; scans of
+            those aliases emit only candidate rows (zone-map/index pruning).
     """
     compiler = _Compiler(
         kind=kind,
@@ -104,6 +108,7 @@ def compile_plan(
         three_valued=three_valued,
         partition_alias=partition_alias,
         partition=partition,
+        scan_candidates=scan_candidates,
     )
     if kind == "traditional":
         root = compiler.compile_traditional(plan)
@@ -148,6 +153,7 @@ class _Compiler:
         three_valued: bool,
         partition_alias: str | None,
         partition: TablePartition | None,
+        scan_candidates: dict[str, "Bitmap"] | None = None,
     ) -> None:
         self.kind = kind
         self.catalog = catalog
@@ -156,6 +162,7 @@ class _Compiler:
         self.three_valued = three_valued
         self.partition_alias = partition_alias
         self.partition = partition
+        self.scan_candidates = scan_candidates or {}
 
     # ------------------------------------------------------------------ #
     # Shared pieces
@@ -170,6 +177,7 @@ class _Compiler:
             self.catalog.get(node.table_name),
             partition,
             node_id=node.node_id,
+            candidates=self.scan_candidates.get(node.alias),
         )
 
     @staticmethod

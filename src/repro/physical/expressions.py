@@ -74,6 +74,7 @@ def evaluate_predicate(
         context.collect_feedback
         and description in ("filter", "bypass filter")
         and truth.size
+        and not (aliases & context.feedback_excluded_aliases)
     ):
         # The observed per-clause pass rate is the raw material of the
         # feedback loop: ratios are partition-invariant (evaluated and
@@ -82,6 +83,9 @@ def evaluate_predicate(
         # parallelism / partition setting.  Residual evaluations are
         # excluded — their input is conditioned on the tuples no definite
         # tag assignment covered, which is not a selectivity observation.
+        # Clauses touching an access-path-pruned alias are excluded too:
+        # their input is conditioned on the scan's candidate set, so the
+        # observed ratio is not the predicate's true selectivity.
         context.metrics.record_predicate(
             predicate.key(), int(truth.size), int(tv.is_true(truth).sum())
         )

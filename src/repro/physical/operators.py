@@ -42,7 +42,7 @@ from repro.engine.result import OutputColumns, materialize_output
 from repro.physical.base import PhysicalOperator
 from repro.physical.batches import merge_batches
 from repro.storage.bitmap import Bitmap
-from repro.storage.table import Table, TablePartition
+from repro.storage.table import Table, TablePartition, owned_page_range
 
 
 def _scan_indices(table: Table, partition: TablePartition | None) -> np.ndarray:
@@ -79,6 +79,13 @@ class ScanPhysical(PhysicalOperator):
     ``kind`` selects the batch representation: ``"traditional"`` emits a
     plain :class:`Relation`, ``"tagged"`` a single-slice
     :class:`TaggedRelation`, ``"bypass"`` a single-stream :class:`StreamSet`.
+
+    ``candidates`` optionally restricts the scan to an access-path candidate
+    bitmap (zone-map / index pruning, see :mod:`repro.access`): only set
+    positions inside the scan's row range are emitted, so pages holding no
+    candidate row are never touched by downstream reads.  The bitmap is a
+    sound superset of the rows satisfying the query's implied predicate for
+    this alias, which keeps results byte-identical to an unpruned scan.
     """
 
     def __init__(
@@ -88,25 +95,58 @@ class ScanPhysical(PhysicalOperator):
         table: Table,
         partition: TablePartition | None = None,
         node_id: int | None = None,
+        candidates: Bitmap | None = None,
     ) -> None:
         super().__init__(node_id=node_id)
         if kind not in ("traditional", "tagged", "bypass"):
             raise ValueError(f"unknown execution kind {kind!r}")
+        if candidates is not None and candidates.size != table.num_rows:
+            raise ValueError(
+                f"candidate bitmap size {candidates.size} does not match table "
+                f"{table.name!r} with {table.num_rows} rows"
+            )
         self.kind = kind
         self.alias = alias
         self.table = table
         self.partition = partition
+        self.candidates = candidates
         self._done = False
 
     def open(self, context: ExecContext) -> None:
         super().open(context)
         self._done = False
 
+    def _pruned_indices(self, context: ExecContext) -> np.ndarray:
+        """Candidate row positions of the scan range, with pruning accounted.
+
+        Page accounting attributes each page to the range containing its
+        *first* row, so per-morsel counts sum exactly to the table's page
+        count — a page straddling a partition boundary is never counted
+        twice (``partitions=1`` is exact; boundary pages kept by a
+        neighboring morsel may still be reported pruned by their owner).
+        """
+        if self.partition is None:
+            start, stop = 0, self.table.num_rows
+        else:
+            start, stop = self.partition.start, self.partition.stop
+        if self.candidates is None:
+            return _scan_indices(self.table, self.partition)
+        indices = np.flatnonzero(self.candidates.mask[start:stop]) + start
+        page_size = self.table.page_size
+        first_page, end_page = owned_page_range(start, stop, page_size)
+        if end_page > first_page:
+            pages = np.unique(indices // page_size) if indices.size else indices
+            pages_kept = int(((pages >= first_page) & (pages < end_page)).sum())
+            context.metrics.record_scan_pruning(
+                self.node_id, end_page - first_page, end_page - first_page - pages_kept
+            )
+        return indices
+
     def _next(self, context: ExecContext):
         if self._done:
             return None
         self._done = True
-        indices = _scan_indices(self.table, self.partition)
+        indices = self._pruned_indices(context)
         context.metrics.operators_executed += 1
         self.record_rows(context, int(indices.size), int(indices.size))
         if self.kind == "tagged":

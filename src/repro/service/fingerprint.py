@@ -43,8 +43,15 @@ def query_fingerprint(
     sample_size: int = 20_000,
     selectivity_mode: str = "measured",
     cost_params: CostParams | None = None,
+    access_version: int = -1,
 ) -> str:
-    """A stable hex digest addressing the plan for ``query`` under ``planner``."""
+    """A stable hex digest addressing the plan for ``query`` under ``planner``.
+
+    ``access_version`` is the access-path manager's mutation counter (``-1``
+    when access paths are disabled): creating or dropping a secondary index
+    changes the access paths a plan may have chosen, so it must retire
+    cached plans the same way a catalog mutation does.
+    """
     params = cost_params if cost_params is not None else CostParams()
     material = "\x1f".join(
         (
@@ -56,6 +63,7 @@ def query_fingerprint(
             f"sample_size={sample_size}",
             f"selectivity_mode={selectivity_mode}",
             f"cost_params={params!r}",
+            f"access_version={access_version}",
         )
     )
     return hashlib.sha256(material.encode("utf-8")).hexdigest()

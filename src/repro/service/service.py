@@ -415,6 +415,11 @@ class QueryService:
         return query
 
     def _fingerprint(self, query: Query | str, planner: str, naive_tags: bool) -> str:
+        # Resolve (and, on first use, create) the access manager through the
+        # session so the first fingerprint already sees its version — reading
+        # the catalog attribute directly would hash access_version=-1 before
+        # the first prepare and split the cache key space.
+        manager = self.session._access_manager()
         return query_fingerprint(
             query,
             planner,
@@ -424,6 +429,7 @@ class QueryService:
             sample_size=self.session.stats_sample_size,
             selectivity_mode=self.session.selectivity_mode,
             cost_params=self.session.cost_params,
+            access_version=manager.version if manager is not None else -1,
         )
 
     def _ensure_pool(self) -> ThreadPoolExecutor:

@@ -34,6 +34,15 @@ class TableStats:
     table_name: str
     num_rows: int
     columns: dict[str, ColumnStats] = field(default_factory=dict)
+    #: Rows per simulated disk page (drives page-count cost estimates).
+    page_size: int = 1024
+
+    @property
+    def num_pages(self) -> int:
+        """Simulated pages per column of the table."""
+        if self.num_rows == 0:
+            return 0
+        return -(-self.num_rows // max(self.page_size, 1))
 
     def column(self, name: str) -> ColumnStats:
         """Statistics for a column; raises KeyError if not collected."""
@@ -53,7 +62,9 @@ class TableStats:
 
 def collect_table_stats(table: Table) -> TableStats:
     """Compute statistics for every column of a table."""
-    stats = TableStats(table_name=table.name, num_rows=table.num_rows)
+    stats = TableStats(
+        table_name=table.name, num_rows=table.num_rows, page_size=table.page_size
+    )
     for column in table.columns():
         bounds = column.min_max()
         min_value, max_value = (None, None) if bounds is None else bounds

@@ -24,6 +24,12 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._version = 0
         self._table_versions: dict[str, int] = {}
+        #: Optional :class:`repro.access.manager.AccessPathManager` owning
+        #: this catalog's zone maps and secondary indexes.  Held as an opaque
+        #: attribute so the storage substrate stays independent of the
+        #: access-path layer; the manager checks :meth:`table_version` on
+        #: every lookup, so catalog mutations invalidate it transparently.
+        self.access_manager = None
         for table in tables:
             self.add(table)
 

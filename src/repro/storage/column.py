@@ -116,6 +116,14 @@ class Column:
             self._nulls = null_mask | inferred_nulls
         else:
             self._nulls = inferred_nulls
+        # Lazily computed statistics.  Columns are immutable (table mutation
+        # means replacing the whole Column via Catalog.replace), so the
+        # caches never need invalidating — a new Column starts empty.  The
+        # on-disk loader seeds them from persisted metadata so a loaded
+        # catalog plans without recomputing (see repro.storage.disk).
+        self._distinct_count: int | None = None
+        self._min_max: tuple | None = None
+        self._min_max_known = False
 
     def _null_placeholder(self):
         """Placeholder stored for NULL cells (never observed by callers)."""
@@ -153,18 +161,47 @@ class Column:
         return bool(self._nulls.any())
 
     def distinct_count(self) -> int:
-        """Number of distinct non-NULL values."""
-        valid = self._data[~self._nulls]
-        if valid.size == 0:
-            return 0
-        return int(len(np.unique(valid)))
+        """Number of distinct non-NULL values (computed once, then cached).
+
+        The underlying ``np.unique`` is O(n log n); statistics collection
+        asks for it on every stats build, so the result is memoized on the
+        (immutable) column.
+        """
+        if self._distinct_count is None:
+            valid = self._data[~self._nulls]
+            self._distinct_count = int(len(np.unique(valid))) if valid.size else 0
+        return self._distinct_count
 
     def min_max(self) -> tuple | None:
-        """(min, max) of non-NULL values, or None for an all-NULL column."""
-        valid = self._data[~self._nulls]
-        if valid.size == 0:
-            return None
-        return valid.min(), valid.max()
+        """(min, max) of non-NULL values, or None for an all-NULL column.
+
+        Cached like :meth:`distinct_count` (the scan is O(n)).
+        """
+        if not self._min_max_known:
+            valid = self._data[~self._nulls]
+            self._min_max = (valid.min(), valid.max()) if valid.size else None
+            self._min_max_known = True
+        return self._min_max
+
+    def seed_statistics(
+        self,
+        distinct_count: int | None = None,
+        min_max: tuple | None = None,
+        min_max_known: bool = False,
+    ) -> None:
+        """Pre-populate the statistic caches from persisted metadata.
+
+        Used by :func:`repro.storage.disk.load_catalog` so a freshly loaded
+        catalog plans identically to the in-memory one it was saved from
+        without recomputing statistics on the first query.  Pass
+        ``min_max_known=True`` to seed ``min_max`` (``None`` then means "the
+        column is all-NULL", not "unknown").
+        """
+        if distinct_count is not None:
+            self._distinct_count = int(distinct_count)
+        if min_max_known:
+            self._min_max = min_max
+            self._min_max_known = True
 
     # ------------------------------------------------------------------ #
     # Simulated reads

@@ -9,33 +9,48 @@ module provides a simple columnar on-disk format:
 
 ```
 <root>/
-  catalog.json              # manifest: tables, columns, types, row counts
+  catalog.json              # manifest: tables, columns, types, row counts,
+                            # per-column statistics, index/zone-map registry
   <table>/<column>.values.npy
   <table>/<column>.nulls.npy
+  <table>/<column>.<kind>.index.npz    # secondary-index sidecar (format v2)
+  <table>/<column>.zonemap.npz         # zone-map sidecar (format v2)
 ```
 
 Values are stored with ``numpy.save`` (strings as fixed-width unicode, never
 pickled); NULL masks are stored alongside.  A CSV import/export pair is
 included for interoperability with external tools.
+
+**Format versions.**  Version 2 adds per-column statistics metadata
+(distinct count, min/max, null count) to the manifest — a loaded catalog
+seeds its in-memory statistic caches from it and therefore plans identically
+to the catalog it was saved from without recomputing — plus sidecar files
+for secondary indexes and zone maps, which are re-registered on an
+:class:`~repro.access.manager.AccessPathManager` attached to the loaded
+catalog.  Version-1 directories (no statistics, no sidecars) still load.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
 from pathlib import Path
 
 import numpy as np
 
 from repro.storage.catalog import Catalog
-from repro.storage.column import Column, ColumnType
+from repro.storage.column import DEFAULT_PAGE_SIZE, Column, ColumnType
 from repro.storage.table import Table
 
 #: Manifest file name inside a catalog directory.
 MANIFEST_NAME = "catalog.json"
 
 #: Format version written into manifests (bump on incompatible changes).
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Manifest versions :func:`load_catalog` understands.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class CatalogFormatError(ValueError):
@@ -45,22 +60,108 @@ class CatalogFormatError(ValueError):
 # --------------------------------------------------------------------------- #
 # Saving
 # --------------------------------------------------------------------------- #
-def _values_for_save(column: Column) -> np.ndarray:
-    if column.ctype is ColumnType.STRING:
-        return column.data.astype(str)
-    return column.data
+def _values_for_save(values: np.ndarray, ctype: ColumnType | None = None) -> np.ndarray:
+    if ctype is ColumnType.STRING or values.dtype == np.dtype(object):
+        return values.astype(str)
+    return values
+
+
+def _stat_value_for_json(value):
+    """A min/max statistic as a JSON-storable value (NumPy scalars unwrapped)."""
+    if value is None:
+        return None
+    if hasattr(value, "item"):
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        # NaN/inf are not valid JSON; drop the bound rather than corrupt the
+        # manifest (the loader falls back to lazy computation).
+        return None
+    return value
+
+
+def _column_manifest_entry(column: Column) -> dict:
+    bounds = column.min_max()
+    min_value = max_value = None
+    bounds_known = True
+    if bounds is not None:
+        min_value = _stat_value_for_json(bounds[0])
+        max_value = _stat_value_for_json(bounds[1])
+        if min_value is None or max_value is None:
+            bounds_known = False  # non-finite float bounds: recompute on load
+    return {
+        "name": column.name,
+        "type": column.ctype.value,
+        "page_size": column.page_size,
+        "distinct_count": column.distinct_count(),
+        "null_count": int(column.null_mask.sum()),
+        "min_value": min_value,
+        "max_value": max_value,
+        "bounds_known": bounds_known,
+    }
 
 
 def save_table(table: Table, directory: Path) -> None:
     """Write one table's column files into ``directory``."""
     directory.mkdir(parents=True, exist_ok=True)
     for column in table.columns():
-        np.save(directory / f"{column.name}.values.npy", _values_for_save(column))
+        np.save(
+            directory / f"{column.name}.values.npy",
+            _values_for_save(column.data, column.ctype),
+        )
         np.save(directory / f"{column.name}.nulls.npy", column.null_mask)
 
 
+def _index_sidecar_name(column: str, kind: str) -> str:
+    return f"{column}.{kind}.index.npz"
+
+
+def _zonemap_sidecar_name(column: str) -> str:
+    return f"{column}.zonemap.npz"
+
+
+def _save_arrays(path: Path, arrays: dict) -> None:
+    np.savez(
+        path,
+        **{name: _values_for_save(np.asarray(array)) for name, array in arrays.items()},
+    )
+
+
+def _access_manifest_entries(catalog: Catalog, root: Path) -> tuple[list, list]:
+    """Write access-path sidecars; returns (index entries, zone-map entries)."""
+    manager = catalog.access_manager
+    if manager is None:
+        return [], []
+    index_entries = []
+    for definition in manager.list_indexes():
+        materialized = manager.index_for(definition.table, definition.column)
+        file_name = _index_sidecar_name(definition.column, definition.kind)
+        _save_arrays(root / definition.table / file_name, materialized.to_arrays())
+        index_entries.append(
+            {
+                "table": definition.table,
+                "column": definition.column,
+                "kind": definition.kind,
+                "file": file_name,
+            }
+        )
+    zone_entries = []
+    for table_name, zone_map in manager.zone_maps_built():
+        file_name = _zonemap_sidecar_name(zone_map.column_name)
+        _save_arrays(root / table_name / file_name, zone_map.to_arrays())
+        zone_entries.append(
+            {"table": table_name, "column": zone_map.column_name, "file": file_name}
+        )
+    return index_entries, zone_entries
+
+
 def save_catalog(catalog: Catalog, root: str | Path) -> Path:
-    """Write every table of ``catalog`` under ``root`` and return the root path."""
+    """Write every table of ``catalog`` under ``root`` and return the root path.
+
+    Besides the column files, the version-2 manifest records per-column
+    statistics (so loads plan without recomputing) and — when the catalog
+    carries an access manager — sidecar files for every registered secondary
+    index and every materialized zone map.
+    """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
 
@@ -71,12 +172,14 @@ def save_catalog(catalog: Catalog, root: str | Path) -> Path:
             {
                 "name": table.name,
                 "num_rows": table.num_rows,
-                "columns": [
-                    {"name": column.name, "type": column.ctype.value}
-                    for column in table.columns()
-                ],
+                "columns": [_column_manifest_entry(column) for column in table.columns()],
             }
         )
+    indexes, zone_maps = _access_manifest_entries(catalog, root)
+    if indexes:
+        manifest["indexes"] = indexes
+    if zone_maps:
+        manifest["zone_maps"] = zone_maps
 
     with open(root / MANIFEST_NAME, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2)
@@ -86,7 +189,8 @@ def save_catalog(catalog: Catalog, root: str | Path) -> Path:
 # --------------------------------------------------------------------------- #
 # Loading
 # --------------------------------------------------------------------------- #
-def _load_column(directory: Path, name: str, ctype: ColumnType) -> Column:
+def _load_column(directory: Path, entry: dict, ctype: ColumnType) -> Column:
+    name = entry["name"]
     values_path = directory / f"{name}.values.npy"
     nulls_path = directory / f"{name}.nulls.npy"
     if not values_path.exists() or not nulls_path.exists():
@@ -95,11 +199,108 @@ def _load_column(directory: Path, name: str, ctype: ColumnType) -> Column:
     nulls = np.load(nulls_path, allow_pickle=False)
     if ctype is ColumnType.STRING:
         values = values.astype(object)
-    return Column(name, values, ctype=ctype, null_mask=nulls)
+    column = Column(
+        name,
+        values,
+        ctype=ctype,
+        null_mask=nulls,
+        # v1 manifests did not record page geometry; they were always
+        # written with the default page size.
+        page_size=int(entry.get("page_size", DEFAULT_PAGE_SIZE)),
+    )
+    _seed_column_statistics(column, entry, ctype)
+    return column
+
+
+def _seed_column_statistics(column: Column, entry: dict, ctype: ColumnType) -> None:
+    """Seed the column's statistic caches from v2 manifest metadata."""
+    distinct = entry.get("distinct_count")
+    if distinct is None:
+        return
+    bounds_known = bool(entry.get("bounds_known", False))
+    min_value, max_value = entry.get("min_value"), entry.get("max_value")
+    min_max = None
+    if min_value is not None and max_value is not None:
+        if ctype is ColumnType.FLOAT:
+            min_max = (float(min_value), float(max_value))
+        else:
+            min_max = (min_value, max_value)
+    elif bounds_known:
+        min_max = None  # all-NULL column
+    else:
+        bounds_known = False
+    column.seed_statistics(
+        distinct_count=int(distinct), min_max=min_max, min_max_known=bounds_known
+    )
+
+
+def _load_arrays(path: Path) -> dict:
+    with np.load(path, allow_pickle=False) as payload:
+        return {name: payload[name] for name in payload.files}
+
+
+def _restore_access_paths(catalog: Catalog, manifest: dict, root: Path) -> None:
+    """Re-register persisted indexes and zone maps on the loaded catalog."""
+    index_entries = manifest.get("indexes", [])
+    zone_entries = manifest.get("zone_maps", [])
+    if not index_entries and not zone_entries:
+        return
+    from repro.access.indexes import BitmapIndex, IndexDef, SortedIndex
+    from repro.access.manager import ensure_access_manager
+    from repro.access.zonemap import ColumnZoneMap
+
+    manager = ensure_access_manager(catalog)
+    for entry in index_entries:
+        path = root / entry["table"] / entry["file"]
+        if not path.exists():
+            raise CatalogFormatError(f"missing index sidecar {path}")
+        arrays = _load_arrays(path)
+        kind = entry["kind"]
+        index_cls = BitmapIndex if kind == "bitmap" else SortedIndex
+        manager.register_loaded_index(
+            IndexDef(entry["table"], entry["column"], kind),
+            index_cls.from_arrays(_coerce_index_arrays(arrays, catalog, entry)),
+        )
+    for entry in zone_entries:
+        path = root / entry["table"] / entry["file"]
+        if not path.exists():
+            raise CatalogFormatError(f"missing zone-map sidecar {path}")
+        arrays = _load_arrays(path)
+        arrays = _coerce_zonemap_arrays(arrays, catalog, entry)
+        manager.register_loaded_zone_map(
+            entry["table"], ColumnZoneMap.from_arrays(entry["column"], arrays)
+        )
+
+
+def _coerce_index_arrays(arrays: dict, catalog: Catalog, entry: dict) -> dict:
+    """Convert persisted unicode value arrays back to object dtype."""
+    column = catalog.get(entry["table"]).column(entry["column"])
+    if column.ctype is not ColumnType.STRING:
+        return arrays
+    out = dict(arrays)
+    for name in ("values", "sorted_values"):
+        if name in out:
+            out[name] = out[name].astype(object)
+    return out
+
+
+def _coerce_zonemap_arrays(arrays: dict, catalog: Catalog, entry: dict) -> dict:
+    column = catalog.get(entry["table"]).column(entry["column"])
+    if column.ctype is not ColumnType.STRING:
+        return arrays
+    out = dict(arrays)
+    for name in ("mins", "maxs"):
+        out[name] = out[name].astype(object)
+    return out
 
 
 def load_catalog(root: str | Path) -> Catalog:
-    """Load a catalog previously written by :func:`save_catalog`."""
+    """Load a catalog previously written by :func:`save_catalog`.
+
+    Version-2 manifests additionally seed per-column statistic caches and
+    restore index / zone-map sidecars onto an access manager registered on
+    the returned catalog; version-1 manifests load exactly as before.
+    """
     root = Path(root)
     manifest_path = root / MANIFEST_NAME
     if not manifest_path.exists():
@@ -108,9 +309,10 @@ def load_catalog(root: str | Path) -> Catalog:
         manifest = json.load(handle)
 
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise CatalogFormatError(
-            f"unsupported catalog format version {version!r} (expected {FORMAT_VERSION})"
+            f"unsupported catalog format version {version!r} "
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
         )
 
     tables = []
@@ -118,7 +320,7 @@ def load_catalog(root: str | Path) -> Catalog:
         name = table_entry["name"]
         directory = root / name
         columns = [
-            _load_column(directory, column_entry["name"], ColumnType(column_entry["type"]))
+            _load_column(directory, column_entry, ColumnType(column_entry["type"]))
             for column_entry in table_entry["columns"]
         ]
         table = Table(name, columns)
@@ -128,7 +330,76 @@ def load_catalog(root: str | Path) -> Catalog:
                 f"records {table_entry['num_rows']}"
             )
         tables.append(table)
-    return Catalog(tables)
+    catalog = Catalog(tables)
+    _restore_access_paths(catalog, manifest, root)
+    return catalog
+
+
+# --------------------------------------------------------------------------- #
+# Index DDL on saved catalogs (the ``repro index`` CLI)
+# --------------------------------------------------------------------------- #
+def _read_manifest(root: Path) -> dict:
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CatalogFormatError(f"no {MANIFEST_NAME} found in {root}")
+    with open(manifest_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _write_manifest(root: Path, manifest: dict) -> None:
+    with open(root / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def add_index_to_saved_catalog(root: str | Path, table: str, column: str, kind: str = "auto"):
+    """Create a secondary index on a saved dataset; returns its IndexDef.
+
+    Loads the catalog, materializes the index, writes its sidecar file and
+    registers it in the manifest (upgrading a version-1 manifest in place —
+    the column data is untouched).
+    """
+    root = Path(root)
+    catalog = load_catalog(root)
+    from repro.access.manager import ensure_access_manager
+
+    manager = ensure_access_manager(catalog)
+    definition = manager.create_index(table, column, kind=kind)
+    materialized = manager.index_for(table, column)
+    file_name = _index_sidecar_name(column, definition.kind)
+    _save_arrays(root / table / file_name, materialized.to_arrays())
+
+    manifest = _read_manifest(root)
+    manifest["format_version"] = FORMAT_VERSION
+    entries = manifest.setdefault("indexes", [])
+    entries.append(
+        {"table": table, "column": column, "kind": definition.kind, "file": file_name}
+    )
+    _write_manifest(root, manifest)
+    return definition
+
+
+def drop_index_from_saved_catalog(root: str | Path, table: str, column: str) -> dict:
+    """Remove a saved index (manifest entry + sidecar); returns its entry."""
+    root = Path(root)
+    manifest = _read_manifest(root)
+    entries = manifest.get("indexes", [])
+    matches = [
+        entry for entry in entries if entry["table"] == table and entry["column"] == column
+    ]
+    if not matches:
+        raise KeyError(f"no index on {table}.{column} in {root}")
+    manifest["indexes"] = [entry for entry in entries if entry not in matches]
+    _write_manifest(root, manifest)
+    for entry in matches:
+        sidecar = root / entry["table"] / entry["file"]
+        if sidecar.exists():
+            sidecar.unlink()
+    return matches[0]
+
+
+def list_saved_indexes(root: str | Path) -> list[dict]:
+    """The index registry of a saved dataset (manifest ``indexes`` entries)."""
+    return list(_read_manifest(Path(root)).get("indexes", []))
 
 
 # --------------------------------------------------------------------------- #

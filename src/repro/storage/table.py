@@ -21,6 +21,17 @@ from repro.storage.iostats import IOStats
 from repro.storage.pagecache import LFUPageCache
 
 
+def owned_page_range(start: int, stop: int, page_size: int) -> tuple[int, int]:
+    """Pages *owned* by the row range ``[start, stop)``: ``[first, end)``.
+
+    A page belongs to the range containing its first row, so the ranges of a
+    disjoint partitioning own every page exactly once — the invariant the
+    scan-pruning page accounting (``ScanPhysical`` and the morsel driver's
+    skipped-partition path) relies on to sum to the table's page count.
+    """
+    return -(-start // page_size), -(-stop // page_size)
+
+
 @dataclass(frozen=True)
 class TablePartition:
     """A contiguous row-range slice ``[start, stop)`` of a base table.
@@ -99,6 +110,16 @@ class Table:
     def column_names(self) -> list[str]:
         """Column names in declaration order."""
         return list(self._columns)
+
+    @property
+    def page_size(self) -> int:
+        """Rows per simulated disk page (taken from the first column)."""
+        return next(iter(self._columns.values())).page_size
+
+    @property
+    def num_pages(self) -> int:
+        """Simulated pages per column (taken from the first column)."""
+        return next(iter(self._columns.values())).num_pages
 
     def __len__(self) -> int:
         return self._num_rows

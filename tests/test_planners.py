@@ -138,8 +138,11 @@ class TestCostModel:
         plan = TPushdownPlanner(context).build_plan()
         annotations = context.tag_map_builder().build(plan)
         breakdown = estimate_plan_cost(plan, annotations, context.estimates)
-        assert breakdown.total == pytest.approx(breakdown.filter_cost + breakdown.join_cost)
+        assert breakdown.total == pytest.approx(
+            breakdown.filter_cost + breakdown.join_cost + breakdown.scan_cost
+        )
         assert breakdown.join_cost > 0
+        assert breakdown.scan_cost > 0  # per-leaf access-path I/O term
 
     def test_alpha_scales_filter_cost(self, context):
         plan = TPushdownPlanner(context).build_plan()
