@@ -5,9 +5,9 @@ PYTHON ?= python
 RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
 
 # Tag stamped into the BENCH_*.json artifacts written by `make bench`.
-BENCH_TAG ?= PR4
+BENCH_TAG ?= PR5
 
-.PHONY: test lint bench-smoke bench bench-parallel bench-feedback bench-index docs-check examples
+.PHONY: test lint bench-smoke bench bench-parallel bench-feedback bench-index bench-ingest docs-check examples
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -25,6 +25,7 @@ bench-smoke:
 	    benchmarks/bench_parallel_scan.py \
 	    benchmarks/bench_feedback_replan.py \
 	    benchmarks/bench_index_pruning.py \
+	    benchmarks/bench_ingest.py \
 	    benchmarks/bench_fig4a_selectivity.py -q --benchmark-disable \
 	    -k "not speedup"
 
@@ -43,6 +44,12 @@ bench-feedback:
 ## bench-smoke; this target adds the timing half)
 bench-index:
 	$(RUN) -m pytest benchmarks/bench_index_pruning.py -q
+
+## mutation ingest: incremental-vs-rebuild maintenance ratio plus the warm
+## query latency guard on a mutated table (the ratio half also runs in
+## bench-smoke; this target adds the latency half)
+bench-ingest:
+	$(RUN) -m pytest benchmarks/bench_ingest.py -q
 
 ## full benchmark suite with timing (slow); always leaves a BENCH_*.json
 ## artifact behind so the perf trajectory is tracked

@@ -1,0 +1,233 @@
+"""Ingest-while-serve: incremental maintenance must beat full rebuilds.
+
+The workload is a 120k-row, 6-column events table with a bitmap index on
+``category`` and a sorted index on ``ts``, warmed so statistics, zone maps
+and both indexes are materialized — the steady state of a serving
+deployment.  A stream of mutation batches (appends plus targeted deletes)
+is then committed twice over identical starting states:
+
+* **incremental** — the real write path: ``catalog.begin_mutation()`` /
+  ``commit()``, which extends zone maps, indexes and statistics for the new
+  rows (``AccessPathManager.extend`` / ``TableStats.apply_delta``);
+* **rebuild** — the same logical commits, followed by what a system without
+  incremental maintenance pays: full statistics recollection plus zone-map
+  and index rebuilds over the whole table at its new size.
+
+Assertions:
+
+* **maintenance ratio** (always; part of ``make bench-smoke``) — the
+  incremental commits finish at least 3x faster than the commits-with-full-
+  rebuild at the same final state, and both end states answer queries
+  byte-identically;
+* **warm latency speedup guard** (timing; deselected by ``make bench-smoke``,
+  run by ``make bench-ingest``) — warm query latency on the mutated table
+  stays within 1.5x of an unmutated table built directly at the final
+  state.
+
+Results are persisted to ``BENCH_PR5.json`` (see :mod:`repro.bench.persist`).
+
+Not tied to a paper figure — this benchmarks the repo's mutation subsystem,
+not the paper's planners (see docs/benchmarks.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Column, Session, Table
+from repro.access.manager import ensure_access_manager
+from repro.bench.persist import record_bench_result
+from repro.engine.metrics import Stopwatch
+from repro.stats.table_stats import collect_table_stats
+
+#: Rows in the base events table.
+BASE_ROWS = 120_000
+
+#: Mutation batches committed by the stream.
+BATCHES = 8
+
+#: Rows appended per batch.
+APPEND_ROWS = 500
+
+#: Distinct categories (bitmap-index friendly).
+CATEGORIES = 40
+
+#: Warm executions averaged by the latency comparison.
+TIMED_RUNS = 5
+
+QUERY = (
+    "SELECT e.id, e.value FROM events AS e "
+    "WHERE e.category = 'cat_07' OR (e.ts > 115000 AND e.value < 0.25)"
+)
+
+
+def _events_table(rows: int, seed: int, start_id: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        "events",
+        [
+            Column("id", np.arange(start_id, start_id + rows)),
+            Column("category", [f"cat_{int(c):02d}" for c in rng.integers(0, CATEGORIES, rows)]),
+            Column("ts", np.arange(start_id, start_id + rows)),
+            Column("value", rng.uniform(0.0, 1.0, rows)),
+            Column("score", rng.uniform(0.0, 100.0, rows)),
+            Column("flag", rng.integers(0, 2, rows).astype(bool)),
+        ],
+    )
+
+
+def _batch_rows(batch: int) -> list[dict]:
+    rng = np.random.default_rng(1000 + batch)
+    start = BASE_ROWS + batch * APPEND_ROWS
+    return [
+        {
+            "id": int(start + i),
+            "category": f"cat_{int(rng.integers(0, CATEGORIES)):02d}",
+            "ts": int(start + i),
+            "value": float(rng.uniform(0.0, 1.0)),
+            "score": float(rng.uniform(0.0, 100.0)),
+            "flag": bool(rng.integers(0, 2)),
+        }
+        for i in range(APPEND_ROWS)
+    ]
+
+
+def _deleted_positions(batch: int) -> list[int]:
+    # Delete a deterministic slice of old rows each batch.
+    start = batch * 97
+    return [start + i * 31 for i in range(40)]
+
+
+def _warmed_catalog() -> Catalog:
+    catalog = Catalog([_events_table(BASE_ROWS, seed=7)])
+    manager = ensure_access_manager(catalog)
+    manager.create_index("events", "category", kind="bitmap")
+    manager.create_index("events", "ts", kind="sorted")
+    for column in ("category", "ts", "value"):
+        manager.zone_map("events", column)
+    collect_table_stats(catalog.get("events"))
+    return catalog
+
+
+def _commit_stream(catalog: Catalog, rebuild: bool) -> float:
+    """Commit the mutation stream; returns maintenance wall-clock seconds.
+
+    With ``rebuild=True`` the incremental maintenance performed by commit is
+    followed by what a rebuild-only system would pay instead: dropping the
+    extended structures and rebuilding statistics, zone maps and indexes
+    from the full table.  Only the maintenance work is timed — staging and
+    table reconstruction are identical in both arms.
+    """
+    from repro.access.indexes import build_index
+    from repro.access.zonemap import build_zone_map
+
+    total = 0.0
+    for index in range(BATCHES):
+        batch = catalog.begin_mutation()
+        batch.insert("events", _batch_rows(index))
+        batch.delete("events", positions=_deleted_positions(index))
+        timer = Stopwatch()
+        batch.commit()
+        if rebuild:
+            table = catalog.get("events")
+            collect_table_stats(table)
+            for column in ("category", "ts", "value"):
+                build_zone_map(table.column(column))
+            build_index(table.column("category"), kind="bitmap")
+            build_index(table.column("ts"), kind="sorted")
+        total += timer.elapsed()
+    return total
+
+
+@pytest.fixture(scope="module")
+def committed():
+    """Both maintenance arms over identical starting states, plus timings."""
+    incremental_catalog = _warmed_catalog()
+    incremental_seconds = _commit_stream(incremental_catalog, rebuild=False)
+    rebuild_catalog = _warmed_catalog()
+    rebuild_seconds = _commit_stream(rebuild_catalog, rebuild=True)
+    return incremental_catalog, rebuild_catalog, incremental_seconds, rebuild_seconds
+
+
+def test_incremental_commits_3x_faster_than_rebuild(committed):
+    incremental_catalog, rebuild_catalog, incremental_seconds, rebuild_seconds = committed
+
+    # Equal final state: both catalogs answer the workload identically.
+    rows_incremental = Session(incremental_catalog).execute(QUERY).sorted_rows()
+    rows_rebuild = Session(rebuild_catalog).execute(QUERY).sorted_rows()
+    assert rows_incremental == rows_rebuild
+
+    ratio = rebuild_seconds / max(incremental_seconds, 1e-9)
+    record_bench_result(
+        "bench_ingest",
+        {
+            "batches": BATCHES,
+            "append_rows_per_batch": APPEND_ROWS,
+            "incremental_seconds": round(incremental_seconds, 4),
+            "rebuild_seconds": round(rebuild_seconds, 4),
+            "maintenance_ratio": round(ratio, 2),
+        },
+    )
+    assert ratio >= 3.0, (
+        f"incremental maintenance must be >= 3x faster than full rebuilds "
+        f"({ratio:.2f}x: incremental {incremental_seconds:.3f}s vs "
+        f"rebuild {rebuild_seconds:.3f}s)"
+    )
+
+
+def test_ingest_warm_latency_speedup_guard(committed):
+    """Warm latency on the mutated table stays within 1.5x of a fresh one."""
+    incremental_catalog, _rebuild_catalog, _inc, _reb = committed
+    mutated = incremental_catalog.get("events")
+
+    # A table built directly at the final state: same live rows, no holes.
+    live = (
+        ~mutated.delete_mask
+        if mutated.delete_mask is not None
+        else np.ones(mutated.num_rows, dtype=np.bool_)
+    )
+    fresh = Table(
+        "events",
+        [
+            Column(
+                column.name,
+                column.data[live],
+                ctype=column.ctype,
+                null_mask=column.null_mask[live],
+                page_size=column.page_size,
+            )
+            for column in mutated.columns()
+        ],
+    )
+    fresh_catalog = Catalog([fresh])
+    manager = ensure_access_manager(fresh_catalog)
+    manager.create_index("events", "category", kind="bitmap")
+    manager.create_index("events", "ts", kind="sorted")
+
+    def warm_seconds(catalog: Catalog) -> float:
+        session = Session(catalog)
+        prepared = session.prepare(QUERY)
+        session.execute_prepared(prepared)  # warm caches and candidates
+        best = float("inf")
+        for _ in range(TIMED_RUNS):
+            timer = Stopwatch()
+            session.execute_prepared(prepared)
+            best = min(best, timer.elapsed())
+        return best
+
+    mutated_seconds = warm_seconds(incremental_catalog)
+    fresh_seconds = warm_seconds(fresh_catalog)
+    slowdown = mutated_seconds / max(fresh_seconds, 1e-9)
+    record_bench_result(
+        "bench_ingest",
+        {
+            "warm_mutated_seconds": round(mutated_seconds, 5),
+            "warm_fresh_seconds": round(fresh_seconds, 5),
+            "warm_slowdown": round(slowdown, 2),
+        },
+    )
+    assert slowdown <= 1.5, (
+        f"warm latency on the mutated table must stay within 1.5x of an "
+        f"unmutated equal-size table (measured {slowdown:.2f}x)"
+    )

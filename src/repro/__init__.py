@@ -32,6 +32,7 @@ figure in the evaluation.
 
 from repro.engine.result import QueryResult
 from repro.engine.session import PreparedPlan, Session
+from repro.mutation import CatalogSnapshot, MutationBatch, MutationCommit
 from repro.service import QueryService
 from repro.expr.builders import and_, between, col, ilike, in_, is_null, like, lit, not_, or_
 from repro.plan.postselect import AggregateFunction, AggregateSpec, OrderItem
@@ -47,9 +48,12 @@ __all__ = [
     "AggregateFunction",
     "AggregateSpec",
     "Catalog",
+    "CatalogSnapshot",
     "Column",
     "ColumnType",
     "JoinCondition",
+    "MutationBatch",
+    "MutationCommit",
     "OrderItem",
     "PreparedPlan",
     "Query",

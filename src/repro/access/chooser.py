@@ -71,6 +71,12 @@ class QueryAccessPlan:
 
     manager: AccessPathManager
     choices: dict[str, AccessPathChoice] = field(default_factory=dict)
+    #: Per-alias table versions pinned when the plan was built.  Resolution
+    #: refuses to prune an alias whose table has since mutated: the manager
+    #: only knows the *current* contents, while the prepared plan executes
+    #: against its own catalog snapshot — the scan still filters deletes
+    #: itself, so skipping pruning is the sound (and cheap) fallback.
+    table_versions: dict[str, int] = field(default_factory=dict)
 
     def choice(self, alias: str) -> AccessPathChoice | None:
         """The choice for ``alias`` (None when the alias is unknown)."""
@@ -81,6 +87,13 @@ class QueryAccessPlan:
         resolved: dict[str, Bitmap] = {}
         for alias, choice in self.choices.items():
             if choice.kind == "full" or choice.predicate is None:
+                continue
+            pinned = self.table_versions.get(alias)
+            try:
+                current = self.manager.catalog.table_version(choice.table_name)
+            except KeyError:
+                continue
+            if pinned is not None and current != pinned:
                 continue
             bitmap = self.manager.candidates(choice.table_name, choice.predicate)
             if bitmap is not None:
@@ -105,6 +118,10 @@ class AccessPathChooser:
         plan = QueryAccessPlan(manager=self.manager)
         for alias, table_name in self.query.tables.items():
             plan.choices[alias] = self._choose(alias, table_name, estimates)
+            try:
+                plan.table_versions[alias] = self.manager.catalog.table_version(table_name)
+            except KeyError:
+                pass
         return plan
 
     def _choose(self, alias: str, table_name: str, estimates) -> AccessPathChoice:

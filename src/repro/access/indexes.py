@@ -205,6 +205,59 @@ class BitmapIndex(_IndexBase):
         start, stop = self._boundaries[code], self._boundaries[code + 1]
         return self._order[start:stop]
 
+    def extended(self, column: Column, old_num_rows: int) -> "BitmapIndex":
+        """The index of ``column`` after rows were appended at ``old_num_rows``.
+
+        The dictionary is merged incrementally: only the appended segment is
+        uniqued, existing codes are remapped through a vectorized gather when
+        the segment introduced new distinct values, and the position grouping
+        is re-derived from the (cheap, int32) code array — the expensive
+        full-column value sort of :meth:`build` never runs.  ``self`` is not
+        mutated.
+        """
+        segment = column.data[old_num_rows:]
+        excluded = column.null_mask[old_num_rows:].copy()
+        if column.ctype is ColumnType.FLOAT:
+            excluded |= np.isnan(segment.astype(np.float64))
+        old_values = self.dictionary.values
+        old_codes = self.dictionary.codes
+        seg_codes = np.full(segment.shape[0], -1, dtype=np.int32)
+        valid = ~excluded
+        merged_values = old_values
+        merged_old_codes = old_codes
+        if valid.any():
+            seg_uniques, seg_inverse = np.unique(segment[valid], return_inverse=True)
+            exists = np.zeros(seg_uniques.shape[0], dtype=np.bool_)
+            if old_values.size:
+                slots = np.searchsorted(old_values, seg_uniques)
+                in_bounds = slots < old_values.size
+                exists[in_bounds] = old_values[slots[in_bounds]] == seg_uniques[in_bounds]
+            new_uniques = seg_uniques[~exists]
+            if new_uniques.size:
+                merged_values = np.insert(
+                    old_values, np.searchsorted(old_values, new_uniques), new_uniques
+                )
+                if old_values.size:
+                    remap = np.searchsorted(merged_values, old_values).astype(np.int32)
+                    merged_old_codes = np.where(
+                        old_codes >= 0, remap[np.maximum(old_codes, 0)], old_codes
+                    ).astype(np.int32)
+                # An empty old dictionary (all-NULL/NaN column) has nothing
+                # to remap: every old code is already NULL_CODE.
+            seg_code_of_unique = np.searchsorted(merged_values, seg_uniques).astype(np.int32)
+            seg_codes[valid] = seg_code_of_unique[seg_inverse]
+        dictionary = DictionaryEncoding(
+            merged_values, np.concatenate([merged_old_codes, seg_codes])
+        )
+        order, boundaries = dictionary.grouped_positions()
+        null_positions = np.concatenate(
+            [
+                self.null_positions,
+                np.flatnonzero(column.null_mask[old_num_rows:]) + old_num_rows,
+            ]
+        )
+        return BitmapIndex(dictionary, order, boundaries, null_positions)
+
     def _eq_positions(self, value) -> np.ndarray:
         code = self.dictionary.code_of(value)
         if code < 0:
@@ -282,6 +335,37 @@ class SortedIndex(_IndexBase):
         values = data[valid_positions]
         order = np.argsort(values, kind="stable")
         return cls(values[order], valid_positions[order], null_positions, len(column))
+
+    def extended(self, column: Column, old_num_rows: int) -> "SortedIndex":
+        """The index of ``column`` after rows were appended at ``old_num_rows``.
+
+        Sorts only the appended segment (O(d log d)) and merges it into the
+        existing sorted arrays with one ``searchsorted`` + ``insert`` pass
+        (O(n + d)) — the full-column argsort of :meth:`build` never runs.
+        Appended positions are inserted *after* equal existing values, which
+        is exactly where the stable full rebuild would place them, so an
+        extended index is position-for-position identical to a rebuilt one.
+        ``self`` is not mutated.
+        """
+        segment = column.data[old_num_rows:]
+        seg_nulls = column.null_mask[old_num_rows:]
+        excluded = seg_nulls.copy()
+        if column.ctype is ColumnType.FLOAT:
+            excluded |= np.isnan(segment.astype(np.float64))
+        seg_positions = np.flatnonzero(~excluded).astype(np.int64) + old_num_rows
+        seg_values = segment[~excluded]
+        order = np.argsort(seg_values, kind="stable")
+        seg_values = seg_values[order]
+        seg_positions = seg_positions[order]
+        insert_at = np.searchsorted(self.sorted_values, seg_values, side="right")
+        return SortedIndex(
+            np.insert(self.sorted_values, insert_at, seg_values),
+            np.insert(self.sorted_positions, insert_at, seg_positions),
+            np.concatenate(
+                [self.null_positions, np.flatnonzero(seg_nulls) + old_num_rows]
+            ),
+            len(column),
+        )
 
     def _slice(self, start: int, stop: int) -> np.ndarray:
         return self.sorted_positions[start:stop]

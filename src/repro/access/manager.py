@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.access.indexes import IndexDef, build_index
 from repro.access.pruning import candidate_mask
-from repro.access.zonemap import ColumnZoneMap, build_zone_map
+from repro.access.zonemap import ColumnZoneMap, build_zone_map, extend_zone_map
 from repro.expr.ast import BooleanExpr, ColumnRef
 from repro.storage.bitmap import Bitmap
 from repro.storage.catalog import Catalog
@@ -45,6 +45,8 @@ class AccessStats:
 
     zone_maps_built: int = 0
     indexes_built: int = 0
+    zone_maps_extended: int = 0
+    indexes_extended: int = 0
     candidate_lookups: int = 0
     candidate_hits: int = 0
     invalidations: int = 0
@@ -54,6 +56,8 @@ class AccessStats:
         return {
             "zone_maps_built": self.zone_maps_built,
             "indexes_built": self.indexes_built,
+            "zone_maps_extended": self.zone_maps_extended,
+            "indexes_extended": self.indexes_extended,
             "candidate_lookups": self.candidate_lookups,
             "candidate_hits": self.candidate_hits,
             "invalidations": self.invalidations,
@@ -173,6 +177,47 @@ class AccessPathManager:
             self._entry_locked(table).zone_maps[zone_map.column_name] = zone_map
 
     # ------------------------------------------------------------------ #
+    # Incremental maintenance (the mutation subsystem's commit hook)
+    # ------------------------------------------------------------------ #
+    def extend(self, table: str, new_table, old_num_rows: int) -> None:
+        """Carry ``table``'s structures forward to its new version.
+
+        Called by :meth:`repro.mutation.batch.MutationBatch.commit` right
+        after the catalog adopted the mutated table.  Zone maps and
+        materialized indexes are *extended* for the appended rows (see
+        :func:`repro.access.zonemap.extend_zone_map` and the index
+        ``extended`` methods) instead of being dropped and lazily rebuilt;
+        delete-only commits carry them over unchanged (deleted rows are
+        filtered at candidate resolution and at the scan).  Candidate
+        bitmaps are never carried — they fold the delete bitmap, so the new
+        version starts with an empty memo.  Old structures are not mutated:
+        snapshots pinned at the previous version keep reading theirs.
+        """
+        with self._lock:
+            old_entry = self._tables.get(table)
+            current = self.catalog.table_version(table)
+            entry = _TableEntry(version=current)
+            appended = new_table.num_rows > old_num_rows
+            if old_entry is not None and old_entry.version != current:
+                for column_name, zone_map in old_entry.zone_maps.items():
+                    if zone_map is None or not appended:
+                        entry.zone_maps[column_name] = zone_map
+                    else:
+                        entry.zone_maps[column_name] = extend_zone_map(
+                            zone_map, new_table.column(column_name), old_num_rows
+                        )
+                        self.stats.zone_maps_extended += 1
+                for (column_name, kind), materialized in old_entry.indexes.items():
+                    if not appended:
+                        entry.indexes[(column_name, kind)] = materialized
+                    else:
+                        entry.indexes[(column_name, kind)] = materialized.extended(
+                            new_table.column(column_name), old_num_rows
+                        )
+                        self.stats.indexes_extended += 1
+            self._tables[table] = entry
+
+    # ------------------------------------------------------------------ #
     # Structure access (lazy, version-checked)
     # ------------------------------------------------------------------ #
     def _entry_locked(self, table: str) -> _TableEntry:
@@ -277,6 +322,14 @@ class AccessPathManager:
             return zone_map.row_mask(base, num_rows)
 
         mask = candidate_mask(predicate, evidence)
+        # Fold the table's delete bitmap in (see repro.mutation): a deleted
+        # row is never a candidate, so page pruning and morsel skipping stay
+        # sound — and get *stronger* — as rows are deleted.  The scan layer
+        # filters deletes independently, so this fold is an optimization for
+        # accounting, not the correctness barrier.
+        if table_obj.has_deletes():
+            live = ~table_obj.delete_mask
+            mask = live if mask is None else (mask & live)
         if mask is None or bool(mask.all()):
             return None
         return Bitmap.from_mask(mask)

@@ -186,24 +186,54 @@ class ColumnZoneMap:
 
 def build_zone_map(column: Column) -> ColumnZoneMap:
     """Build the zone map of one column (one pass over its pages)."""
+    return _summarize_pages(column, 0, column.num_pages)
+
+
+def extend_zone_map(
+    zone_map: ColumnZoneMap, column: Column, old_num_rows: int
+) -> ColumnZoneMap:
+    """The zone map of ``column`` after rows were appended at ``old_num_rows``.
+
+    Only the *dirty tail* is recomputed: the page containing the first
+    appended row (which may have been partially filled before) and every
+    page after it.  Pages before that are carried over unchanged, so the
+    cost is O(appended rows), not O(table).  ``zone_map`` is not mutated —
+    snapshots of the old version keep their structures.
+    """
+    if zone_map.page_size != column.page_size:
+        return build_zone_map(column)  # geometry changed: no reusable pages
+    first_dirty = old_num_rows // zone_map.page_size
+    tail = _summarize_pages(column, first_dirty, column.num_pages)
+    return ColumnZoneMap(
+        column.name,
+        zone_map.page_size,
+        list(zone_map.mins[:first_dirty]) + tail.mins,
+        list(zone_map.maxs[:first_dirty]) + tail.maxs,
+        np.concatenate([zone_map.null_counts[:first_dirty], tail.null_counts]),
+        np.concatenate([zone_map.row_counts[:first_dirty], tail.row_counts]),
+    )
+
+
+def _summarize_pages(column: Column, first_page: int, end_page: int) -> ColumnZoneMap:
+    """Summarize pages ``[first_page, end_page)`` of a column."""
     num_rows = len(column)
     page_size = column.page_size
-    num_pages = column.num_pages
     data = column.data
     nulls = column.null_mask
     is_float = column.ctype is ColumnType.FLOAT
 
+    count = max(end_page - first_page, 0)
     mins: list = []
     maxs: list = []
-    null_counts = np.zeros(num_pages, dtype=np.int64)
-    row_counts = np.zeros(num_pages, dtype=np.int64)
-    for page in range(num_pages):
+    null_counts = np.zeros(count, dtype=np.int64)
+    row_counts = np.zeros(count, dtype=np.int64)
+    for slot, page in enumerate(range(first_page, end_page)):
         start = page * page_size
         stop = min(num_rows, start + page_size)
         page_nulls = nulls[start:stop]
         null_count = int(page_nulls.sum())
-        null_counts[page] = null_count
-        row_counts[page] = stop - start
+        null_counts[slot] = null_count
+        row_counts[slot] = stop - start
         values = data[start:stop]
         if null_count:
             values = values[~page_nulls]

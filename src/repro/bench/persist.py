@@ -7,12 +7,19 @@ the JSON document so independent benchmarks (and repeated runs) compose into
 one file.  ``make bench`` additionally passes ``--benchmark-json`` to
 pytest-benchmark, so full timing runs always leave a ``BENCH_*.json``
 artifact behind.
+
+Every recorded entry is stamped with the repository's current git SHA
+(``git_sha``, with a ``-dirty`` suffix for an unclean tree) and a UTC
+timestamp (``recorded_at``), so numbers in a ``BENCH_*.json`` remain
+traceable to the exact revision that produced them across PRs.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 #: Environment variable overriding where results are recorded.
@@ -22,7 +29,7 @@ RESULTS_PATH_ENV = "BENCH_RESULTS_PATH"
 #: root under ``make bench``).  Bumped per PR so each PR's benchmark
 #: campaign leaves its own artifact; earlier ``BENCH_*.json`` files stay on
 #: the record.
-DEFAULT_RESULTS_FILE = "BENCH_PR4.json"
+DEFAULT_RESULTS_FILE = "BENCH_PR5.json"
 
 
 def results_path(path: str | os.PathLike | None = None) -> Path:
@@ -30,6 +37,30 @@ def results_path(path: str | os.PathLike | None = None) -> Path:
     if path is not None:
         return Path(path)
     return Path(os.environ.get(RESULTS_PATH_ENV, DEFAULT_RESULTS_FILE))
+
+
+def current_git_sha() -> str | None:
+    """The repository's HEAD SHA (``-dirty`` suffixed), or None outside git."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if not sha:
+        return None
+    return f"{sha}-dirty" if status else sha
 
 
 def record_bench_result(
@@ -41,7 +72,8 @@ def record_bench_result(
 
     The file maps benchmark names to payload dictionaries.  Existing entries
     for other benchmarks are preserved; re-recording the same benchmark
-    updates its keys in place.
+    updates its keys in place.  The entry is stamped with the producing git
+    SHA and a UTC timestamp for cross-PR traceability.
     """
     target = results_path(path)
     if target.exists():
@@ -57,6 +89,10 @@ def record_bench_result(
     if not isinstance(entry, dict):
         entry = data[name] = {}
     entry.update(payload)
+    sha = current_git_sha()
+    if sha is not None:
+        entry["git_sha"] = sha
+    entry["recorded_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
     target.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

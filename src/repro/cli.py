@@ -5,10 +5,17 @@ Subcommands::
     generate   build a dataset (synthetic T0/T1/T2, IMDB-like, or fuzz star
                schema) and save it to a directory
     query      run a SQL query against a saved dataset under any planner
+               (--snapshot K reads the state after the first K append-log
+               records — time travel)
     explain    print the plan a planner would choose, without executing it
     compare    run one query under several planners and print a speedup table
     batch      run a file of queries through the caching QueryService
     serve      interactive loop: read SQL from stdin, serve with plan caching
+    insert     append rows (from CSV or inline JSON) to a saved dataset's
+               append log — base column files are never rewritten
+    delete     logically delete the rows matching a predicate
+    compact    fold the append log back into flat column files
+    table      introspect a saved dataset (``table stats <name>``)
     index      create / drop / list secondary indexes on a saved dataset
     fuzz       differential-test all planners against the naive oracle
     figures    regenerate the paper's figures (delegates to repro.bench.figures)
@@ -22,6 +29,11 @@ Examples::
     python -m repro compare --data data/t0t1t2 --sql "..." --planners tcombined bdisj
     python -m repro batch --data data/t0t1t2 --file queries.sql --repeat 5 --workers 4
     python -m repro serve --data data/t0t1t2 --planner tcombined
+    python -m repro insert --data data/t0t1t2 --table T1 --values '[{"id": 7, "A1": 0.5}]'
+    python -m repro delete --data data/t0t1t2 --table T1 --where "T1.A1 > 0.9"
+    python -m repro query  --data data/t0t1t2 --snapshot 0 --sql "..."   # pre-mutation state
+    python -m repro compact --data data/t0t1t2
+    python -m repro table stats T1 --data data/t0t1t2
     python -m repro index create --data data/t0t1t2 --table T1 --column A1
     python -m repro index list --data data/t0t1t2
     python -m repro fuzz --queries 20 --seed 7
@@ -88,7 +100,7 @@ def _print_result(result, max_rows: int, show_metrics: bool) -> None:
 def _session_for(args: argparse.Namespace) -> Session:
     """A session over the saved dataset, honoring the parallelism flags."""
     return Session(
-        load_catalog(args.data),
+        load_catalog(args.data, snapshot=getattr(args, "snapshot", None)),
         parallelism=getattr(args, "parallelism", 1),
         partitions=getattr(args, "partitions", None),
         access_paths=not getattr(args, "no_access_paths", False),
@@ -315,6 +327,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_insert(args: argparse.Namespace) -> int:
+    from repro.mutation import MutationError
+    from repro.mutation.diskops import (
+        append_rows_to_saved_catalog,
+        rows_from_csv,
+        rows_from_json,
+        saved_table_types,
+    )
+
+    try:
+        if (args.csv is None) == (args.values is None):
+            raise MutationError("give exactly one of --csv or --values")
+        if args.csv is not None:
+            rows = rows_from_csv(args.csv, saved_table_types(args.data, args.table))
+        else:
+            rows = rows_from_json(args.values)
+        record = append_rows_to_saved_catalog(args.data, args.table, rows)
+    except (MutationError, KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"appended {record['rows']} rows to {args.table} "
+        f"(segment {record['segment']})"
+    )
+    return 0
+
+
+def _cmd_delete(args: argparse.Namespace) -> int:
+    from repro.mutation import MutationError
+    from repro.mutation.diskops import delete_rows_from_saved_catalog
+
+    try:
+        record = delete_rows_from_saved_catalog(args.data, args.table, args.where)
+    except (MutationError, KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"deleted {record['rows']} rows from {args.table}")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.mutation.diskops import compact_saved_catalog
+
+    try:
+        summary = compact_saved_catalog(args.data)
+    except (KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"compacted {summary['tables']} tables: folded {summary['records_folded']} "
+        f"append-log records, reclaimed {summary['rows_reclaimed']} deleted rows "
+        f"({summary['total_rows']} rows remain)"
+    )
+    return 0
+
+
+def _cmd_table_stats(args: argparse.Namespace) -> int:
+    from repro.stats.table_stats import collect_table_stats
+
+    catalog = load_catalog(args.data)
+    try:
+        table = catalog.get(args.table_name)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stats = collect_table_stats(table)
+    deleted = f" ({table.num_deleted} deleted)" if table.has_deletes() else ""
+    print(
+        f"{table.name}: {stats.num_rows} rows{deleted}, {table.num_pages} pages "
+        f"of {stats.page_size} rows"
+    )
+    rows = [
+        [
+            column.name,
+            table.column(column.name).ctype.value,
+            column.distinct_count,
+            column.null_count,
+            "-" if column.min_value is None else column.min_value,
+            "-" if column.max_value is None else column.max_value,
+        ]
+        for column in stats.columns.values()
+    ]
+    print(format_table(["column", "type", "distinct", "nulls", "min", "max"], rows))
+    return 0
+
+
 def _cmd_index(args: argparse.Namespace) -> int:
     from repro.storage.disk import (
         add_index_to_saved_catalog,
@@ -445,6 +543,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="execute, then print estimated vs actual rows per operator",
     )
+    query.add_argument(
+        "--snapshot",
+        type=int,
+        default=None,
+        help="read the dataset as of the first K append-log records "
+        "(0 = the base state; default: all records applied)",
+    )
     _add_parallel_flags(query)
     query.set_defaults(func=_cmd_query)
 
@@ -492,6 +597,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_feedback_flags(serve)
     _add_parallel_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    insert = subparsers.add_parser(
+        "insert", help="append rows to a saved dataset's append log"
+    )
+    insert.add_argument("--data", required=True, help="catalog directory")
+    insert.add_argument("--table", required=True)
+    insert.add_argument("--csv", help="CSV file with a header row (empty cells = NULL)")
+    insert.add_argument(
+        "--values", help='inline JSON rows, e.g. \'[{"id": 1, "v": 2.5}]\''
+    )
+    insert.set_defaults(func=_cmd_insert)
+
+    delete = subparsers.add_parser(
+        "delete", help="logically delete rows matching a predicate"
+    )
+    delete.add_argument("--data", required=True, help="catalog directory")
+    delete.add_argument("--table", required=True)
+    delete.add_argument(
+        "--where",
+        required=True,
+        help="SQL predicate over the table, e.g. \"T1.A1 > 0.9\"",
+    )
+    delete.set_defaults(func=_cmd_delete)
+
+    compact = subparsers.add_parser(
+        "compact", help="fold the append log back into flat column files"
+    )
+    compact.add_argument("--data", required=True, help="catalog directory")
+    compact.set_defaults(func=_cmd_compact)
+
+    table = subparsers.add_parser("table", help="introspect a saved dataset")
+    table_sub = table.add_subparsers(dest="table_command", required=True)
+    table_stats = table_sub.add_parser(
+        "stats", help="print rows/pages and per-column min-max/distinct/null stats"
+    )
+    table_stats.add_argument("table_name", help="table to describe")
+    table_stats.add_argument("--data", required=True, help="catalog directory")
+    table_stats.set_defaults(func=_cmd_table_stats)
 
     index = subparsers.add_parser(
         "index", help="create / drop / list secondary indexes on a saved dataset"

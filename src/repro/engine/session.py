@@ -99,6 +99,12 @@ class PreparedPlan:
             against the observed output cardinality (q-error).
         selectivity_overrides: feedback-corrected selectivities the plan was
             built with (empty for a purely a-priori plan).
+        snapshot: the :class:`~repro.mutation.snapshot.CatalogSnapshot`
+            pinned at prepare time.  Execution always runs against it, which
+            is what makes reads snapshot-isolated: a mutation committed
+            after ``prepare()`` registers *new* table objects in the
+            catalog, while this plan keeps reading the (immutable) objects
+            it was planned against.
     """
 
     planner: str
@@ -118,8 +124,11 @@ class PreparedPlan:
     #: (:class:`~repro.access.chooser.QueryAccessPlan`); ``None`` when access
     #: paths are disabled.  Execution resolves it into candidate bitmaps that
     #: prune scans; resolution is memoized per table version, so repeated
-    #: executions of a cached plan pay nothing.
+    #: executions of a cached plan pay nothing.  Resolution is version-pinned:
+    #: once a table mutates past the plan's snapshot, its alias simply stops
+    #: pruning (the snapshot scan stays correct on its own).
     access_plan: object | None = None
+    snapshot: object | None = None
 
 
 class Session:
@@ -293,6 +302,10 @@ class Session:
             estimated_output_rows=estimated_output,
             selectivity_overrides=dict(selectivity_overrides or {}),
             access_plan=context.estimates.access_plan(),
+            # Pin only the tables this query reads: enough for isolated
+            # execution, without keeping superseded generations of unrelated
+            # tables alive for as long as the plan stays cached.
+            snapshot=self.catalog.snapshot(tables=set(bound.tables.values())),
         )
 
     def execute_prepared(
@@ -323,6 +336,13 @@ class Session:
         and per-operator actual row counts into the result's metrics (the
         inputs of ``--explain-analyze`` and the service feedback loop); it
         never changes the rows returned.
+
+        Execution reads the plan's pinned catalog **snapshot** (see
+        :mod:`repro.mutation`): a mutation committed between ``prepare`` and
+        ``execute_prepared`` is invisible to this plan, which keeps the
+        paper's planning/execution split deterministic under concurrent
+        ingest.  Serve-current-data callers simply re-prepare (the service
+        layer's per-table fingerprints do this automatically).
         """
         query = prepared.query
         exec_context = ExecContext(collect_feedback=collect_feedback)
@@ -335,7 +355,7 @@ class Session:
         output = execute_plan(
             prepared.kind,
             prepared.plan.plan if prepared.kind == "bypass" else prepared.plan,
-            self.catalog,
+            prepared.snapshot if prepared.snapshot is not None else self.catalog,
             exec_context,
             annotations=prepared.annotations,
             predicate_tree=prepared.predicate_tree,

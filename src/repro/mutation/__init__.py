@@ -1,0 +1,28 @@
+"""The mutation & snapshot subsystem: DML with snapshot-isolated reads.
+
+Public surface:
+
+* :class:`~repro.mutation.batch.MutationBatch` — staged appends/deletes,
+  committed atomically under one catalog version bump
+  (``catalog.begin_mutation()``);
+* :class:`~repro.mutation.snapshot.CatalogSnapshot` — an immutable view of
+  one catalog state (``catalog.snapshot()``), pinned by prepared plans;
+* :class:`~repro.mutation.delta.MutationCommit` /
+  :class:`~repro.mutation.delta.TableDelta` — what a commit did, the input
+  of every incremental-maintenance hook;
+* :mod:`repro.mutation.diskops` — the append log of on-disk catalogs
+  (``repro insert|delete|compact``).
+"""
+
+from repro.mutation.batch import MutationBatch, MutationError
+from repro.mutation.delta import ColumnDelta, MutationCommit, TableDelta
+from repro.mutation.snapshot import CatalogSnapshot
+
+__all__ = [
+    "CatalogSnapshot",
+    "ColumnDelta",
+    "MutationBatch",
+    "MutationCommit",
+    "MutationError",
+    "TableDelta",
+]

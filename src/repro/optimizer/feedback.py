@@ -70,7 +70,7 @@ class FeedbackStats:
 class _FeedbackEntry:
     """Accumulated observations for one plan-cache fingerprint."""
 
-    __slots__ = ("counts", "applied", "last_estimated", "last_actual")
+    __slots__ = ("counts", "applied", "last_estimated", "last_actual", "tables")
 
     def __init__(self) -> None:
         self.counts: dict[str, list[int]] = {}
@@ -79,6 +79,9 @@ class _FeedbackEntry:
         self.applied: dict[str, float] | None = None
         self.last_estimated: float = 0.0
         self.last_actual: float = 0.0
+        # Base tables the observed query reads; a mutation commit drops the
+        # fingerprints touching a mutated table (superseded snapshot).
+        self.tables: set[str] = set()
 
 
 class FeedbackStore:
@@ -113,8 +116,14 @@ class FeedbackStore:
         metrics: ExecutionMetrics,
         estimated_rows: float,
         actual_rows: float,
+        tables=(),
     ) -> None:
-        """Fold one execution's observations into the fingerprint's entry."""
+        """Fold one execution's observations into the fingerprint's entry.
+
+        ``tables`` names the base tables the query reads; it ties the
+        observations to data versions so :meth:`drop_tables` can retire them
+        when those tables mutate.
+        """
         with self._lock:
             entry = self._entry_locked(fingerprint)
             for key, (evaluated, matched) in metrics.predicate_counts.items():
@@ -123,6 +132,7 @@ class FeedbackStore:
                 bucket[1] += matched
             entry.last_estimated = float(estimated_rows)
             entry.last_actual = float(actual_rows)
+            entry.tables.update(tables)
             self.stats.observations += 1
 
     def mark_applied(self, fingerprint: str, overrides: dict[str, float]) -> None:
@@ -192,6 +202,27 @@ class FeedbackStore:
         """Drop every accumulated observation."""
         with self._lock:
             self._entries.clear()
+
+    def drop_tables(self, tables) -> int:
+        """Drop every fingerprint whose query reads one of ``tables``.
+
+        Called on mutation commits: selectivities observed against a
+        superseded snapshot no longer describe the data the re-planned query
+        will read, so they must not be injected as overrides.  Returns how
+        many fingerprints were dropped.
+        """
+        names = set(tables)
+        if not names:
+            return 0
+        with self._lock:
+            stale = [
+                fingerprint
+                for fingerprint, entry in self._entries.items()
+                if entry.tables & names
+            ]
+            for fingerprint in stale:
+                del self._entries[fingerprint]
+            return len(stale)
 
     def __len__(self) -> int:
         return len(self._entries)

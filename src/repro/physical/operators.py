@@ -130,8 +130,13 @@ class ScanPhysical(PhysicalOperator):
         else:
             start, stop = self.partition.start, self.partition.stop
         if self.candidates is None:
-            return _scan_indices(self.table, self.partition)
-        indices = np.flatnonzero(self.candidates.mask[start:stop]) + start
+            # Logically deleted rows are filtered here, at the bottom of
+            # every execution model — pruning and access paths may be off,
+            # but a deleted row must never surface.
+            return self.table.live_positions_in(_scan_indices(self.table, self.partition))
+        indices = self.table.live_positions_in(
+            np.flatnonzero(self.candidates.mask[start:stop]) + start
+        )
         page_size = self.table.page_size
         first_page, end_page = owned_page_range(start, stop, page_size)
         if end_page > first_page:

@@ -10,8 +10,11 @@ build:
 * the planner name and the ``naive_tags`` flag;
 * the session's planning knobs (three-valued logic, sample size,
   selectivity mode, cost-model constants);
-* the catalog version, so any table mutation silently retires every plan
-  built against the old contents.
+* the versions of the tables the query references (``table_versions``), so
+  a mutation silently retires exactly the plans that read the mutated
+  tables — every other cached plan keeps its fingerprint and stays warm.
+  Callers without per-table versions fall back to the whole-catalog
+  version, which is sound but coarser (any mutation retires everything).
 
 Two queries with equal fingerprints are guaranteed to produce identical
 plans, because planning is deterministic in all of the hashed inputs.
@@ -44,6 +47,7 @@ def query_fingerprint(
     selectivity_mode: str = "measured",
     cost_params: CostParams | None = None,
     access_version: int = -1,
+    table_versions: tuple[tuple[str, int], ...] | None = None,
 ) -> str:
     """A stable hex digest addressing the plan for ``query`` under ``planner``.
 
@@ -51,13 +55,23 @@ def query_fingerprint(
     when access paths are disabled): creating or dropping a secondary index
     changes the access paths a plan may have chosen, so it must retire
     cached plans the same way a catalog mutation does.
+
+    ``table_versions`` — sorted ``(table name, per-table version)`` pairs for
+    the tables the query references — replaces the whole-catalog version in
+    the digest when provided, giving per-table invalidation granularity.
     """
     params = cost_params if cost_params is not None else CostParams()
+    if table_versions is not None:
+        version_material = "table_versions=" + ",".join(
+            f"{name}:{version}" for name, version in table_versions
+        )
+    else:
+        version_material = f"catalog_version={catalog_version}"
     material = "\x1f".join(
         (
             canonical_query_text(query),
             planner.lower(),
-            f"catalog_version={catalog_version}",
+            version_material,
             f"naive_tags={naive_tags}",
             f"three_valued={three_valued}",
             f"sample_size={sample_size}",

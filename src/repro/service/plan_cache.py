@@ -110,7 +110,10 @@ class PlanCache:
         """Drop one cached plan; returns True when the key was present.
 
         The feedback loop uses this to retire exactly the plan whose
-        estimates drifted — every other cached plan stays warm.
+        estimates drifted — every other cached plan stays warm.  A key that
+        is absent — never inserted, concurrently evicted by LRU pressure, or
+        already retired by another thread — is a no-op returning False, so
+        callers may race invalidation against eviction freely.
         """
         with self._lock:
             if key not in self._entries:
@@ -118,3 +121,24 @@ class PlanCache:
             del self._entries[key]
             self.stats.invalidations += 1
             return True
+
+    def invalidate_matching(self, predicate) -> int:
+        """Drop every cached plan for which ``predicate(value)`` is True.
+
+        Returns how many entries were dropped.  The mutation subsystem uses
+        this with "does the prepared plan read a mutated table?" so a commit
+        retires exactly the plans it staled; a predicate that raises for an
+        entry simply keeps that entry.
+        """
+        with self._lock:
+            stale = []
+            for key, value in self._entries.items():
+                try:
+                    if predicate(value):
+                        stale.append(key)
+                except Exception:  # noqa: BLE001 - opaque values stay cached
+                    continue
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)

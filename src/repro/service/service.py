@@ -37,6 +37,7 @@ Example::
 from __future__ import annotations
 
 import threading
+import weakref
 from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 
@@ -177,6 +178,25 @@ class QueryService:
         self.qerror_threshold = qerror_threshold
         self.feedback_store = FeedbackStore()
         self.default_timeout = default_timeout
+        # Incremental cache maintenance on mutation commits (repro.mutation):
+        # stats are extended by delta, exactly the plans/observations reading
+        # a mutated table are retired, everything else stays warm.  The
+        # subscription holds only a weak reference — a service abandoned
+        # without close() stays garbage-collectable, never does maintenance
+        # work as a zombie, and the finalizer removes its callback from the
+        # catalog's subscriber list when it is collected.
+        weak_self = weakref.ref(self)
+
+        def _notify_weak(commit, _ref=weak_self):
+            service = _ref()
+            if service is not None:
+                service._on_mutation(commit)
+
+        self._mutation_callback = _notify_weak
+        self.session.catalog.subscribe_mutations(self._mutation_callback)
+        self._unsubscribe = weakref.finalize(
+            self, self.session.catalog.unsubscribe_mutations, self._mutation_callback
+        )
         self._max_workers = max(1, max_workers)
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
@@ -291,6 +311,7 @@ class QueryService:
             result.metrics,
             prepared.estimated_output_rows,
             result.metrics.output_rows,
+            tables=set(prepared.query.tables.values()),
         )
         if self.feedback_store.should_replan(key, self.qerror_threshold):
             self.plan_cache.invalidate_entry(key)
@@ -373,6 +394,29 @@ class QueryService:
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
+    def _on_mutation(self, commit) -> None:
+        """React to a committed mutation batch with surgical invalidation.
+
+        * statistics: the mutated tables' cached stats are *extended* by the
+          commit's deltas (no rescan; see :meth:`StatsCache.apply_delta`) —
+          other tables' entries are untouched;
+        * plans: exactly the cached plans reading a mutated table are
+          retired (their per-table fingerprints are dead keys anyway; this
+          frees their memory immediately);
+        * feedback: observations keyed to superseded snapshots are dropped
+          so stale selectivities are never injected into a re-plan.
+        """
+        mutated = set(commit.deltas)
+        if not mutated:
+            return
+        if isinstance(self.stats_cache, StatsCache):
+            for delta in commit.deltas.values():
+                self.stats_cache.apply_delta(delta)
+        self.plan_cache.invalidate_matching(
+            lambda prepared: bool(mutated & set(prepared.query.tables.values()))
+        )
+        self.feedback_store.drop_tables(mutated)
+
     def invalidate(self) -> None:
         """Drop every cached plan, statistic and feedback observation."""
         self.plan_cache.invalidate()
@@ -390,7 +434,8 @@ class QueryService:
         return metrics
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool and unsubscribe from the catalog (idempotent)."""
+        self._unsubscribe()  # weakref.finalize: runs at most once
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
@@ -430,7 +475,27 @@ class QueryService:
             selectivity_mode=self.session.selectivity_mode,
             cost_params=self.session.cost_params,
             access_version=manager.version if manager is not None else -1,
+            table_versions=self._table_versions(query),
         )
+
+    def _table_versions(self, query: Query) -> tuple[tuple[str, int], ...] | None:
+        """Sorted (table, version) pairs of the query's base tables.
+
+        Per-table granularity is what lets a mutation commit retire only the
+        plans that read the mutated tables.  ``None`` (whole-catalog
+        fallback) when a referenced table is unknown — preparation will
+        raise anyway, but the fingerprint must not.
+        """
+        catalog = self.session.catalog
+        try:
+            return tuple(
+                sorted(
+                    (name, catalog.table_version(name))
+                    for name in set(query.tables.values())
+                )
+            )
+        except KeyError:
+            return None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:

@@ -84,6 +84,27 @@ class StatsCache:
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
+    def apply_delta(self, delta) -> bool:
+        """Fold a mutation commit's table delta into the cache.
+
+        When the pre-commit version's statistics are cached, the post-commit
+        statistics are derived from them via
+        :meth:`~repro.stats.table_stats.TableStats.apply_delta` — O(columns)
+        instead of a full rescan — and inserted under the new version key.
+        Returns True when the incremental path ran; False means nothing was
+        cached to extend (the next query recollects lazily).  Samples are
+        never carried over: the row population changed, so they are redrawn
+        (deterministically) on demand.
+        """
+        old_key = (delta.table, delta.old_version)
+        with self._lock:
+            old = self._stats.get(old_key)
+            if old is not None:
+                self._stats[(delta.table, delta.new_version)] = old.apply_delta(delta)
+                self.stats.insertions += 1
+            self._prune_locked()
+            return old is not None
+
     def invalidate(self, table: str | None = None) -> None:
         """Drop cached statistics and samples — all of them, or one table's."""
         with self._lock:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator, Mapping
 
 from repro.storage.table import Table
 
@@ -30,6 +30,7 @@ class Catalog:
         #: access-path layer; the manager checks :meth:`table_version` on
         #: every lookup, so catalog mutations invalidate it transparently.
         self.access_manager = None
+        self._mutation_subscribers: list[Callable] = []
         for table in tables:
             self.add(table)
 
@@ -69,6 +70,82 @@ class Catalog:
         del self._tables[name]
         del self._table_versions[name]
         self._version += 1
+
+    # ------------------------------------------------------------------ #
+    # Mutation & snapshots (see repro.mutation)
+    # ------------------------------------------------------------------ #
+    def snapshot(self, tables: Iterable[str] | None = None):
+        """A :class:`~repro.mutation.snapshot.CatalogSnapshot` of the current
+        state: an immutable name -> table view pinned at the current
+        versions.  Because tables themselves are immutable (mutation commits
+        register *new* table objects), holding a snapshot is enough to keep
+        reading the pre-commit data — nothing is copied.
+
+        ``tables`` restricts the snapshot to the named tables (unknown names
+        are ignored).  Prepared plans pin only the tables their query reads,
+        so a long-cached plan never keeps superseded generations of
+        *unrelated* tables alive.
+        """
+        from repro.mutation.snapshot import CatalogSnapshot
+
+        if tables is None:
+            picked = dict(self._tables)
+        else:
+            picked = {
+                name: self._tables[name] for name in tables if name in self._tables
+            }
+        return CatalogSnapshot(
+            version=self._version,
+            tables=picked,
+            table_versions={name: self._table_versions[name] for name in picked},
+        )
+
+    def begin_mutation(self):
+        """Start a mutation batch (:class:`~repro.mutation.batch.MutationBatch`).
+
+        Stage any number of appends and deletes across any tables, then
+        ``commit()`` — the catalog version is bumped exactly once per
+        committed batch, and every derived structure (statistics, zone maps,
+        indexes, cached plans) is maintained incrementally.
+        """
+        from repro.mutation.batch import MutationBatch
+
+        return MutationBatch(self)
+
+    def apply_mutation(self, tables: Mapping[str, Table]) -> int:
+        """Swap in mutated table objects under **one** version bump.
+
+        Internal to the mutation subsystem (use :meth:`begin_mutation`).
+        Every table must already be registered; all mutated tables share the
+        new version, and unrelated tables keep theirs.  Returns the new
+        catalog version.
+        """
+        for name in tables:
+            if name not in self._tables:
+                raise KeyError(f"unknown table {name!r}")
+        self._version += 1
+        for name, table in tables.items():
+            self._tables[name] = table
+            self._table_versions[name] = self._version
+        return self._version
+
+    def subscribe_mutations(self, callback: Callable) -> None:
+        """Register ``callback(commit)`` to run after each committed batch.
+
+        ``commit`` is a :class:`~repro.mutation.delta.MutationCommit`.  The
+        service layer subscribes to maintain its caches incrementally."""
+        if callback not in self._mutation_subscribers:
+            self._mutation_subscribers.append(callback)
+
+    def unsubscribe_mutations(self, callback: Callable) -> None:
+        """Remove a mutation subscriber (no-op when absent)."""
+        if callback in self._mutation_subscribers:
+            self._mutation_subscribers.remove(callback)
+
+    def notify_mutation(self, commit) -> None:
+        """Deliver a committed batch to every subscriber (in order)."""
+        for callback in list(self._mutation_subscribers):
+            callback(commit)
 
     def get(self, name: str) -> Table:
         """Look up a table by name; raises KeyError with a helpful message."""

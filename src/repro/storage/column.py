@@ -52,7 +52,7 @@ def _infer_type(values: Sequence) -> ColumnType:
     for value in values:
         if value is None:
             continue
-        if isinstance(value, bool):
+        if isinstance(value, (bool, np.bool_)):
             return ColumnType.BOOL
         if isinstance(value, (int, np.integer)):
             return ColumnType.INT
@@ -182,6 +182,16 @@ class Column:
             self._min_max = (valid.min(), valid.max()) if valid.size else None
             self._min_max_known = True
         return self._min_max
+
+    def cached_statistics(self) -> tuple[int | None, tuple | None, bool]:
+        """``(distinct_count, min_max, min_max_known)`` without computing.
+
+        The incremental-maintenance path (:mod:`repro.mutation`) reads the
+        memoized statistics of the columns it is about to extend; ``None`` /
+        ``False`` entries mean "never computed" and the caller falls back to
+        lazy recomputation on the new column.
+        """
+        return self._distinct_count, self._min_max, self._min_max_known
 
     def seed_statistics(
         self,

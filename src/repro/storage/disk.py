@@ -10,11 +10,16 @@ module provides a simple columnar on-disk format:
 ```
 <root>/
   catalog.json              # manifest: tables, columns, types, row counts,
-                            # per-column statistics, index/zone-map registry
+                            # per-column statistics, index/zone-map registry,
+                            # append-log delta records (format v3)
   <table>/<column>.values.npy
   <table>/<column>.nulls.npy
+  <table>/_deleted.npy                 # base delete bitmap (format v3)
   <table>/<column>.<kind>.index.npz    # secondary-index sidecar (format v2)
   <table>/<column>.zonemap.npz         # zone-map sidecar (format v2)
+  <table>/segment-<n>/<column>.values.npy   # appended rows (format v3)
+  <table>/segment-<n>/<column>.nulls.npy
+  <table>/delete-<n>.npy               # deleted positions (format v3)
 ```
 
 Values are stored with ``numpy.save`` (strings as fixed-width unicode, never
@@ -27,7 +32,15 @@ seeds its in-memory statistic caches from it and therefore plans identically
 to the catalog it was saved from without recomputing — plus sidecar files
 for secondary indexes and zone maps, which are re-registered on an
 :class:`~repro.access.manager.AccessPathManager` attached to the loaded
-catalog.  Version-1 directories (no statistics, no sidecars) still load.
+catalog.  Version 3 adds the **append log**: ``repro insert`` / ``repro
+delete`` write segment directories / deleted-position files plus an ordered
+``mutations`` list of delta records in the manifest, *without rewriting the
+base column files*; :func:`load_catalog` replays the records (all of them,
+or the first ``snapshot=K`` for time-travel reads) through the mutation
+subsystem, and index/zone-map sidecars that predate some records are
+incrementally *extended* to catch up rather than rebuilt.  ``repro
+compact`` folds the log back into flat column files.  Version-1 and -2
+directories still load.
 """
 
 from __future__ import annotations
@@ -35,6 +48,7 @@ from __future__ import annotations
 import csv
 import json
 import math
+from collections.abc import Iterable
 from pathlib import Path
 
 import numpy as np
@@ -47,10 +61,13 @@ from repro.storage.table import Table
 MANIFEST_NAME = "catalog.json"
 
 #: Format version written into manifests (bump on incompatible changes).
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: Manifest versions :func:`load_catalog` understands.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: File holding a table's base delete bitmap (format v3).
+DELETE_MASK_NAME = "_deleted.npy"
 
 
 class CatalogFormatError(ValueError):
@@ -101,7 +118,7 @@ def _column_manifest_entry(column: Column) -> dict:
 
 
 def save_table(table: Table, directory: Path) -> None:
-    """Write one table's column files into ``directory``."""
+    """Write one table's column files (and delete bitmap) into ``directory``."""
     directory.mkdir(parents=True, exist_ok=True)
     for column in table.columns():
         np.save(
@@ -109,6 +126,11 @@ def save_table(table: Table, directory: Path) -> None:
             _values_for_save(column.data, column.ctype),
         )
         np.save(directory / f"{column.name}.nulls.npy", column.null_mask)
+    mask_path = directory / DELETE_MASK_NAME
+    if table.has_deletes():
+        np.save(mask_path, table.delete_mask)
+    elif mask_path.exists():
+        mask_path.unlink()
 
 
 def _index_sidecar_name(column: str, kind: str) -> str:
@@ -142,6 +164,9 @@ def _access_manifest_entries(catalog: Catalog, root: Path) -> tuple[list, list]:
                 "column": definition.column,
                 "kind": definition.kind,
                 "file": file_name,
+                # Physical rows the sidecar covers: a later append-log load
+                # extends the structure from here instead of rebuilding.
+                "rows": catalog.get(definition.table).num_rows,
             }
         )
     zone_entries = []
@@ -149,7 +174,12 @@ def _access_manifest_entries(catalog: Catalog, root: Path) -> tuple[list, list]:
         file_name = _zonemap_sidecar_name(zone_map.column_name)
         _save_arrays(root / table_name / file_name, zone_map.to_arrays())
         zone_entries.append(
-            {"table": table_name, "column": zone_map.column_name, "file": file_name}
+            {
+                "table": table_name,
+                "column": zone_map.column_name,
+                "file": file_name,
+                "rows": catalog.get(table_name).num_rows,
+            }
         )
     return index_entries, zone_entries
 
@@ -168,13 +198,14 @@ def save_catalog(catalog: Catalog, root: str | Path) -> Path:
     manifest = {"format_version": FORMAT_VERSION, "tables": []}
     for table in catalog:
         save_table(table, root / table.name)
-        manifest["tables"].append(
-            {
-                "name": table.name,
-                "num_rows": table.num_rows,
-                "columns": [_column_manifest_entry(column) for column in table.columns()],
-            }
-        )
+        entry = {
+            "name": table.name,
+            "num_rows": table.num_rows,
+            "columns": [_column_manifest_entry(column) for column in table.columns()],
+        }
+        if table.has_deletes():
+            entry["delete_mask"] = DELETE_MASK_NAME
+        manifest["tables"].append(entry)
     indexes, zone_maps = _access_manifest_entries(catalog, root)
     if indexes:
         manifest["indexes"] = indexes
@@ -239,37 +270,71 @@ def _load_arrays(path: Path) -> dict:
         return {name: payload[name] for name in payload.files}
 
 
-def _restore_access_paths(catalog: Catalog, manifest: dict, root: Path) -> None:
-    """Re-register persisted indexes and zone maps on the loaded catalog."""
+def _restore_access_paths(
+    catalog: Catalog, manifest: dict, root: Path, bounded: bool = False
+) -> None:
+    """Re-register persisted indexes and zone maps on the loaded catalog.
+
+    A sidecar records how many physical rows it covered when written
+    (``rows``); when the replayed append log has grown the table past that,
+    the loaded structure is *extended* for the missing tail — the
+    incremental-maintenance path — instead of being discarded.
+
+    ``bounded`` marks a ``snapshot=K`` time-travel load: a sidecar written
+    *after* the replay cutoff legitimately covers more rows than the
+    snapshot holds, so it is skipped (the index definition simply does not
+    exist yet at that point in history) instead of treated as corruption.
+    """
     index_entries = manifest.get("indexes", [])
     zone_entries = manifest.get("zone_maps", [])
     if not index_entries and not zone_entries:
         return
     from repro.access.indexes import BitmapIndex, IndexDef, SortedIndex
     from repro.access.manager import ensure_access_manager
-    from repro.access.zonemap import ColumnZoneMap
+    from repro.access.zonemap import ColumnZoneMap, extend_zone_map
 
     manager = ensure_access_manager(catalog)
     for entry in index_entries:
         path = root / entry["table"] / entry["file"]
         if not path.exists():
             raise CatalogFormatError(f"missing index sidecar {path}")
+        column = catalog.get(entry["table"]).column(entry["column"])
+        covered = int(entry.get("rows", len(column)))
+        if covered > len(column):
+            if bounded:
+                continue  # sidecar postdates the requested snapshot
+            raise CatalogFormatError(
+                f"index sidecar {path} covers {covered} rows but table has {len(column)}"
+            )
         arrays = _load_arrays(path)
         kind = entry["kind"]
         index_cls = BitmapIndex if kind == "bitmap" else SortedIndex
+        materialized = index_cls.from_arrays(
+            _coerce_index_arrays(arrays, catalog, entry)
+        )
+        if covered < len(column):
+            materialized = materialized.extended(column, covered)
         manager.register_loaded_index(
-            IndexDef(entry["table"], entry["column"], kind),
-            index_cls.from_arrays(_coerce_index_arrays(arrays, catalog, entry)),
+            IndexDef(entry["table"], entry["column"], kind), materialized
         )
     for entry in zone_entries:
         path = root / entry["table"] / entry["file"]
         if not path.exists():
             raise CatalogFormatError(f"missing zone-map sidecar {path}")
+        column = catalog.get(entry["table"]).column(entry["column"])
+        covered = int(entry.get("rows", len(column)))
+        if covered > len(column):
+            if bounded:
+                continue
+            raise CatalogFormatError(
+                f"zone-map sidecar {path} covers {covered} rows but table has {len(column)}"
+            )
         arrays = _load_arrays(path)
         arrays = _coerce_zonemap_arrays(arrays, catalog, entry)
-        manager.register_loaded_zone_map(
-            entry["table"], ColumnZoneMap.from_arrays(entry["column"], arrays)
-        )
+        zone_map = ColumnZoneMap.from_arrays(entry["column"], arrays)
+        if covered < len(column):
+            zone_map = extend_zone_map(zone_map, column, covered)
+        manager.register_loaded_zone_map(entry["table"], zone_map)
 
 
 def _coerce_index_arrays(arrays: dict, catalog: Catalog, entry: dict) -> dict:
@@ -294,12 +359,29 @@ def _coerce_zonemap_arrays(arrays: dict, catalog: Catalog, entry: dict) -> dict:
     return out
 
 
-def load_catalog(root: str | Path) -> Catalog:
+def load_catalog(
+    root: str | Path,
+    snapshot: int | None = None,
+    tables: Iterable[str] | None = None,
+) -> Catalog:
     """Load a catalog previously written by :func:`save_catalog`.
 
     Version-2 manifests additionally seed per-column statistic caches and
     restore index / zone-map sidecars onto an access manager registered on
     the returned catalog; version-1 manifests load exactly as before.
+
+    Version-3 manifests may carry an append log (``mutations``); its delta
+    records are replayed in order on top of the base tables.  ``snapshot``
+    bounds the replay for time-travel reads: ``snapshot=K`` applies only the
+    first K records (``0`` = the base state), ``None`` applies all of them.
+    Sidecars written before later records are extended to catch up.
+
+    ``tables`` restricts the load to the named tables — their column files,
+    their delta records, their sidecars; nothing else is read.  Single-table
+    operations (``repro delete``'s predicate evaluation, ``repro table
+    stats``) use this to stay O(table) instead of O(dataset).  The snapshot
+    cutoff still indexes the *full* record list, so a filtered load at
+    ``snapshot=K`` sees exactly the filtered slice of that history.
     """
     root = Path(root)
     manifest_path = root / MANIFEST_NAME
@@ -315,23 +397,63 @@ def load_catalog(root: str | Path) -> Catalog:
             f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
         )
 
-    tables = []
-    for table_entry in manifest.get("tables", []):
+    mutations = manifest.get("mutations", [])
+    if snapshot is not None:
+        if not 0 <= snapshot <= len(mutations):
+            raise CatalogFormatError(
+                f"snapshot {snapshot} out of range: the append log has "
+                f"{len(mutations)} records"
+            )
+        mutations = mutations[:snapshot]
+
+    wanted = None if tables is None else set(tables)
+    table_entries = manifest.get("tables", [])
+    if wanted is not None:
+        known = {entry["name"] for entry in table_entries}
+        missing = wanted - known
+        if missing:
+            raise CatalogFormatError(
+                f"unknown table(s) {sorted(missing)} in {MANIFEST_NAME}; "
+                f"known tables: {', '.join(sorted(known)) or '(none)'}"
+            )
+        table_entries = [entry for entry in table_entries if entry["name"] in wanted]
+        mutations = [record for record in mutations if record["table"] in wanted]
+        manifest = dict(manifest)
+        manifest["indexes"] = [
+            entry for entry in manifest.get("indexes", []) if entry["table"] in wanted
+        ]
+        manifest["zone_maps"] = [
+            entry for entry in manifest.get("zone_maps", []) if entry["table"] in wanted
+        ]
+
+    tables_loaded = []
+    for table_entry in table_entries:
         name = table_entry["name"]
         directory = root / name
         columns = [
             _load_column(directory, column_entry, ColumnType(column_entry["type"]))
             for column_entry in table_entry["columns"]
         ]
-        table = Table(name, columns)
+        delete_mask = None
+        mask_file = table_entry.get("delete_mask")
+        if mask_file:
+            mask_path = directory / mask_file
+            if not mask_path.exists():
+                raise CatalogFormatError(f"missing delete bitmap {mask_path}")
+            delete_mask = np.load(mask_path, allow_pickle=False)
+        table = Table(name, columns, delete_mask=delete_mask)
         if table.num_rows != table_entry.get("num_rows", table.num_rows):
             raise CatalogFormatError(
                 f"table {name!r} has {table.num_rows} rows on disk but the manifest "
                 f"records {table_entry['num_rows']}"
             )
-        tables.append(table)
-    catalog = Catalog(tables)
-    _restore_access_paths(catalog, manifest, root)
+        tables_loaded.append(table)
+    catalog = Catalog(tables_loaded)
+    if mutations:
+        from repro.mutation.diskops import replay_saved_mutations
+
+        replay_saved_mutations(catalog, mutations, root)
+    _restore_access_paths(catalog, manifest, root, bounded=snapshot is not None)
     return catalog
 
 
@@ -372,7 +494,13 @@ def add_index_to_saved_catalog(root: str | Path, table: str, column: str, kind: 
     manifest["format_version"] = FORMAT_VERSION
     entries = manifest.setdefault("indexes", [])
     entries.append(
-        {"table": table, "column": column, "kind": definition.kind, "file": file_name}
+        {
+            "table": table,
+            "column": column,
+            "kind": definition.kind,
+            "file": file_name,
+            "rows": catalog.get(table).num_rows,
+        }
     )
     _write_manifest(root, manifest)
     return definition

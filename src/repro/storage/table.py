@@ -78,9 +78,22 @@ class Table:
         name: table name as referenced by queries.
         columns: mapping or sequence of :class:`Column` objects, all the same
             length.
+        delete_mask: optional boolean array marking logically deleted rows
+            (True = deleted).  The physical row range — and therefore page
+            geometry, partitioning and column arrays — is unchanged; scans
+            simply never emit deleted positions.  Tables stay immutable:
+            the mutation subsystem (:mod:`repro.mutation`) commits a delete
+            by registering a *new* ``Table`` object sharing the columns but
+            carrying an extended mask, so snapshots pinned by in-flight
+            prepared plans keep their own view.
     """
 
-    def __init__(self, name: str, columns: Sequence[Column] | Mapping[str, Column]) -> None:
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column] | Mapping[str, Column],
+        delete_mask: np.ndarray | None = None,
+    ) -> None:
         self.name = name
         if isinstance(columns, Mapping):
             column_list = list(columns.values())
@@ -97,14 +110,63 @@ class Table:
                 raise ValueError(f"duplicate column {column.name!r} in table {name!r}")
             self._columns[column.name] = column
         self._num_rows = lengths.pop()
+        if delete_mask is not None:
+            delete_mask = np.array(delete_mask, dtype=np.bool_, copy=True)
+            if delete_mask.shape[0] != self._num_rows:
+                raise ValueError(
+                    f"delete mask length {delete_mask.shape[0]} does not match "
+                    f"table {name!r} with {self._num_rows} rows"
+                )
+            if not delete_mask.any():
+                delete_mask = None
+        self._delete_mask = delete_mask
+        self._num_deleted = int(delete_mask.sum()) if delete_mask is not None else 0
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
     def num_rows(self) -> int:
-        """Number of rows in the table."""
+        """Number of *physical* rows (deleted rows included).
+
+        Page geometry, partitioning, bitmaps and scan positions are all
+        defined over the physical range; use :attr:`num_live` for the number
+        of rows a query can observe.
+        """
         return self._num_rows
+
+    @property
+    def delete_mask(self) -> np.ndarray | None:
+        """Boolean array marking deleted positions, or None when none are."""
+        return self._delete_mask
+
+    @property
+    def num_deleted(self) -> int:
+        """Number of logically deleted rows."""
+        return self._num_deleted
+
+    @property
+    def num_live(self) -> int:
+        """Number of rows visible to queries (physical minus deleted)."""
+        return self._num_rows - self._num_deleted
+
+    def has_deletes(self) -> bool:
+        """Whether any row is logically deleted."""
+        return self._delete_mask is not None
+
+    def live_positions_in(self, positions: np.ndarray) -> np.ndarray:
+        """``positions`` with deleted rows removed (no copy when none are)."""
+        if self._delete_mask is None or positions.size == 0:
+            return positions
+        return positions[~self._delete_mask[positions]]
+
+    def with_delete_mask(self, delete_mask: np.ndarray | None) -> "Table":
+        """A new table sharing this table's columns under ``delete_mask``.
+
+        The copy-on-write primitive of the mutation subsystem: column arrays
+        (and their memoized statistics) are shared, only the mask differs.
+        """
+        return Table(self.name, list(self._columns.values()), delete_mask=delete_mask)
 
     @property
     def column_names(self) -> list[str]:
@@ -142,7 +204,8 @@ class Table:
         return list(self._columns.values())
 
     def __repr__(self) -> str:
-        return f"Table({self.name!r}, rows={self.num_rows}, columns={self.column_names})"
+        deleted = f", deleted={self.num_deleted}" if self.has_deletes() else ""
+        return f"Table({self.name!r}, rows={self.num_rows}{deleted}, columns={self.column_names})"
 
     # ------------------------------------------------------------------ #
     # Reads

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import re
 
+import numpy as np
+
 from repro.expr.ast import (
     AndExpr,
     BetweenPredicate,
@@ -163,6 +165,10 @@ def _table_value(table: Table, column: str, position: int) -> object:
 
 
 def _all_rows(table: Table) -> list[int]:
+    # Logically deleted rows (see repro.mutation) are invisible to queries,
+    # so the oracle skips them the same way the physical scan does.
+    if table.has_deletes():
+        return [int(row) for row in np.flatnonzero(~table.delete_mask)]
     return list(range(table.num_rows))
 
 

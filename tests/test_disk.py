@@ -9,6 +9,7 @@ import pytest
 
 from repro import Catalog, Column, ColumnType, Session, Table
 from repro.storage.disk import (
+    FORMAT_VERSION,
     MANIFEST_NAME,
     CatalogFormatError,
     export_table_csv,
@@ -61,7 +62,7 @@ class TestSaveLoadRoundtrip:
     def test_manifest_contents(self, tmp_path, paper_catalog):
         root = save_catalog(paper_catalog, tmp_path)
         manifest = json.loads((root / MANIFEST_NAME).read_text())
-        assert manifest["format_version"] == 2
+        assert manifest["format_version"] == FORMAT_VERSION
         assert {entry["name"] for entry in manifest["tables"]} == {
             "title",
             "movie_info_idx",
@@ -210,6 +211,7 @@ class TestAccessSidecarRoundtrip:
                 "column": "cat",
                 "kind": "bitmap",
                 "file": "cat.bitmap.index.npz",
+                "rows": 256,
             }
         ]
         assert load_catalog(root).access_manager.has_index("events", "cat")
