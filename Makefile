@@ -5,9 +5,9 @@ PYTHON ?= python
 RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
 
 # Tag stamped into the BENCH_*.json artifacts written by `make bench`.
-BENCH_TAG ?= PR5
+BENCH_TAG ?= PR6
 
-.PHONY: test lint bench-smoke bench bench-parallel bench-feedback bench-index bench-ingest docs-check examples
+.PHONY: test lint test-crash bench-smoke bench bench-parallel bench-feedback bench-index bench-ingest bench-wal docs-check examples
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -16,6 +16,13 @@ test:
 ## lint gate (ruff; configured in pyproject.toml)
 lint:
 	$(RUN) -m ruff check .
+
+## crash-recovery matrix: kills real CLI runs at every fault point in a
+## subprocess and asserts recovery (also part of `make test`; this target
+## runs just the durability suites, verbosely)
+test-crash:
+	$(RUN) -m pytest tests/test_crash_recovery.py tests/test_wal.py \
+	    tests/test_mutation_properties.py tests/test_concurrent_writers.py -q
 
 ## quick benchmark pass: service throughput + parallel-scan assertions + one
 ## paper figure, correctness checks only (the wall-clock speedup assertion is
@@ -26,8 +33,9 @@ bench-smoke:
 	    benchmarks/bench_feedback_replan.py \
 	    benchmarks/bench_index_pruning.py \
 	    benchmarks/bench_ingest.py \
+	    benchmarks/bench_wal_overhead.py \
 	    benchmarks/bench_fig4a_selectivity.py -q --benchmark-disable \
-	    -k "not speedup"
+	    -k "not speedup and not overhead"
 
 ## morsel-driven parallel execution: speedup assertion (needs >= 2 CPU
 ## cores; the timing test self-skips on single-core hosts) plus timed runs
@@ -50,6 +58,12 @@ bench-index:
 ## bench-smoke; this target adds the latency half)
 bench-ingest:
 	$(RUN) -m pytest benchmarks/bench_ingest.py -q
+
+## WAL durability price: commit-latency overhead with fsync on and off
+## (the equivalence half also runs in bench-smoke; this target adds the
+## timing guard), persists its measurements into the current BENCH_*.json
+bench-wal:
+	$(RUN) -m pytest benchmarks/bench_wal_overhead.py -q
 
 ## full benchmark suite with timing (slow); always leaves a BENCH_*.json
 ## artifact behind so the perf trajectory is tracked

@@ -1,0 +1,159 @@
+"""WAL commit-latency overhead: durable logging must stay cheap.
+
+Every durable commit now pays for a WAL append (JSON encode, frame, write,
+fsync) before the PR-5 write path (segment files + manifest rename) runs.
+This benchmark measures that price directly by committing the same stream of
+mutation batches three ways against identical dataset copies:
+
+* **baseline** — ``apply_ops_to_saved_catalog`` alone: the PR-5 commit path
+  with no WAL at all;
+* **wal-nosync** — WAL append (``sync=False``) + apply: the pure bookkeeping
+  overhead of durability, with the fsync factored out;
+* **wal-fsync** — the real production path (``DurabilityController`` with
+  ``sync=True``), whose extra cost is dominated by the fsync itself and
+  depends on the filesystem hosting the benchmark.
+
+Assertions:
+
+* **equivalence** (always; part of ``make bench-smoke``) — all three paths
+  produce byte-identical logical table contents;
+* **overhead guard** (timing; deselected by ``make bench-smoke``, run by
+  ``make bench-wal``) — median wal-nosync commit latency stays within
+  1.3x of the baseline commit latency.  The fsync-on overhead is recorded
+  but not gated: it measures the disk, not the code.
+
+Results are persisted to ``BENCH_PR6.json`` (see :mod:`repro.bench.persist`).
+
+Not tied to a paper figure — this benchmarks the repo's durability subsystem,
+not the paper's planners (see docs/benchmarks.md).
+"""
+
+from __future__ import annotations
+
+import shutil
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Table
+from repro.bench.persist import record_bench_result
+from repro.mutation.diskops import apply_ops_to_saved_catalog
+from repro.mutation.wal import DurabilityController
+from repro.storage.disk import load_catalog, save_catalog
+
+#: Rows in the base table.
+BASE_ROWS = 20_000
+
+#: Commits in the measured stream (the first WARMUP are discarded).
+COMMITS = 30
+WARMUP = 3
+
+#: Rows appended per commit.
+APPEND_ROWS = 25
+
+
+def _base_table() -> Table:
+    rng = np.random.default_rng(11)
+    return Table.from_dict(
+        "t",
+        {
+            "id": list(range(BASE_ROWS)),
+            "v": rng.uniform(0.0, 1.0, BASE_ROWS).tolist(),
+            "s": [f"n{i % 40}" for i in range(BASE_ROWS)],
+        },
+    )
+
+
+def _commit_stream() -> list[list[dict]]:
+    """The op batches every variant commits, precomputed and identical."""
+    batches = []
+    for commit in range(COMMITS):
+        rows = [
+            {
+                "id": BASE_ROWS + commit * APPEND_ROWS + i,
+                "v": float(i) / APPEND_ROWS,
+                "s": f"n{i % 40}",
+            }
+            for i in range(APPEND_ROWS)
+        ]
+        ops = [{"table": "t", "op": "append", "rows": rows}]
+        if commit % 5 == 4:
+            positions = list(range(commit * 3, commit * 3 + 3))
+            ops.append({"table": "t", "op": "delete", "positions": positions})
+        batches.append(ops)
+    return batches
+
+
+def _live_rows(root):
+    table = load_catalog(root).get("t")
+    mask = table.delete_mask
+    positions = np.arange(table.num_rows) if mask is None else np.flatnonzero(~mask)
+    return sorted(tuple(sorted(row.items())) for row in table.rows(positions))
+
+
+@pytest.fixture(scope="module")
+def measured(tmp_path_factory):
+    scratch = tmp_path_factory.mktemp("wal_overhead")
+    pristine = scratch / "pristine"
+    save_catalog(Catalog([_base_table()]), pristine)
+    stream = _commit_stream()
+
+    def run(variant, commit_one):
+        root = scratch / variant
+        shutil.copytree(pristine, root)
+        latencies = []
+        for ops in stream:
+            start = time.perf_counter()
+            commit_one(root, ops)
+            latencies.append(time.perf_counter() - start)
+        return root, latencies[WARMUP:]
+
+    baseline_root, baseline = run(
+        "baseline", lambda root, ops: apply_ops_to_saved_catalog(root, ops)
+    )
+
+    controllers = {}
+
+    def durable(sync):
+        def commit_one(root, ops):
+            controller = controllers.setdefault(root, DurabilityController(root, sync=sync))
+            controller.commit_ops(ops)
+
+        return commit_one
+
+    nosync_root, nosync = run("nosync", durable(sync=False))
+    fsync_root, fsync = run("fsync", durable(sync=True))
+
+    payload = {
+        "commits": COMMITS - WARMUP,
+        "append_rows": APPEND_ROWS,
+        "baseline_ms": statistics.median(baseline) * 1e3,
+        "wal_nosync_ms": statistics.median(nosync) * 1e3,
+        "wal_fsync_ms": statistics.median(fsync) * 1e3,
+    }
+    payload["nosync_overhead_x"] = payload["wal_nosync_ms"] / payload["baseline_ms"]
+    payload["fsync_overhead_x"] = payload["wal_fsync_ms"] / payload["baseline_ms"]
+    record_bench_result("wal_overhead", payload)
+    return {
+        "roots": {"baseline": baseline_root, "nosync": nosync_root, "fsync": fsync_root},
+        "payload": payload,
+    }
+
+
+def test_all_paths_commit_identical_content(measured):
+    roots = measured["roots"]
+    baseline = _live_rows(roots["baseline"])
+    assert len(baseline) > BASE_ROWS
+    assert _live_rows(roots["nosync"]) == baseline
+    assert _live_rows(roots["fsync"]) == baseline
+
+
+def test_wal_commit_latency_overhead_guard(measured):
+    payload = measured["payload"]
+    assert payload["nosync_overhead_x"] <= 1.3, (
+        f"WAL bookkeeping overhead {payload['nosync_overhead_x']:.2f}x exceeds 1.3x "
+        f"(baseline {payload['baseline_ms']:.2f}ms, "
+        f"wal-nosync {payload['wal_nosync_ms']:.2f}ms)"
+    )

@@ -14,7 +14,13 @@ Subcommands::
     insert     append rows (from CSV or inline JSON) to a saved dataset's
                append log — base column files are never rewritten
     delete     logically delete the rows matching a predicate
-    compact    fold the append log back into flat column files
+    compact    fold the append log into a new table generation behind an
+               atomic manifest swap (--online keeps writers unblocked while
+               the fold runs)
+    recover    replay the write-ahead log: truncate torn tails, re-apply
+               committed-but-unapplied transactions (load_catalog does this
+               automatically on open; the verb makes it explicit/scriptable)
+    wal        inspect the write-ahead log (``wal status``)
     table      introspect a saved dataset (``table stats <name>``)
     index      create / drop / list secondary indexes on a saved dataset
     fuzz       differential-test all planners against the naive oracle
@@ -32,7 +38,9 @@ Examples::
     python -m repro insert --data data/t0t1t2 --table T1 --values '[{"id": 7, "A1": 0.5}]'
     python -m repro delete --data data/t0t1t2 --table T1 --where "T1.A1 > 0.9"
     python -m repro query  --data data/t0t1t2 --snapshot 0 --sql "..."   # pre-mutation state
-    python -m repro compact --data data/t0t1t2
+    python -m repro compact --data data/t0t1t2 --online
+    python -m repro recover --data data/t0t1t2
+    python -m repro wal status --data data/t0t1t2
     python -m repro table stats T1 --data data/t0t1t2
     python -m repro index create --data data/t0t1t2 --table T1 --column A1
     python -m repro index list --data data/t0t1t2
@@ -371,14 +379,53 @@ def _cmd_compact(args: argparse.Namespace) -> int:
     from repro.mutation.diskops import compact_saved_catalog
 
     try:
-        summary = compact_saved_catalog(args.data)
+        summary = compact_saved_catalog(args.data, online=args.online)
     except (KeyError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(
         f"compacted {summary['tables']} tables: folded {summary['records_folded']} "
         f"append-log records, reclaimed {summary['rows_reclaimed']} deleted rows "
-        f"({summary['total_rows']} rows remain)"
+        f"({summary['total_rows']} rows remain, generation {summary['generation']})"
+    )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.mutation.recovery import recover_saved_catalog
+
+    try:
+        summary = recover_saved_catalog(args.data)
+    except (KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not summary["wal"]:
+        print("no write-ahead log: nothing to recover")
+        return 0
+    print(
+        f"recovered to transaction {summary['last_txn']}: replayed "
+        f"{summary['replayed_txns']} committed transaction(s), truncated "
+        f"{summary['truncated_bytes']} torn/uncommitted byte(s)"
+    )
+    return 0
+
+
+def _cmd_wal_status(args: argparse.Namespace) -> int:
+    from repro.mutation.wal import wal_status
+
+    try:
+        status = wal_status(args.data)
+    except (KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not status["exists"]:
+        print("no write-ahead log")
+        return 0
+    print(
+        f"wal: {status['size_bytes']} bytes, {status['records']} records, "
+        f"base txn {status['base_txn']}\n"
+        f"committed: {status['committed_txns']}  applied: {status['applied_txns']}  "
+        f"pending: {status['pending_txns']}  torn tail: {status['tail_bytes']} bytes"
     )
     return 0
 
@@ -622,10 +669,30 @@ def build_parser() -> argparse.ArgumentParser:
     delete.set_defaults(func=_cmd_delete)
 
     compact = subparsers.add_parser(
-        "compact", help="fold the append log back into flat column files"
+        "compact", help="fold the append log into a new table generation"
     )
     compact.add_argument("--data", required=True, help="catalog directory")
+    compact.add_argument(
+        "--online",
+        action="store_true",
+        help="hold locks only to pin the fold point and to swap "
+        "(concurrent writers keep committing and are rebased)",
+    )
     compact.set_defaults(func=_cmd_compact)
+
+    recover = subparsers.add_parser(
+        "recover", help="replay the write-ahead log to the last committed batch"
+    )
+    recover.add_argument("--data", required=True, help="catalog directory")
+    recover.set_defaults(func=_cmd_recover)
+
+    wal = subparsers.add_parser("wal", help="inspect the write-ahead log")
+    wal_sub = wal.add_subparsers(dest="wal_command", required=True)
+    wal_stat = wal_sub.add_parser(
+        "status", help="committed/applied/pending transactions and torn bytes"
+    )
+    wal_stat.add_argument("--data", required=True, help="catalog directory")
+    wal_stat.set_defaults(func=_cmd_wal_status)
 
     table = subparsers.add_parser("table", help="introspect a saved dataset")
     table_sub = table.add_subparsers(dest="table_command", required=True)

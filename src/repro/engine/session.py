@@ -216,6 +216,14 @@ class Session:
             prepared, parallelism=parallelism, partitions=partitions
         )
 
+    def begin_mutation(self):
+        """Start a :class:`~repro.mutation.batch.MutationBatch` on the
+        session's catalog.  Batches may overlap — commits race first-
+        committer-wins per table, losers raise
+        :class:`~repro.mutation.batch.ConflictError` (see
+        :func:`~repro.mutation.concurrency.retry_on_conflict`)."""
+        return self.catalog.begin_mutation()
+
     def prepare(
         self,
         query: Query | str,
@@ -342,7 +350,11 @@ class Session:
         ``execute_prepared`` is invisible to this plan, which keeps the
         paper's planning/execution split deterministic under concurrent
         ingest.  Serve-current-data callers simply re-prepare (the service
-        layer's per-table fingerprints do this automatically).
+        layer's per-table fingerprints do this automatically).  The same
+        pinning carries prepared plans across an **online compaction**: the
+        swap registers new table objects, but the snapshot keeps the old
+        immutable ones — with the row positions the plan's access paths were
+        built against — alive until the last pinning plan is dropped.
         """
         query = prepared.query
         exec_context = ExecContext(collect_feedback=collect_feedback)

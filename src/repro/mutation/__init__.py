@@ -1,28 +1,50 @@
-"""The mutation & snapshot subsystem: DML with snapshot-isolated reads.
+"""The mutation & snapshot subsystem: durable DML with snapshot-isolated reads.
 
 Public surface:
 
 * :class:`~repro.mutation.batch.MutationBatch` — staged appends/deletes,
   committed atomically under one catalog version bump
-  (``catalog.begin_mutation()``);
+  (``catalog.begin_mutation()``); overlapping batches race first-committer-
+  wins, losers raise :class:`~repro.mutation.batch.ConflictError`;
+* :func:`~repro.mutation.concurrency.retry_on_conflict` — re-stage-and-retry
+  with capped exponential backoff for lost commit races;
 * :class:`~repro.mutation.snapshot.CatalogSnapshot` — an immutable view of
   one catalog state (``catalog.snapshot()``), pinned by prepared plans;
 * :class:`~repro.mutation.delta.MutationCommit` /
   :class:`~repro.mutation.delta.TableDelta` — what a commit did, the input
   of every incremental-maintenance hook;
+* :mod:`repro.mutation.wal` — the write-ahead log making saved-dataset
+  mutations durable (:class:`~repro.mutation.wal.DurabilityController`,
+  ``wal_status``), and :mod:`repro.mutation.recovery` — crash recovery to
+  the last committed batch (``recover_saved_catalog``, run automatically by
+  ``load_catalog``);
+* :class:`~repro.mutation.compact.Compactor` — online compaction: fold the
+  append log into a new table generation behind an atomic manifest swap
+  while readers and writers keep going;
 * :mod:`repro.mutation.diskops` — the append log of on-disk catalogs
   (``repro insert|delete|compact``).
 """
 
-from repro.mutation.batch import MutationBatch, MutationError
+from repro.mutation.batch import ConflictError, MutationBatch, MutationError
+from repro.mutation.compact import Compactor
+from repro.mutation.concurrency import retry_on_conflict
 from repro.mutation.delta import ColumnDelta, MutationCommit, TableDelta
+from repro.mutation.recovery import recover_saved_catalog
 from repro.mutation.snapshot import CatalogSnapshot
+from repro.mutation.wal import DurabilityController, attach_durability, wal_status
 
 __all__ = [
     "CatalogSnapshot",
     "ColumnDelta",
+    "Compactor",
+    "ConflictError",
+    "DurabilityController",
     "MutationBatch",
     "MutationCommit",
     "MutationError",
     "TableDelta",
+    "attach_durability",
+    "recover_saved_catalog",
+    "retry_on_conflict",
+    "wal_status",
 ]

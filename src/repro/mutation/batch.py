@@ -26,6 +26,15 @@ stop emitting the deleted positions (``repro compact`` reclaims the space).
 Appends always land after the pre-commit rows, so the visible row order of a
 mutated table equals the row order of a freshly built table holding the same
 live rows — the property the mutation differential suite checks.
+
+Batches may overlap: each batch records the version of every table it
+touches at first staging, and :meth:`MutationBatch.commit` re-checks those
+versions under the catalog write lock — **first committer wins**, the loser
+raises :class:`ConflictError` with nothing applied (retry with
+:func:`repro.mutation.concurrency.retry_on_conflict`).  When the catalog is
+durable (``load_catalog(root, durable=True)``), the winner's batch is
+WAL-logged and applied to the saved dataset *before* the in-memory swap, so
+a crash at any instant recovers to the last committed batch.
 """
 
 from __future__ import annotations
@@ -43,6 +52,24 @@ class MutationError(ValueError):
     """Raised for invalid staging or commit requests."""
 
 
+class ConflictError(MutationError):
+    """Raised when a batch loses the first-committer-wins race.
+
+    Some table this batch staged against was replaced (by another committed
+    batch, or by an online compaction) after this batch first touched it.
+    Nothing was applied; re-stage against the current state and retry —
+    :func:`repro.mutation.concurrency.retry_on_conflict` automates this with
+    exponential backoff.
+    """
+
+    def __init__(self, tables: list[str]) -> None:
+        super().__init__(
+            f"concurrent commit won on table(s) {sorted(tables)}; "
+            "re-stage against the current catalog state and retry"
+        )
+        self.tables = sorted(tables)
+
+
 class MutationBatch:
     """Staged appends and deletes against one catalog, applied atomically."""
 
@@ -51,6 +78,13 @@ class MutationBatch:
         self._appends: dict[str, list[Mapping[str, object]]] = {}
         self._deletes: dict[str, set[int]] = {}
         self._committed: MutationCommit | None = None
+        #: Table version observed at first staging touch — the
+        #: first-committer-wins conflict check re-reads it at commit.
+        self._read_versions: dict[str, int] = {}
+
+    def _touch(self, table: str) -> None:
+        if table not in self._read_versions:
+            self._read_versions[table] = self.catalog.table_version(table)
 
     # ------------------------------------------------------------------ #
     # Staging
@@ -63,6 +97,7 @@ class MutationBatch:
         """
         self._check_open()
         table_obj = self.catalog.get(table)
+        self._touch(table)
         known = set(table_obj.column_names)
         for row in rows:
             unknown = set(row) - known
@@ -89,6 +124,7 @@ class MutationBatch:
         """
         self._check_open()
         table_obj = self.catalog.get(table)
+        self._touch(table)
         if (positions is None) == (where is None):
             raise MutationError("delete() needs exactly one of positions= or where=")
         if where is not None:
@@ -117,6 +153,15 @@ class MutationBatch:
     def commit(self) -> MutationCommit:
         """Apply every staged change under one catalog version bump.
 
+        Runs entirely under the catalog write lock: the per-table versions
+        recorded at staging are re-checked first — if any touched table was
+        replaced since, the batch loses the first-committer-wins race and
+        raises :class:`ConflictError` with nothing applied.  On a durable
+        catalog the winning batch is then WAL-logged and written to the
+        saved dataset *before* the in-memory swap (write-ahead: a crash
+        after the WAL fsync recovers the batch, a crash before it rolls the
+        batch back).
+
         Returns the :class:`MutationCommit` (empty — and without a version
         bump — when nothing was staged).  The batch cannot be reused.
         """
@@ -126,49 +171,87 @@ class MutationBatch:
             self._committed = MutationCommit(version=self.catalog.version)
             return self._committed
 
-        old_tables = {name: self.catalog.get(name) for name in names}
-        old_versions = {name: self.catalog.table_version(name) for name in names}
-        new_tables: dict[str, Table] = {}
-        segments: dict[str, dict[str, Column | None]] = {}
-        deleted: dict[str, np.ndarray] = {}
-        for name in names:
-            old = old_tables[name]
-            rows = self._appends.get(name, [])
-            positions = np.array(sorted(self._deletes.get(name, ())), dtype=np.int64)
-            deleted[name] = positions
-            segments[name] = _build_segments(old, rows)
-            new_tables[name] = _mutated_table(old, segments[name], positions)
-
-        new_version = self.catalog.apply_mutation(new_tables)
-
-        deltas: dict[str, TableDelta] = {}
-        for name in names:
-            old = old_tables[name]
-            columns: dict[str, ColumnDelta] = {
-                column.name: column_delta_for_segment(
-                    column.name, segments[name][column.name], column, deleted[name]
-                )
-                for column in old.columns()
-            }
-            deltas[name] = TableDelta(
-                table=name,
-                old_version=old_versions[name],
-                new_version=new_version,
-                old_num_rows=old.num_rows,
-                appended_rows=len(self._appends.get(name, [])),
-                deleted_positions=deleted[name],
-                columns=columns,
-            )
-
-        manager = self.catalog.access_manager
-        if manager is not None:
+        with self.catalog.write_lock:
+            conflicted = []
             for name in names:
-                manager.extend(name, new_tables[name], deltas[name].old_num_rows)
+                try:
+                    current = self.catalog.table_version(name)
+                except KeyError:
+                    conflicted.append(name)  # table dropped underneath us
+                    continue
+                if current != self._read_versions.get(name, current):
+                    conflicted.append(name)
+            if conflicted:
+                raise ConflictError(conflicted)
 
-        commit = MutationCommit(version=new_version, deltas=deltas)
-        self._committed = commit
+            old_tables = {name: self.catalog.get(name) for name in names}
+            old_versions = {name: self.catalog.table_version(name) for name in names}
+            new_tables: dict[str, Table] = {}
+            segments: dict[str, dict[str, Column | None]] = {}
+            deleted: dict[str, np.ndarray] = {}
+            for name in names:
+                old = old_tables[name]
+                rows = self._appends.get(name, [])
+                positions = np.array(sorted(self._deletes.get(name, ())), dtype=np.int64)
+                deleted[name] = positions
+                segments[name] = _build_segments(old, rows)
+                new_tables[name] = _mutated_table(old, segments[name], positions)
+
+            durability = getattr(self.catalog, "durability", None)
+            if durability is not None:
+                durability.commit_ops(self._durable_ops(names, deleted))
+
+            new_version = self.catalog.apply_mutation(new_tables)
+
+            deltas: dict[str, TableDelta] = {}
+            for name in names:
+                old = old_tables[name]
+                columns: dict[str, ColumnDelta] = {
+                    column.name: column_delta_for_segment(
+                        column.name, segments[name][column.name], column, deleted[name]
+                    )
+                    for column in old.columns()
+                }
+                deltas[name] = TableDelta(
+                    table=name,
+                    old_version=old_versions[name],
+                    new_version=new_version,
+                    old_num_rows=old.num_rows,
+                    appended_rows=len(self._appends.get(name, [])),
+                    deleted_positions=deleted[name],
+                    columns=columns,
+                )
+
+            manager = self.catalog.access_manager
+            if manager is not None:
+                for name in names:
+                    manager.extend(name, new_tables[name], deltas[name].old_num_rows)
+
+            commit = MutationCommit(version=new_version, deltas=deltas)
+            self._committed = commit
         self.catalog.notify_mutation(commit)
         return commit
+
+    def _durable_ops(self, names: list[str], deleted: Mapping[str, np.ndarray]) -> list[dict]:
+        """This batch as WAL op payloads (deletes before appends per table —
+        staged delete positions address the pre-append physical layout)."""
+        ops: list[dict] = []
+        for name in names:
+            positions = deleted[name]
+            if positions.size:
+                ops.append(
+                    {
+                        "table": name,
+                        "op": "delete",
+                        "positions": [int(p) for p in positions],
+                    }
+                )
+            rows = self._appends.get(name, [])
+            if rows:
+                ops.append(
+                    {"table": name, "op": "append", "rows": [dict(r) for r in rows]}
+                )
+        return ops
 
     def abort(self) -> None:
         """Discard every staged change; the batch cannot be reused."""

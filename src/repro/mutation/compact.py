@@ -1,0 +1,382 @@
+"""Online compaction: fold the append log into a new table generation.
+
+The pre-v4 ``repro compact`` rewrote base column files *in place* under a
+full load — stop-the-world, and worse, not crash-safe: a process killed
+between the fold and the append-log truncation left a stale log readable
+against the already-folded base.  The :class:`Compactor` replaces that with
+a shadow fold:
+
+1. **Pin** — under the dataset write lock, run crash recovery and note the
+   fold point ``K`` (the current length of the manifest's ``mutations``
+   list) and the next generation number ``G``.
+2. **Fold** — with no locks held (writers keep committing, readers keep
+   their pinned :class:`~repro.mutation.snapshot.CatalogSnapshot`\\ s), load
+   the ``snapshot=K`` state, physically drop the rows deleted by then, and
+   write the folded base files — plus exact statistics and rebuilt
+   index/zone-map sidecars — into fresh ``<table>.g<G>/`` directories.
+   Everything read here (base files, the first K segment/delete files) is
+   immutable, so concurrent commits cannot race the fold.
+3. **Swap** — under the catalog write lock (when attached to a live
+   catalog) then the dataset lock, re-read the manifest, *rebase* the
+   records that landed after ``K`` onto the new generation (segment
+   directories are copied over; delete-position files are rewritten with
+   their pre-fold positions mapped through the fold's live-row index), and
+   publish everything with one atomic manifest rename.  A crash before the
+   rename leaves the old generation fully authoritative; after it, the new
+   one.
+4. **Trim** — rewrite the WAL keeping only transactions past the applied
+   watermark (its header's ``base_txn`` advances, so transaction numbers
+   stay absolute), and delete the previous generation's directories.
+
+When constructed with a live catalog, the swap also refreshes the in-memory
+tables to the new physical layout (folded base + post-fold tail) under one
+version bump — pinned snapshots keep reading the old immutable tables, the
+plan cache invalidates, and in-flight mutation batches that staged against
+the old row positions lose the first-committer race and retry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.mutation.wal import (
+    WAL_NAME,
+    applied_txn,
+    dataset_write_lock,
+    read_wal,
+    rewrite_wal,
+)
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.disk import (
+    FORMAT_VERSION,
+    _column_manifest_entry,
+    _index_sidecar_name,
+    _read_manifest,
+    _remove_stale_generation_dirs,
+    _save_arrays,
+    _write_manifest,
+    _zonemap_sidecar_name,
+    load_catalog,
+    save_table,
+)
+from repro.storage.table import Table
+from repro.testing import faults
+
+
+@dataclass
+class _StagedTable:
+    """One table's folded state, staged in its new generation directory."""
+
+    name: str
+    dir_name: str
+    table: Table  # folded: deleted rows physically dropped, no mask
+    live: np.ndarray | None  # old physical positions that survived (None = all)
+    old_phys: int  # physical rows (incl. deleted) at the fold point
+    reclaimed: int
+    column_entries: list[dict] = field(default_factory=list)
+
+    @property
+    def new_rows(self) -> int:
+        return self.table.num_rows
+
+
+class Compactor:
+    """Folds a saved dataset's append log without blocking readers/writers.
+
+    ``Compactor(root)`` compacts the directory alone (the CLI path);
+    ``Compactor(root, catalog=catalog)`` additionally refreshes the given
+    live catalog — the one loaded from ``root`` — to the new physical layout
+    at swap time, which is how a long-running service compacts underneath
+    its own prepared plans.
+    """
+
+    def __init__(self, root: str | Path, catalog: Catalog | None = None) -> None:
+        self.root = Path(root)
+        self.catalog = catalog
+
+    def run(self, online: bool = True) -> dict:
+        """Compact; returns a summary dictionary.
+
+        ``online=True`` (the default) holds locks only while pinning the
+        fold point and while swapping — writers commit concurrently and
+        their transactions are rebased onto the new generation.
+        ``online=False`` holds the dataset write lock for the whole fold
+        (the conservative stop-the-world mode; the swap is equally atomic).
+        """
+        if online:
+            return self._compact()
+        with dataset_write_lock(self.root):
+            return self._compact()
+
+    # ------------------------------------------------------------------ #
+    def _compact(self) -> dict:
+        root = self.root
+        from repro.mutation.recovery import recover_saved_catalog
+
+        # Phase 1: pin the fold point.
+        with dataset_write_lock(root):
+            recover_saved_catalog(root)
+            manifest = _read_manifest(root)
+            fold_point = len(manifest.get("mutations", []))
+            generation = int(manifest.get("generation", 0)) + 1
+            old_dirs = {
+                entry["name"]: entry.get("dir", entry["name"])
+                for entry in manifest.get("tables", [])
+            }
+            table_order = [entry["name"] for entry in manifest.get("tables", [])]
+
+        # Phase 2: fold into shadow generation directories (no locks).
+        folded = load_catalog(root, snapshot=fold_point, recover=False)
+        staged: dict[str, _StagedTable] = {
+            name: self._stage_table(folded.get(name), generation) for name in table_order
+        }
+        index_entries, zone_entries = self._stage_access_paths(manifest, staged)
+        reclaimed = sum(s.reclaimed for s in staged.values())
+
+        # Phase 3: swap (catalog lock before dataset lock, always).
+        outer = (
+            self.catalog.write_lock if self.catalog is not None else contextlib.nullcontext()
+        )
+        with outer:
+            with dataset_write_lock(root):
+                current = _read_manifest(root)
+                tail = current.get("mutations", [])[fold_point:]
+                rebased = self._rebase_tail(tail, staged, old_dirs)
+                new_manifest = {
+                    "format_version": FORMAT_VERSION,
+                    "generation": generation,
+                    "tables": [
+                        {
+                            "name": s.name,
+                            "dir": s.dir_name,
+                            "num_rows": s.new_rows,
+                            "columns": s.column_entries,
+                        }
+                        for s in (staged[name] for name in table_order)
+                    ],
+                }
+                if rebased:
+                    new_manifest["mutations"] = rebased
+                from repro.mutation.diskops import _next_file_seq
+
+                new_manifest["file_seq"] = _next_file_seq(current)
+                if index_entries:
+                    new_manifest["indexes"] = index_entries
+                if zone_entries:
+                    new_manifest["zone_maps"] = zone_entries
+                applied = applied_txn(current)
+                if applied or (root / WAL_NAME).exists():
+                    new_manifest["wal"] = {"applied": applied}
+                faults.fire("compact.before_swap")
+                _write_manifest(root, new_manifest)
+
+                # The new generation is authoritative from here on.
+                faults.fire("compact.before_wal_truncate")
+                self._trim_wal(applied)
+                if self.catalog is not None:
+                    self._refresh_catalog(staged, table_order)
+                for name, old_dir in old_dirs.items():
+                    if old_dir != staged[name].dir_name:
+                        shutil.rmtree(root / old_dir, ignore_errors=True)
+                _remove_stale_generation_dirs(root, new_manifest)
+
+        tail_rows = sum(r["rows"] for r in rebased if r["op"] == "append")
+        return {
+            "tables": len(staged),
+            "records_folded": fold_point,
+            "rows_reclaimed": reclaimed,
+            "total_rows": sum(s.new_rows for s in staged.values()) + tail_rows,
+            "generation": generation,
+            "tail_records": len(rebased),
+        }
+
+    # ------------------------------------------------------------------ #
+    def _stage_table(self, table: Table, generation: int) -> _StagedTable:
+        mask = table.delete_mask
+        if mask is not None and mask.any():
+            live = np.flatnonzero(~mask)
+            columns = [
+                Column(
+                    column.name,
+                    column.data[live],
+                    ctype=column.ctype,
+                    null_mask=column.null_mask[live],
+                    page_size=column.page_size,
+                )
+                for column in table.columns()
+            ]
+            folded_table = Table(table.name, columns)
+            reclaimed = int(mask.sum())
+        else:
+            live = None
+            folded_table = (
+                table if mask is None else Table(table.name, list(table.columns()))
+            )
+            reclaimed = 0
+        dir_name = f"{table.name}.g{generation}"
+        target = self.root / dir_name
+        if target.exists():
+            shutil.rmtree(target)  # a crashed earlier staging at this generation
+        save_table(folded_table, target)
+        staged = _StagedTable(
+            name=table.name,
+            dir_name=dir_name,
+            table=folded_table,
+            live=live,
+            old_phys=table.num_rows,
+            reclaimed=reclaimed,
+        )
+        staged.column_entries = [
+            _column_manifest_entry(column) for column in folded_table.columns()
+        ]
+        return staged
+
+    def _stage_access_paths(
+        self, manifest: dict, staged: dict[str, _StagedTable]
+    ) -> tuple[list, list]:
+        """Rebuild index/zone-map sidecars against the folded contents.
+
+        Positions and page geometry shift when deleted rows fold out, so the
+        materializations are rebuilt exactly (the same policy the pre-v4
+        compact applied); their sidecars land in the new generation
+        directories and the returned entries cover the folded row counts —
+        post-fold segments extend them incrementally at load time.
+        """
+        index_entries = manifest.get("indexes", [])
+        zone_entries = manifest.get("zone_maps", [])
+        if not index_entries and not zone_entries:
+            return [], []
+        from repro.access.manager import ensure_access_manager
+
+        shadow = Catalog(s.table for s in staged.values())
+        manager = ensure_access_manager(shadow)
+        new_indexes = []
+        for entry in index_entries:
+            if entry["table"] not in staged:
+                continue
+            s = staged[entry["table"]]
+            manager.create_index(entry["table"], entry["column"], kind=entry["kind"])
+            materialized = manager.index_for(entry["table"], entry["column"])
+            file_name = _index_sidecar_name(entry["column"], entry["kind"])
+            _save_arrays(self.root / s.dir_name / file_name, materialized.to_arrays())
+            new_indexes.append(
+                {
+                    "table": entry["table"],
+                    "column": entry["column"],
+                    "kind": entry["kind"],
+                    "file": file_name,
+                    "rows": s.new_rows,
+                }
+            )
+        new_zones = []
+        for entry in zone_entries:
+            if entry["table"] not in staged:
+                continue
+            s = staged[entry["table"]]
+            zone_map = manager.zone_map(entry["table"], entry["column"])
+            if zone_map is None:
+                continue
+            file_name = _zonemap_sidecar_name(entry["column"])
+            _save_arrays(self.root / s.dir_name / file_name, zone_map.to_arrays())
+            new_zones.append(
+                {
+                    "table": entry["table"],
+                    "column": entry["column"],
+                    "file": file_name,
+                    "rows": s.new_rows,
+                }
+            )
+        return new_indexes, new_zones
+
+    def _rebase_tail(
+        self, tail: list[dict], staged: dict[str, _StagedTable], old_dirs: dict[str, str]
+    ) -> list[dict]:
+        """Carry post-fold-point records onto the new generation.
+
+        Segment directories are copied verbatim (appended rows keep their
+        relative positions: new physical layout = folded base + same tail).
+        Delete-position files are rewritten: positions at or past the old
+        physical base shift by the base-size delta; positions inside the old
+        base — necessarily live at the fold point, a delete only ever
+        matches live rows — map to their index among the fold's survivors.
+        """
+        rebased = []
+        for record in tail:
+            name = record["table"]
+            s = staged[name]
+            old_dir = self.root / old_dirs[name]
+            new_dir = self.root / s.dir_name
+            if record["op"] == "append":
+                shutil.copytree(
+                    old_dir / record["segment"],
+                    new_dir / record["segment"],
+                    dirs_exist_ok=True,
+                )
+            elif record["op"] == "delete":
+                positions = np.load(
+                    old_dir / record["positions"], allow_pickle=False
+                ).astype(np.int64)
+                pre = positions < s.old_phys
+                pre_positions = positions[pre]
+                if s.live is not None:
+                    pre_positions = np.searchsorted(s.live, pre_positions)
+                post_positions = s.new_rows + (positions[~pre] - s.old_phys)
+                np.save(
+                    new_dir / record["positions"],
+                    np.concatenate([pre_positions, post_positions]).astype(np.int64),
+                )
+            rebased.append(dict(record))
+        return rebased
+
+    def _trim_wal(self, applied: int) -> None:
+        """Drop folded transactions from the WAL (base_txn advances)."""
+        state = read_wal(self.root)
+        if state is None:
+            return
+        base = max(applied, state.base_txn)
+        keep = [transaction for transaction in state.committed if transaction.txn > base]
+        rewrite_wal(self.root, base, keep)
+        if self.catalog is not None and self.catalog.durability is not None:
+            self.catalog.durability.reset_writer()
+
+    def _refresh_catalog(
+        self, staged: dict[str, _StagedTable], table_order: list[str]
+    ) -> None:
+        """Mirror the new physical layout into the attached live catalog.
+
+        Only tables whose layout actually changed (rows folded out) are
+        replaced — for the rest the old and new physical layouts coincide,
+        so pinned structures stay valid and no versions churn.
+        """
+        replacements: dict[str, Table] = {}
+        for name in table_order:
+            s = staged[name]
+            if s.live is None:
+                continue
+            current = self.catalog.get(name)
+            tail_positions = np.arange(s.old_phys, current.num_rows)
+            indices = np.concatenate([s.live, tail_positions])
+            columns = [
+                Column(
+                    column.name,
+                    column.data[indices],
+                    ctype=column.ctype,
+                    null_mask=column.null_mask[indices],
+                    page_size=column.page_size,
+                )
+                for column in current.columns()
+            ]
+            mask = None
+            if current.delete_mask is not None:
+                mask = current.delete_mask[indices]
+                if not mask.any():
+                    mask = None
+            replacements[name] = Table(name, columns, delete_mask=mask)
+        if replacements:
+            self.catalog.apply_mutation(replacements)

@@ -1,0 +1,69 @@
+"""Concurrent writers: retrying first-committer-wins conflicts.
+
+:meth:`~repro.mutation.batch.MutationBatch.commit` is optimistic — batches
+stage freely against a snapshot of the catalog and only validate at commit,
+so a loser surfaces as :class:`~repro.mutation.batch.ConflictError` with
+nothing applied.  The canonical response is to re-stage against the *new*
+current state and try again, which :func:`retry_on_conflict` packages with
+capped exponential backoff and jitter:
+
+```python
+def stage(batch):
+    batch.insert("events", new_rows)
+    batch.delete("events", where="events.expired = TRUE")
+
+commit = retry_on_conflict(catalog, stage)
+```
+
+The staging callback runs once per attempt with a **fresh** batch, so
+predicates and position lookups re-evaluate against whatever the winning
+writers (or an online compaction, which also bumps table versions because it
+moves physical row positions) left behind — exactly the re-read that makes
+the retry sound rather than a blind replay.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+
+from repro.mutation.batch import ConflictError
+from repro.mutation.delta import MutationCommit
+
+
+def retry_on_conflict(
+    catalog,
+    stage: Callable,
+    attempts: int = 8,
+    base_delay: float = 0.001,
+    max_delay: float = 0.05,
+    sleep: Callable[[float], None] = time.sleep,
+) -> MutationCommit:
+    """Commit ``stage``'s mutations, retrying lost first-committer races.
+
+    ``stage(batch)`` is called with a fresh
+    :class:`~repro.mutation.batch.MutationBatch` on every attempt and must
+    re-stage its changes from scratch (its return value is ignored); the
+    batch is then committed.  On :class:`ConflictError` the helper sleeps
+    ``base_delay * 2**attempt`` (capped at ``max_delay``, with ±50% jitter
+    so herds of identical writers spread out) and retries, raising the final
+    ConflictError after ``attempts`` exhausted tries.  Other staging or
+    commit errors propagate immediately — only version races retry.
+
+    Returns the winning :class:`~repro.mutation.delta.MutationCommit`.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    last_error: ConflictError | None = None
+    for attempt in range(attempts):
+        batch = catalog.begin_mutation()
+        try:
+            stage(batch)
+            return batch.commit()
+        except ConflictError as error:
+            last_error = error
+            if attempt + 1 < attempts:
+                delay = min(max_delay, base_delay * (2**attempt))
+                sleep(delay * (0.5 + random.random()))
+    raise last_error

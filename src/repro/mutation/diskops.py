@@ -17,12 +17,25 @@ A saved dataset (see :mod:`repro.storage.disk`) is mutated by *appending*:
 Replay goes through the same column-extension / delete-bitmap primitives as
 in-memory commits, so a loaded catalog is indistinguishable from one whose
 mutations were applied live.
+
+Since format v4 every mutation is **write-ahead logged** first: the public
+append/delete entry points frame the operation as a JSON op, append it to
+the dataset's WAL as one committed transaction (see
+:mod:`repro.mutation.wal`), and only then let
+:func:`apply_ops_to_saved_catalog` write the segment / delete files and the
+manifest (atomically, recording the transaction as applied).  A crash
+anywhere in between is repaired by :mod:`repro.mutation.recovery`, which
+replays exactly this same ``apply_ops_to_saved_catalog`` from the WAL's own
+payload — application is idempotent because file names derive from the
+manifest's ``file_seq`` counter and the manifest only advances in the final
+atomic rename.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import shutil
 from pathlib import Path
 
 import numpy as np
@@ -38,9 +51,9 @@ from repro.storage.disk import (
     _values_for_save,
     _write_manifest,
     load_catalog,
-    save_catalog,
 )
 from repro.storage.table import Table
+from repro.testing import faults
 
 
 # --------------------------------------------------------------------------- #
@@ -57,40 +70,94 @@ def _mutation_records(manifest: dict) -> list[dict]:
     return manifest.setdefault("mutations", [])
 
 
-def _next_sequence(manifest: dict) -> int:
-    return len(manifest.get("mutations", []))
+def _next_file_seq(manifest: dict) -> int:
+    """The naming counter for segment dirs / delete files.
+
+    v4 manifests persist it (``file_seq``) so compaction — which drops
+    records from the ``mutations`` list — never re-issues a name an old
+    pinned snapshot (or a crashed compaction's leftovers) might still hold.
+    v3 manifests named files after the record index; the counts coincide, so
+    the fallback is exact.
+    """
+    return int(manifest.get("file_seq", len(manifest.get("mutations", []))))
 
 
 # --------------------------------------------------------------------------- #
-# Appends
+# Applying WAL-framed ops to the directory
 # --------------------------------------------------------------------------- #
-def append_rows_to_saved_catalog(root: str | Path, table: str, rows) -> dict:
-    """Append ``rows`` (dicts of column -> value) to a saved dataset.
+def apply_ops_to_saved_catalog(
+    root: str | Path, ops: list[dict], wal_txn: int | None = None
+) -> list[dict]:
+    """Write one WAL transaction's ``ops`` into the dataset directory.
 
-    Writes one segment directory plus one manifest delta record; the base
-    column files are never read or rewritten, so appending is O(len(rows)).
-    Returns the delta record.
+    Each op is the JSON payload logged to the WAL —
+    ``{"table": t, "op": "append", "rows": [...]}``
+    or ``{"table": t, "op": "delete", "positions": [...]}`` — and becomes
+    one segment directory / delete-position file plus one manifest delta
+    record.  The manifest is rewritten **once, atomically**, with
+    ``wal.applied`` advanced to ``wal_txn``: the rename is the transaction's
+    single apply point.
+
+    Idempotent by construction, which is what crash recovery relies on when
+    it replays a committed-but-unapplied transaction: if ``wal.applied``
+    already covers ``wal_txn`` the call is a no-op, and if a previous
+    attempt crashed mid-way the manifest never advanced, so file names
+    (derived from the persisted ``file_seq`` counter) come out identical and
+    the leftovers are simply overwritten.
+
+    Returns the manifest records appended.
     """
     root = Path(root)
     manifest = _read_manifest(root)
-    entry = _table_entry(manifest, table)
+    if wal_txn is not None:
+        applied = int(manifest.get("wal", {}).get("applied", 0))
+        if applied >= wal_txn:
+            return []  # recovery re-run: this transaction already landed
+    file_seq = _next_file_seq(manifest)
+    records = []
+    for op in ops:
+        table = op["table"]
+        entry = _table_entry(manifest, table)
+        directory = root / entry.get("dir", table)
+        if op["op"] == "append":
+            records.append(_apply_append(directory, entry, op["rows"], file_seq))
+        elif op["op"] == "delete":
+            positions = np.asarray(op["positions"], dtype=np.int64)
+            positions_file = f"delete-{file_seq:04d}.npy"
+            directory.mkdir(parents=True, exist_ok=True)
+            np.save(directory / positions_file, positions)
+            records.append(
+                {
+                    "table": table,
+                    "op": "delete",
+                    "rows": int(positions.size),
+                    "positions": positions_file,
+                }
+            )
+        else:
+            raise MutationError(f"unknown mutation op {op.get('op')!r}")
+        file_seq += 1
+    _mutation_records(manifest).extend(records)
+    manifest["file_seq"] = file_seq
+    manifest["format_version"] = FORMAT_VERSION
+    if wal_txn is not None:
+        manifest.setdefault("wal", {})["applied"] = wal_txn
+    _write_manifest(root, manifest)
+    return records
+
+
+def _apply_append(directory: Path, entry: dict, rows: list[dict], file_seq: int) -> dict:
     types = {column["name"]: ColumnType(column["type"]) for column in entry["columns"]}
     page_sizes = {
         column["name"]: int(column.get("page_size", 1024)) for column in entry["columns"]
     }
-    rows = list(rows)
-    if not rows:
-        raise MutationError("append requires at least one row")
-    for row in rows:
-        unknown = set(row) - set(types)
-        if unknown:
-            raise MutationError(
-                f"row for table {table!r} names unknown columns: {sorted(unknown)}"
-            )
-
-    sequence = _next_sequence(manifest)
-    segment_dir = root / table / f"segment-{sequence:04d}"
-    segment_dir.mkdir(parents=True, exist_ok=True)
+    segment_dir = directory / f"segment-{file_seq:04d}"
+    if segment_dir.exists():
+        # Leftover of a crashed earlier attempt at this same transaction
+        # (the manifest never advanced, so the name repeats): start clean.
+        shutil.rmtree(segment_dir)
+    segment_dir.mkdir(parents=True)
+    first = True
     for name, ctype in types.items():
         column = Column(
             name,
@@ -99,18 +166,54 @@ def append_rows_to_saved_catalog(root: str | Path, table: str, rows) -> dict:
             page_size=page_sizes[name],
         )
         np.save(segment_dir / f"{name}.values.npy", _values_for_save(column.data, ctype))
+        if first:
+            faults.fire("segment.partial_write")
+            first = False
         np.save(segment_dir / f"{name}.nulls.npy", column.null_mask)
-
-    record = {
-        "table": table,
+    return {
+        "table": entry["name"],
         "op": "append",
         "rows": len(rows),
         "segment": segment_dir.name,
     }
-    _mutation_records(manifest).append(record)
-    manifest["format_version"] = FORMAT_VERSION
-    _write_manifest(root, manifest)
-    return record
+
+
+def _wal_commit(root: Path, ops: list[dict]) -> list[dict]:
+    """WAL-log ``ops`` as one transaction, then apply them to the directory."""
+    from repro.mutation.wal import WalWriter, dataset_write_lock, json_safe
+
+    ops = [json_safe(op) for op in ops]
+    with dataset_write_lock(root):
+        with WalWriter(root) as writer:
+            txn = writer.append_transaction(ops)
+        return apply_ops_to_saved_catalog(root, ops, wal_txn=txn)
+
+
+# --------------------------------------------------------------------------- #
+# Appends
+# --------------------------------------------------------------------------- #
+def append_rows_to_saved_catalog(root: str | Path, table: str, rows) -> dict:
+    """Append ``rows`` (dicts of column -> value) to a saved dataset.
+
+    WAL-logs the batch, then writes one segment directory plus one manifest
+    delta record; the base column files are never read or rewritten, so
+    appending is O(len(rows)).  Returns the delta record.
+    """
+    root = Path(root)
+    manifest = _read_manifest(root)
+    entry = _table_entry(manifest, table)
+    types = {column["name"]: ColumnType(column["type"]) for column in entry["columns"]}
+    rows = [dict(row) for row in rows]
+    if not rows:
+        raise MutationError("append requires at least one row")
+    for row in rows:
+        unknown = set(row) - set(types)
+        if unknown:
+            raise MutationError(
+                f"row for table {table!r} names unknown columns: {sorted(unknown)}"
+            )
+    records = _wal_commit(root, [{"table": table, "op": "append", "rows": rows}])
+    return records[0]
 
 
 # --------------------------------------------------------------------------- #
@@ -122,40 +225,44 @@ def delete_rows_from_saved_catalog(root: str | Path, table: str, where) -> dict:
     The predicate (SQL expression string or
     :class:`~repro.expr.ast.BooleanExpr`) is evaluated against the dataset's
     *current* state (base + every earlier delta); the matching live
-    positions are recorded as one ``delete`` delta.  Returns the record
-    (``rows`` may be 0 — the record is still appended so snapshots stay
-    addressable).
+    positions are WAL-logged and recorded as one ``delete`` delta
+    (``<table>/delete-<n>.npy``).  Returns the record (``rows`` may be 0 —
+    the record is still appended so snapshots stay addressable).
     """
     from repro.mutation.batch import _matching_live_positions
+    from repro.mutation.wal import dataset_write_lock
 
     root = Path(root)
-    # Only the target table is needed to evaluate the predicate; a filtered
-    # load keeps a one-table delete O(table) instead of O(dataset).
-    catalog = load_catalog(root, tables=[table])
-    table_obj = catalog.get(table)
-    positions = _matching_live_positions(table_obj, where)
-
-    manifest = _read_manifest(root)
-    _table_entry(manifest, table)  # validates the name
-    sequence = _next_sequence(manifest)
-    positions_file = f"delete-{sequence:04d}.npy"
-    np.save(root / table / positions_file, positions.astype(np.int64))
-    record = {
-        "table": table,
-        "op": "delete",
-        "rows": int(positions.size),
-        "positions": positions_file,
-    }
-    _mutation_records(manifest).append(record)
-    manifest["format_version"] = FORMAT_VERSION
-    _write_manifest(root, manifest)
-    return record
+    with dataset_write_lock(root):
+        # Only the target table is needed to evaluate the predicate; a
+        # filtered load keeps a one-table delete O(table) instead of
+        # O(dataset).  Evaluation runs inside the dataset write lock so the
+        # matched positions cannot go stale before the WAL commit below.
+        catalog = load_catalog(root, tables=[table])
+        table_obj = catalog.get(table)
+        positions = _matching_live_positions(table_obj, where)
+        records = _wal_commit(
+            root,
+            [
+                {
+                    "table": table,
+                    "op": "delete",
+                    "positions": [int(p) for p in positions],
+                }
+            ],
+        )
+    return records[0]
 
 
 # --------------------------------------------------------------------------- #
 # Replay (called by repro.storage.disk.load_catalog)
 # --------------------------------------------------------------------------- #
-def replay_saved_mutations(catalog: Catalog, records: list[dict], root: Path) -> None:
+def replay_saved_mutations(
+    catalog: Catalog,
+    records: list[dict],
+    root: Path,
+    dirs: dict[str, str] | None = None,
+) -> None:
     """Apply manifest delta ``records`` (in order) to a freshly loaded catalog.
 
     Uses the same extension primitives as in-memory commits: appended
@@ -169,8 +276,15 @@ def replay_saved_mutations(catalog: Catalog, records: list[dict], root: Path) ->
     table B cannot move table A's row positions — so a long interleaved
     multi-table log still costs one concatenation per column per table
     (O(final size), not O(records x size)).
+
+    ``dirs`` maps table names to their (generation-suffixed, v4) directory
+    names; tables not listed live in the default ``<root>/<table>/``.
     """
+    dirs = dirs or {}
     pending: dict[str, list[dict]] = {}
+
+    def table_directory(table_name: str) -> Path:
+        return root / dirs.get(table_name, table_name)
 
     def flush_appends(table_name: str) -> None:
         run = pending.pop(table_name, None)
@@ -179,7 +293,9 @@ def replay_saved_mutations(catalog: Catalog, records: list[dict], root: Path) ->
         table = catalog.get(table_name)
         appended_rows = sum(int(r["rows"]) for r in run)
         columns = [
-            extend_column(column, _combined_segment(root, table_name, column, run))
+            extend_column(
+                column, _combined_segment(table_directory(table_name), table_name, column, run)
+            )
             for column in table.columns()
         ]
         mask = table.delete_mask
@@ -194,7 +310,7 @@ def replay_saved_mutations(catalog: Catalog, records: list[dict], root: Path) ->
         elif record["op"] == "delete":
             flush_appends(table_name)
             table = catalog.get(table_name)
-            positions_path = root / table_name / record["positions"]
+            positions_path = table_directory(table_name) / record["positions"]
             if not positions_path.exists():
                 raise CatalogFormatError(f"missing delete record {positions_path}")
             positions = np.load(positions_path, allow_pickle=False).astype(np.int64)
@@ -217,12 +333,12 @@ def replay_saved_mutations(catalog: Catalog, records: list[dict], root: Path) ->
         flush_appends(table_name)
 
 
-def _combined_segment(root: Path, table_name: str, column, run: list[dict]) -> Column:
+def _combined_segment(directory: Path, table_name: str, column, run: list[dict]) -> Column:
     """One column's appended values across a run of append records."""
     values_parts = []
     nulls_parts = []
     for record in run:
-        segment_dir = root / table_name / record["segment"]
+        segment_dir = directory / record["segment"]
         values_path = segment_dir / f"{column.name}.values.npy"
         nulls_path = segment_dir / f"{column.name}.nulls.npy"
         if not values_path.exists() or not nulls_path.exists():
@@ -254,77 +370,23 @@ def _combined_segment(root: Path, table_name: str, column, run: list[dict]) -> C
 # --------------------------------------------------------------------------- #
 # Compaction
 # --------------------------------------------------------------------------- #
-def compact_saved_catalog(root: str | Path) -> dict:
+def compact_saved_catalog(root: str | Path, online: bool = False) -> dict:
     """Fold a dataset's append log into flat column files.
 
-    Loads the full current state, drops deleted rows (physically), rebuilds
-    exact statistics and index/zone-map sidecars, rewrites the manifest
-    without delta records, and removes the now-folded segment directories
-    and delete files.  Returns a summary dictionary.
+    Delegates to :class:`repro.mutation.compact.Compactor`: the folded state
+    is staged into fresh generation directories and swapped in by a single
+    atomic manifest rename, then the WAL is truncated past the fold point —
+    a crash at any moment leaves either the old or the new state fully
+    intact (the pre-v4 implementation rewrote base files in place and could
+    leave a stale append log readable if killed between the fold and the
+    log truncation).  ``online=True`` releases the dataset write lock during
+    the fold so concurrent writers keep committing; their transactions are
+    rebased onto the new generation at swap time.  Returns a summary
+    dictionary.
     """
-    root = Path(root)
-    manifest = _read_manifest(root)
-    records = manifest.get("mutations", [])
-    catalog = load_catalog(root)
+    from repro.mutation.compact import Compactor
 
-    reclaimed = 0
-    tables = []
-    for table in catalog:
-        if table.has_deletes():
-            live = ~table.delete_mask
-            reclaimed += table.num_deleted
-            columns = [
-                Column(
-                    column.name,
-                    column.data[live],
-                    ctype=column.ctype,
-                    null_mask=column.null_mask[live],
-                    page_size=column.page_size,
-                )
-                for column in table.columns()
-            ]
-            tables.append(Table(table.name, columns))
-        else:
-            tables.append(table)
-    compacted = Catalog(tables)
-
-    # Re-create index definitions and previously persisted zone maps against
-    # the compacted contents (positions and page geometry shifted, so the
-    # materializations must be rebuilt exactly); rebuilding them here means
-    # save_catalog overwrites their sidecar files in place and future loads
-    # keep skipping the lazy-build cost.
-    index_entries = manifest.get("indexes", [])
-    zone_entries = manifest.get("zone_maps", [])
-    if index_entries or zone_entries:
-        from repro.access.manager import ensure_access_manager
-
-        manager = ensure_access_manager(compacted)
-        for entry in index_entries:
-            manager.create_index(entry["table"], entry["column"], kind=entry["kind"])
-        for entry in zone_entries:
-            if entry["table"] in compacted:
-                manager.zone_map(entry["table"], entry["column"])
-
-    save_catalog(compacted, root)
-
-    for record in records:
-        if record["op"] == "append":
-            segment_dir = root / record["table"] / record["segment"]
-            if segment_dir.is_dir():
-                for file in segment_dir.iterdir():
-                    file.unlink()
-                segment_dir.rmdir()
-        elif record["op"] == "delete":
-            positions_path = root / record["table"] / record["positions"]
-            if positions_path.exists():
-                positions_path.unlink()
-
-    return {
-        "tables": len(compacted),
-        "records_folded": len(records),
-        "rows_reclaimed": reclaimed,
-        "total_rows": compacted.total_rows(),
-    }
+    return Compactor(root).run(online=online)
 
 
 # --------------------------------------------------------------------------- #

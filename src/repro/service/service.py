@@ -392,6 +392,47 @@ class QueryService:
             return None, f"{type(error).__name__}: {error}", timer.elapsed()
 
     # ------------------------------------------------------------------ #
+    # Mutations & compaction
+    # ------------------------------------------------------------------ #
+    def execute_mutation(self, stage, attempts: int = 8):
+        """Commit a mutation batch against the served catalog, retrying races.
+
+        ``stage(batch)`` stages appends/deletes on a fresh
+        :class:`~repro.mutation.batch.MutationBatch`; the commit runs under
+        first-committer-wins conflict detection and lost races are retried
+        with backoff (:func:`~repro.mutation.concurrency.retry_on_conflict`).
+        The service's own mutation subscription then maintains its caches
+        incrementally.  On a durable catalog the batch is WAL-logged and
+        applied to the saved dataset before becoming visible.  Returns the
+        winning :class:`~repro.mutation.delta.MutationCommit`.
+        """
+        from repro.mutation.concurrency import retry_on_conflict
+
+        return retry_on_conflict(self.session.catalog, stage, attempts=attempts)
+
+    def compact(self, root=None, online: bool = True) -> dict:
+        """Compact the saved dataset underneath the served catalog.
+
+        Runs an online :class:`~repro.mutation.compact.Compactor` attached
+        to the live catalog: readers keep their pinned snapshots, writers
+        keep committing (rebased onto the new generation), prepared plans
+        against the old layout are invalidated by the swap's version bump.
+        ``root`` defaults to the dataset the catalog's durability controller
+        is bound to.  Returns the compaction summary.
+        """
+        from repro.mutation.compact import Compactor
+
+        if root is None:
+            durability = self.session.catalog.durability
+            if durability is None:
+                raise ValueError(
+                    "no dataset root: the catalog has no durability controller; "
+                    "pass root= explicitly"
+                )
+            root = durability.root
+        return Compactor(root, catalog=self.session.catalog).run(online=online)
+
+    # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
     def _on_mutation(self, commit) -> None:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable, Iterator, Mapping
 
 from repro.storage.table import Table
@@ -30,6 +31,15 @@ class Catalog:
         #: access-path layer; the manager checks :meth:`table_version` on
         #: every lookup, so catalog mutations invalidate it transparently.
         self.access_manager = None
+        #: Optional :class:`repro.mutation.wal.DurabilityController` — set by
+        #: ``load_catalog(root, durable=True)``; when present, committed
+        #: mutation batches are WAL-logged and applied to the saved dataset
+        #: before they become visible here.
+        self.durability = None
+        #: Re-entrant lock serializing writers.  Commits, compaction swaps
+        #: and snapshot reads take it; the lock ordering discipline is
+        #: catalog lock **before** dataset (WAL) lock, everywhere.
+        self.write_lock = threading.RLock()
         self._mutation_subscribers: list[Callable] = []
         for table in tables:
             self.add(table)
@@ -88,17 +98,18 @@ class Catalog:
         """
         from repro.mutation.snapshot import CatalogSnapshot
 
-        if tables is None:
-            picked = dict(self._tables)
-        else:
-            picked = {
-                name: self._tables[name] for name in tables if name in self._tables
-            }
-        return CatalogSnapshot(
-            version=self._version,
-            tables=picked,
-            table_versions={name: self._table_versions[name] for name in picked},
-        )
+        with self.write_lock:
+            if tables is None:
+                picked = dict(self._tables)
+            else:
+                picked = {
+                    name: self._tables[name] for name in tables if name in self._tables
+                }
+            return CatalogSnapshot(
+                version=self._version,
+                tables=picked,
+                table_versions={name: self._table_versions[name] for name in picked},
+            )
 
     def begin_mutation(self):
         """Start a mutation batch (:class:`~repro.mutation.batch.MutationBatch`).
@@ -120,14 +131,15 @@ class Catalog:
         new version, and unrelated tables keep theirs.  Returns the new
         catalog version.
         """
-        for name in tables:
-            if name not in self._tables:
-                raise KeyError(f"unknown table {name!r}")
-        self._version += 1
-        for name, table in tables.items():
-            self._tables[name] = table
-            self._table_versions[name] = self._version
-        return self._version
+        with self.write_lock:
+            for name in tables:
+                if name not in self._tables:
+                    raise KeyError(f"unknown table {name!r}")
+            self._version += 1
+            for name, table in tables.items():
+                self._tables[name] = table
+                self._table_versions[name] = self._version
+            return self._version
 
     def subscribe_mutations(self, callback: Callable) -> None:
         """Register ``callback(commit)`` to run after each committed batch.

@@ -39,8 +39,14 @@ base column files*; :func:`load_catalog` replays the records (all of them,
 or the first ``snapshot=K`` for time-travel reads) through the mutation
 subsystem, and index/zone-map sidecars that predate some records are
 incrementally *extended* to catch up rather than rebuilt.  ``repro
-compact`` folds the log back into flat column files.  Version-1 and -2
-directories still load.
+compact`` folds the log back into flat column files.  Version 4 adds
+**durability**: mutations are WAL-logged before they touch the directory
+(see :mod:`repro.mutation.wal`), the manifest records the applied-WAL
+watermark (``"wal": {"applied": N}``), manifests are written atomically
+(temp file + rename), and online compaction folds into *generation*
+directories (``<table>.g<G>/``, recorded per table as ``"dir"``) swapped in
+by a single manifest rename.  :func:`load_catalog` runs crash recovery
+first whenever a WAL is present.  Version-1/2/3 directories still load.
 """
 
 from __future__ import annotations
@@ -61,10 +67,10 @@ from repro.storage.table import Table
 MANIFEST_NAME = "catalog.json"
 
 #: Format version written into manifests (bump on incompatible changes).
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 
 #: Manifest versions :func:`load_catalog` understands.
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 #: File holding a table's base delete bitmap (format v3).
 DELETE_MASK_NAME = "_deleted.npy"
@@ -212,9 +218,47 @@ def save_catalog(catalog: Catalog, root: str | Path) -> Path:
     if zone_maps:
         manifest["zone_maps"] = zone_maps
 
-    with open(root / MANIFEST_NAME, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2)
+    # A full save folds everything the catalog holds into flat base files, so
+    # every committed WAL transaction is by definition applied: record the
+    # watermark so recovery on the next open replays nothing.
+    from repro.mutation.wal import read_wal
+
+    wal_state = read_wal(root)
+    if wal_state is not None:
+        manifest["wal"] = {"applied": wal_state.last_txn}
+
+    _write_manifest(root, manifest)
+    _remove_stale_generation_dirs(root, manifest)
     return root
+
+
+def table_dir(root: Path, table_entry: dict) -> Path:
+    """The directory holding one table's files (generation-aware, v4)."""
+    return Path(root) / table_entry.get("dir", table_entry["name"])
+
+
+def _saved_table_dir(root: Path, manifest: dict, table: str) -> Path:
+    """``table``'s directory as the saved manifest records it."""
+    for entry in manifest.get("tables", []):
+        if entry["name"] == table:
+            return table_dir(root, entry)
+    return Path(root) / table
+
+
+def _remove_stale_generation_dirs(root: Path, manifest: dict) -> None:
+    """Delete ``<table>.g<N>`` directories the manifest no longer references.
+
+    Left behind when a crash interrupts online compaction before its swap, or
+    by the previous generation after a successful swap.
+    """
+    import re
+    import shutil
+
+    live = {table_dir(root, entry).name for entry in manifest.get("tables", [])}
+    pattern = re.compile(r"\.g\d+$")
+    for child in root.iterdir():
+        if child.is_dir() and pattern.search(child.name) and child.name not in live:
+            shutil.rmtree(child, ignore_errors=True)
 
 
 # --------------------------------------------------------------------------- #
@@ -271,7 +315,11 @@ def _load_arrays(path: Path) -> dict:
 
 
 def _restore_access_paths(
-    catalog: Catalog, manifest: dict, root: Path, bounded: bool = False
+    catalog: Catalog,
+    manifest: dict,
+    root: Path,
+    bounded: bool = False,
+    dirs: dict[str, str] | None = None,
 ) -> None:
     """Re-register persisted indexes and zone maps on the loaded catalog.
 
@@ -293,9 +341,10 @@ def _restore_access_paths(
     from repro.access.manager import ensure_access_manager
     from repro.access.zonemap import ColumnZoneMap, extend_zone_map
 
+    dirs = dirs or {}
     manager = ensure_access_manager(catalog)
     for entry in index_entries:
-        path = root / entry["table"] / entry["file"]
+        path = root / dirs.get(entry["table"], entry["table"]) / entry["file"]
         if not path.exists():
             raise CatalogFormatError(f"missing index sidecar {path}")
         column = catalog.get(entry["table"]).column(entry["column"])
@@ -318,7 +367,7 @@ def _restore_access_paths(
             IndexDef(entry["table"], entry["column"], kind), materialized
         )
     for entry in zone_entries:
-        path = root / entry["table"] / entry["file"]
+        path = root / dirs.get(entry["table"], entry["table"]) / entry["file"]
         if not path.exists():
             raise CatalogFormatError(f"missing zone-map sidecar {path}")
         column = catalog.get(entry["table"]).column(entry["column"])
@@ -363,6 +412,8 @@ def load_catalog(
     root: str | Path,
     snapshot: int | None = None,
     tables: Iterable[str] | None = None,
+    recover: bool = True,
+    durable: bool = False,
 ) -> Catalog:
     """Load a catalog previously written by :func:`save_catalog`.
 
@@ -382,11 +433,28 @@ def load_catalog(
     stats``) use this to stay O(table) instead of O(dataset).  The snapshot
     cutoff still indexes the *full* record list, so a filtered load at
     ``snapshot=K`` sees exactly the filtered slice of that history.
+
+    When the dataset carries a WAL (``wal.log``), crash recovery runs first
+    (unless ``recover=False``): torn or uncommitted WAL tails are truncated
+    and committed-but-unapplied transactions are replayed into the directory,
+    so the load always observes exactly the last committed batch.
+    ``durable=True`` additionally attaches a WAL-backed
+    :class:`~repro.mutation.wal.DurabilityController` to the returned catalog
+    (as ``catalog.durability``): every subsequent
+    :meth:`~repro.mutation.batch.MutationBatch.commit` is WAL-logged and
+    applied to the directory *before* it becomes visible in memory.
     """
     root = Path(root)
     manifest_path = root / MANIFEST_NAME
     if not manifest_path.exists():
         raise CatalogFormatError(f"no {MANIFEST_NAME} found in {root}")
+    from repro.mutation.wal import WAL_NAME, attach_durability, dataset_write_lock
+
+    if recover and (root / WAL_NAME).exists():
+        from repro.mutation.recovery import recover_saved_catalog
+
+        with dataset_write_lock(root):
+            recover_saved_catalog(root)
     with open(manifest_path, encoding="utf-8") as handle:
         manifest = json.load(handle)
 
@@ -429,7 +497,7 @@ def load_catalog(
     tables_loaded = []
     for table_entry in table_entries:
         name = table_entry["name"]
-        directory = root / name
+        directory = table_dir(root, table_entry)
         columns = [
             _load_column(directory, column_entry, ColumnType(column_entry["type"]))
             for column_entry in table_entry["columns"]
@@ -449,11 +517,20 @@ def load_catalog(
             )
         tables_loaded.append(table)
     catalog = Catalog(tables_loaded)
+    dirs = {
+        entry["name"]: table_dir(root, entry).name
+        for entry in table_entries
+        if "dir" in entry
+    }
     if mutations:
         from repro.mutation.diskops import replay_saved_mutations
 
-        replay_saved_mutations(catalog, mutations, root)
-    _restore_access_paths(catalog, manifest, root, bounded=snapshot is not None)
+        replay_saved_mutations(catalog, mutations, root, dirs=dirs)
+    _restore_access_paths(
+        catalog, manifest, root, bounded=snapshot is not None, dirs=dirs
+    )
+    if durable:
+        attach_durability(catalog, root)
     return catalog
 
 
@@ -469,8 +546,24 @@ def _read_manifest(root: Path) -> dict:
 
 
 def _write_manifest(root: Path, manifest: dict) -> None:
-    with open(root / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+    """Atomically replace the manifest: temp file, fsync, rename.
+
+    Readers and crash recovery therefore only ever observe either the old or
+    the new manifest — never a truncated or interleaved one.  This rename is
+    the single commit point for every durable state change (mutation apply,
+    index DDL, online-compaction swap).
+    """
+    import os
+
+    from repro.testing import faults
+
+    tmp_path = root / (MANIFEST_NAME + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    faults.fire("manifest.before_rename")
+    os.replace(tmp_path, root / MANIFEST_NAME)
 
 
 def add_index_to_saved_catalog(root: str | Path, table: str, column: str, kind: str = "auto"):
@@ -488,9 +581,10 @@ def add_index_to_saved_catalog(root: str | Path, table: str, column: str, kind: 
     definition = manager.create_index(table, column, kind=kind)
     materialized = manager.index_for(table, column)
     file_name = _index_sidecar_name(column, definition.kind)
-    _save_arrays(root / table / file_name, materialized.to_arrays())
-
     manifest = _read_manifest(root)
+    _save_arrays(
+        _saved_table_dir(root, manifest, table) / file_name, materialized.to_arrays()
+    )
     manifest["format_version"] = FORMAT_VERSION
     entries = manifest.setdefault("indexes", [])
     entries.append(
@@ -519,7 +613,7 @@ def drop_index_from_saved_catalog(root: str | Path, table: str, column: str) -> 
     manifest["indexes"] = [entry for entry in entries if entry not in matches]
     _write_manifest(root, manifest)
     for entry in matches:
-        sidecar = root / entry["table"] / entry["file"]
+        sidecar = _saved_table_dir(root, manifest, entry["table"]) / entry["file"]
         if sidecar.exists():
             sidecar.unlink()
     return matches[0]

@@ -1,0 +1,129 @@
+"""Fault injection: named crash points for durability testing.
+
+The durable write path (:mod:`repro.mutation.wal`, :mod:`repro.mutation.diskops`,
+:mod:`repro.mutation.compact`) calls :func:`fire` at every point where a crash
+has a distinct recovery story.  Nothing happens unless the point is *armed*:
+
+* **in process** — ``arm("wal.after_record")`` (or the :func:`armed` context
+  manager) makes the next hit raise :class:`InjectedCrash`, which unit tests
+  catch before re-opening the dataset;
+* **across processes** — setting ``REPRO_FAULT_POINT=wal.after_record`` in a
+  subprocess environment makes the hit call ``os._exit`` (no cleanup, no
+  ``atexit``, no buffered-file flushing beyond what already reached the OS),
+  which is how ``tests/test_crash_recovery.py`` kills real ``repro insert`` /
+  ``repro delete`` / ``repro compact`` runs mid-flight.
+
+The points are a stable, documented surface (:data:`FAULT_POINTS`) — the
+crash-recovery test matrix enumerates them, so adding a point here without a
+matrix entry fails the suite's completeness check.
+
+The seam is deliberately cheap when disarmed: one module-level set lookup.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable naming the fault point a subprocess should crash at.
+FAULT_ENV = "REPRO_FAULT_POINT"
+
+#: Environment variable choosing the crash mode: ``exit`` (default for
+#: env-armed points — a hard ``os._exit``) or ``raise``.
+FAULT_MODE_ENV = "REPRO_FAULT_MODE"
+
+#: Exit status used by ``os._exit`` crashes (distinctive, assertable).
+CRASH_EXIT_CODE = 37
+
+#: Every fault point wired into the durable write path, with the recovery
+#: outcome an injected crash there must produce ("pre" = the batch is rolled
+#: back to the previous committed state, "post" = the batch survives).
+FAULT_POINTS: dict[str, str] = {
+    # WAL append: half the first record's bytes are written, then crash —
+    # a torn record that recovery must truncate.
+    "wal.partial_record": "pre",
+    # All op records are written, the commit marker is not — an uncommitted
+    # transaction tail that recovery must truncate.
+    "wal.after_record": "pre",
+    # Every record including the commit marker reached the OS, fsync did
+    # not run.  A process kill (unlike a power cut) leaves the page cache
+    # intact, so recovery replays the batch.
+    "wal.before_fsync": "post",
+    # The WAL transaction is durable; a segment directory is half-written.
+    "segment.partial_write": "post",
+    # The WAL transaction is durable and all data files are written; the
+    # rewritten manifest sits in its temp file, the rename never happened.
+    "manifest.before_rename": "post",
+    # Online compaction: the fold is fully staged in new generation
+    # directories but the manifest swap never happened — the old state must
+    # remain authoritative.
+    "compact.before_swap": "pre",
+    # Online compaction: the manifest swap happened but the WAL was never
+    # truncated past the fold point — replay must NOT double-apply folded
+    # records (the PR-6 regression fix).
+    "compact.before_wal_truncate": "post",
+}
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by an armed fault point in ``raise`` mode."""
+
+
+_armed: dict[str, str] = {}
+
+
+def _env_armed() -> tuple[str | None, str]:
+    return os.environ.get(FAULT_ENV) or None, os.environ.get(FAULT_MODE_ENV, "exit")
+
+
+def arm(point: str, mode: str = "raise") -> None:
+    """Arm ``point``; the next :func:`fire` hit crashes with ``mode``."""
+    if point not in FAULT_POINTS:
+        raise ValueError(f"unknown fault point {point!r}; known: {sorted(FAULT_POINTS)}")
+    if mode not in ("raise", "exit"):
+        raise ValueError(f"unknown fault mode {mode!r}; use 'raise' or 'exit'")
+    _armed[point] = mode
+
+
+def disarm(point: str | None = None) -> None:
+    """Disarm one point, or every armed point when ``point`` is None."""
+    if point is None:
+        _armed.clear()
+    else:
+        _armed.pop(point, None)
+
+
+class armed:
+    """Context manager arming ``point`` for the duration of a ``with`` block."""
+
+    def __init__(self, point: str, mode: str = "raise") -> None:
+        self.point = point
+        self.mode = mode
+
+    def __enter__(self) -> "armed":
+        arm(self.point, self.mode)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        disarm(self.point)
+
+
+def is_armed(point: str) -> bool:
+    """True when ``point`` would crash — used by seams that must stage a
+    partial effect (e.g. half a WAL record) before crashing."""
+    if point in _armed:
+        return True
+    env_point, _mode = _env_armed()
+    return env_point == point
+
+
+def fire(point: str) -> None:
+    """Crash here if ``point`` is armed (in process or via the environment)."""
+    mode = _armed.get(point)
+    if mode is None:
+        env_point, env_mode = _env_armed()
+        if env_point != point:
+            return
+        mode = env_mode
+    if mode == "exit":
+        os._exit(CRASH_EXIT_CODE)
+    raise InjectedCrash(point)
