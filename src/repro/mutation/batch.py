@@ -201,7 +201,18 @@ class MutationBatch:
             if durability is not None:
                 durability.commit_ops(self._durable_ops(names, deleted))
 
-            new_version = self.catalog.apply_mutation(new_tables)
+            try:
+                new_version = self.catalog.apply_mutation(new_tables)
+            except BaseException:
+                # The batch is durably committed on disk but never landed in
+                # memory: poison the controller so further commits fail loudly
+                # instead of silently diverging from the next load_catalog
+                # (whose WAL replay will include this transaction).
+                if durability is not None:
+                    durability.poison(
+                        "the in-memory apply failed after its WAL commit"
+                    )
+                raise
 
             deltas: dict[str, TableDelta] = {}
             for name in names:

@@ -50,6 +50,8 @@ from repro.storage.disk import (
     _read_manifest,
     _values_for_save,
     _write_manifest,
+    fsync_dir,
+    fsync_file,
     load_catalog,
 )
 from repro.storage.table import Table
@@ -86,7 +88,7 @@ def _next_file_seq(manifest: dict) -> int:
 # Applying WAL-framed ops to the directory
 # --------------------------------------------------------------------------- #
 def apply_ops_to_saved_catalog(
-    root: str | Path, ops: list[dict], wal_txn: int | None = None
+    root: str | Path, ops: list[dict], wal_txn: int | None = None, sync: bool = True
 ) -> list[dict]:
     """Write one WAL transaction's ``ops`` into the dataset directory.
 
@@ -94,9 +96,14 @@ def apply_ops_to_saved_catalog(
     ``{"table": t, "op": "append", "rows": [...]}``
     or ``{"table": t, "op": "delete", "positions": [...]}`` — and becomes
     one segment directory / delete-position file plus one manifest delta
-    record.  The manifest is rewritten **once, atomically**, with
-    ``wal.applied`` advanced to ``wal_txn``: the rename is the transaction's
-    single apply point.
+    record.  Every data file (and its directory) is fsync'd **before** the
+    manifest is rewritten — once, atomically, with ``wal.applied`` advanced
+    to ``wal_txn``: the rename is the transaction's single apply point, and
+    the ordering guarantees a power loss can never leave a durable manifest
+    pointing at undurable segment data (which recovery would then skip
+    replaying, since the watermark already covers the transaction).
+    ``sync=False`` skips the data fsyncs — the same bench knob as the WAL's:
+    recovery then only holds against process kills, not power loss.
 
     Idempotent by construction, which is what crash recovery relies on when
     it replays a committed-but-unapplied transaction: if ``wal.applied``
@@ -115,17 +122,21 @@ def apply_ops_to_saved_catalog(
             return []  # recovery re-run: this transaction already landed
     file_seq = _next_file_seq(manifest)
     records = []
+    written: list[Path] = []
     for op in ops:
         table = op["table"]
         entry = _table_entry(manifest, table)
         directory = root / entry.get("dir", table)
         if op["op"] == "append":
-            records.append(_apply_append(directory, entry, op["rows"], file_seq))
+            record, files = _apply_append(directory, entry, op["rows"], file_seq)
+            records.append(record)
+            written.extend(files)
         elif op["op"] == "delete":
             positions = np.asarray(op["positions"], dtype=np.int64)
             positions_file = f"delete-{file_seq:04d}.npy"
             directory.mkdir(parents=True, exist_ok=True)
             np.save(directory / positions_file, positions)
+            written.append(directory / positions_file)
             records.append(
                 {
                     "table": table,
@@ -137,6 +148,18 @@ def apply_ops_to_saved_catalog(
         else:
             raise MutationError(f"unknown mutation op {op.get('op')!r}")
         file_seq += 1
+    if sync and written:
+        for path in written:
+            fsync_file(path)
+        directories = set()
+        for path in written:
+            # The file's directory, plus the directory holding a freshly
+            # created segment dir — both entries must survive power loss
+            # before the manifest claims the transaction applied.
+            directories.add(path.parent)
+            directories.add(path.parent.parent)
+        for directory in directories:
+            fsync_dir(directory)
     _mutation_records(manifest).extend(records)
     manifest["file_seq"] = file_seq
     manifest["format_version"] = FORMAT_VERSION
@@ -146,7 +169,9 @@ def apply_ops_to_saved_catalog(
     return records
 
 
-def _apply_append(directory: Path, entry: dict, rows: list[dict], file_seq: int) -> dict:
+def _apply_append(
+    directory: Path, entry: dict, rows: list[dict], file_seq: int
+) -> tuple[dict, list[Path]]:
     types = {column["name"]: ColumnType(column["type"]) for column in entry["columns"]}
     page_sizes = {
         column["name"]: int(column.get("page_size", 1024)) for column in entry["columns"]
@@ -157,6 +182,7 @@ def _apply_append(directory: Path, entry: dict, rows: list[dict], file_seq: int)
         # (the manifest never advanced, so the name repeats): start clean.
         shutil.rmtree(segment_dir)
     segment_dir.mkdir(parents=True)
+    written: list[Path] = []
     first = True
     for name, ctype in types.items():
         column = Column(
@@ -165,17 +191,22 @@ def _apply_append(directory: Path, entry: dict, rows: list[dict], file_seq: int)
             ctype=ctype,
             page_size=page_sizes[name],
         )
-        np.save(segment_dir / f"{name}.values.npy", _values_for_save(column.data, ctype))
+        values_path = segment_dir / f"{name}.values.npy"
+        np.save(values_path, _values_for_save(column.data, ctype))
+        written.append(values_path)
         if first:
             faults.fire("segment.partial_write")
             first = False
-        np.save(segment_dir / f"{name}.nulls.npy", column.null_mask)
-    return {
+        nulls_path = segment_dir / f"{name}.nulls.npy"
+        np.save(nulls_path, column.null_mask)
+        written.append(nulls_path)
+    record = {
         "table": entry["name"],
         "op": "append",
         "rows": len(rows),
         "segment": segment_dir.name,
     }
+    return record, written
 
 
 def _wal_commit(root: Path, ops: list[dict]) -> list[dict]:

@@ -307,19 +307,39 @@ class WalWriter:
         self.path = self.root / WAL_NAME
         self.sync = sync
         state = read_wal(self.root)
-        if state is None:
+        if state is None or state.records == 0 or state.valid_length == 0:
+            # No WAL — or one whose header never became readable (an empty
+            # file, or a header torn by a crash during WAL creation).
+            # Appending to a headerless file would produce a WAL that
+            # read_wal rejects outright, making the dataset unloadable; the
+            # file is rewritten from scratch instead.  The fresh header's
+            # base_txn resumes from the manifest's applied watermark so
+            # transaction numbers stay absolute and monotone.
+            base = _applied_watermark(self.root)
             header = encode_record(
-                {"kind": "header", "format": WAL_FORMAT, "base_txn": 0}
+                {"kind": "header", "format": WAL_FORMAT, "base_txn": base}
             )
             self._file = open(self.path, "wb", buffering=0)
             self._file.write(header)
-            self._next_txn = 1
+            self._next_txn = base + 1
         else:
             if state.tail_bytes:
                 with open(self.path, "r+b") as handle:
                     handle.truncate(state.valid_length)
             self._file = open(self.path, "ab", buffering=0)
             self._next_txn = state.last_txn + 1
+
+    def is_current(self) -> bool:
+        """True while the open handle still refers to ``<root>/wal.log``.
+
+        Online compaction — possibly in another process — replaces the WAL
+        by rename; a writer left bound to the unlinked inode would append
+        records no recovery scan will ever see.
+        """
+        try:
+            return os.fstat(self._file.fileno()).st_ino == os.stat(self.path).st_ino
+        except OSError:
+            return False
 
     def append_transaction(self, ops: list[dict]) -> int:
         """Durably log one transaction; returns its absolute number.
@@ -373,6 +393,9 @@ def rewrite_wal(root: str | Path, base_txn: int, transactions: list[WalTransacti
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, root / WAL_NAME)
+    from repro.storage.disk import fsync_dir
+
+    fsync_dir(root)
 
 
 # --------------------------------------------------------------------------- #
@@ -381,6 +404,15 @@ def rewrite_wal(root: str | Path, base_txn: int, transactions: list[WalTransacti
 def applied_txn(manifest: dict) -> int:
     """The manifest's applied-transaction watermark (0 for pre-WAL formats)."""
     return int(manifest.get("wal", {}).get("applied", 0))
+
+
+def _applied_watermark(root: Path) -> int:
+    """The dataset's applied watermark (0 when it has no manifest yet)."""
+    from repro.storage.disk import MANIFEST_NAME, _read_manifest
+
+    if not (root / MANIFEST_NAME).exists():
+        return 0
+    return applied_txn(_read_manifest(root))
 
 
 def wal_status(root: str | Path) -> dict:
@@ -428,25 +460,62 @@ class DurabilityController:
     ``catalog.durability``); :meth:`repro.mutation.batch.MutationBatch.commit`
     calls :meth:`commit_ops` *before* applying a batch in memory, so the
     dataset directory replays to exactly the catalog's committed state after
-    any crash.  One controller per root per process — the writer handle is
-    reset by online compaction after it rewrites the WAL.
+    any crash.  One controller per root per process — the cached writer
+    handle is revalidated against the WAL's inode on every commit (online
+    compaction, possibly in another process, replaces the file by rename)
+    and reset by an in-process compaction after it rewrites the WAL.
+
+    A commit that fails *after* its WAL append **poisons** the controller:
+    the transaction is durable on disk while the in-memory catalog never
+    applied it, so letting further commits through would silently diverge
+    from what the next ``load_catalog`` (which replays the WAL) observes.
+    A poisoned controller raises :class:`WalError` on every subsequent
+    commit; the way out is reloading the dataset, which runs recovery.
     """
 
     def __init__(self, root: str | Path, sync: bool = True) -> None:
         self.root = Path(root)
         self.sync = sync
         self._writer: WalWriter | None = None
+        self._poisoned: str | None = None
+
+    @property
+    def poisoned(self) -> str | None:
+        """Why this controller refuses commits (None while healthy)."""
+        return self._poisoned
+
+    def poison(self, reason: str) -> None:
+        """Refuse all further commits: disk and memory are known to diverge."""
+        self._poisoned = reason
 
     def commit_ops(self, ops: list[dict]) -> int:
         """WAL-log then apply ``ops`` to the saved dataset; returns the txn."""
         from repro.mutation.diskops import apply_ops_to_saved_catalog
 
+        if self._poisoned is not None:
+            raise WalError(
+                f"durable catalog for {self.root} is poisoned "
+                f"({self._poisoned}); reload it with load_catalog(root, "
+                f"durable=True) to recover before committing again"
+            )
         ops = [json_safe(op) for op in ops]
         with dataset_write_lock(self.root):
+            if self._writer is not None and not self._writer.is_current():
+                self.reset_writer()
             if self._writer is None:
                 self._writer = WalWriter(self.root, sync=self.sync)
-            txn = self._writer.append_transaction(ops)
-            apply_ops_to_saved_catalog(self.root, ops, wal_txn=txn)
+            try:
+                txn = self._writer.append_transaction(ops)
+                apply_ops_to_saved_catalog(
+                    self.root, ops, wal_txn=txn, sync=self.sync
+                )
+            except BaseException:
+                # The WAL may already hold the commit marker (or a torn tail
+                # the cached handle would extend into garbage): either way
+                # this process can no longer trust that its in-memory state
+                # matches what recovery will reconstruct.
+                self.poison("a durable commit failed mid-flight")
+                raise
             return txn
 
     def reset_writer(self) -> None:

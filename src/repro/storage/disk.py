@@ -54,6 +54,7 @@ from __future__ import annotations
 import csv
 import json
 import math
+import os
 from collections.abc import Iterable
 from pathlib import Path
 
@@ -545,16 +546,45 @@ def _read_manifest(root: Path) -> dict:
         return json.load(handle)
 
 
+def fsync_file(path: str | Path) -> None:
+    """fsync one file's contents (``numpy.save`` and friends do not)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Best-effort directory fsync: makes renames/creates/unlinks durable
+    across power loss, not just process kills.
+
+    Some platforms and filesystems refuse to fsync a directory handle; the
+    failure falls back to kill-safe-only durability rather than erroring.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems rejecting dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 def _write_manifest(root: Path, manifest: dict) -> None:
-    """Atomically replace the manifest: temp file, fsync, rename.
+    """Atomically replace the manifest: temp file, fsync, rename, dir fsync.
 
     Readers and crash recovery therefore only ever observe either the old or
     the new manifest — never a truncated or interleaved one.  This rename is
     the single commit point for every durable state change (mutation apply,
-    index DDL, online-compaction swap).
+    index DDL, online-compaction swap); the directory fsync makes the rename
+    itself power-loss durable, which matters when destructive follow-ups
+    (WAL trims, old-generation deletes) depend on the new manifest being the
+    one that survives.
     """
-    import os
-
     from repro.testing import faults
 
     tmp_path = root / (MANIFEST_NAME + ".tmp")
@@ -564,6 +594,7 @@ def _write_manifest(root: Path, manifest: dict) -> None:
         os.fsync(handle.fileno())
     faults.fire("manifest.before_rename")
     os.replace(tmp_path, root / MANIFEST_NAME)
+    fsync_dir(root)
 
 
 def add_index_to_saved_catalog(root: str | Path, table: str, column: str, kind: str = "auto"):

@@ -15,6 +15,7 @@ from repro.mutation.diskops import (
 from repro.mutation.recovery import recover_saved_catalog
 from repro.mutation.wal import (
     WAL_NAME,
+    WalError,
     WalTransaction,
     WalWriter,
     applied_txn,
@@ -147,6 +148,36 @@ class TestWriterTruncation:
         with WalWriter(tmp_path) as writer:
             assert path.stat().st_size == clean_size
             assert writer.append_transaction([{"table": "t", "op": "append", "rows": []}]) == 2
+
+
+class TestHeaderlessWal:
+    """A wal.log with no readable header must be rewritten, not appended to."""
+
+    def test_empty_wal_file_is_rewritten_with_a_header(self, tmp_path):
+        root = _saved_dataset(tmp_path)
+        (root / WAL_NAME).write_bytes(b"")
+        append_rows_to_saved_catalog(root, "t", [{"id": 100, "v": 1.0, "s": "x"}])
+        state = read_wal(root)
+        assert state.base_txn == 0
+        assert [t.txn for t in state.committed] == [1]
+        assert len(_live_rows(root)) == 31  # the dataset still loads
+
+    def test_torn_header_resumes_from_the_applied_watermark(self, tmp_path):
+        # The review scenario: a crash during WAL creation leaves a partial
+        # header; the next write must not extend the headerless file (that
+        # made every later load_catalog raise WalError).
+        root = _saved_dataset(tmp_path)
+        append_rows_to_saved_catalog(root, "t", [{"id": 100, "v": 1.0, "s": "x"}])
+        path = root / WAL_NAME
+        path.write_bytes(path.read_bytes()[:7])  # no intact record at all
+        append_rows_to_saved_catalog(root, "t", [{"id": 101, "v": 2.0, "s": "y"}])
+        state = read_wal(root)
+        assert state.base_txn == 1  # numbering stayed absolute and monotone
+        assert [t.txn for t in state.committed] == [2]
+        assert len(_live_rows(root)) == 32
+        status = wal_status(root)
+        assert status["pending_txns"] == 0
+        assert status["tail_bytes"] == 0
 
 
 class TestRewrite:
@@ -359,3 +390,46 @@ class TestDurableCatalog:
         # batch even though the manifest write never finished.
         reloaded = load_catalog(root)
         assert reloaded.get("t").num_rows == 31
+
+    def test_stale_writer_handle_is_reopened_after_external_rewrite(self, tmp_path):
+        # A compaction in another process replaces wal.log by rename; the
+        # cached writer handle is then bound to the unlinked inode and its
+        # appends would be invisible to recovery.
+        root = _saved_dataset(tmp_path)
+        catalog = load_catalog(root, durable=True)
+        batch = catalog.begin_mutation()
+        batch.insert("t", [{"id": 100, "v": 1.0, "s": "x"}])
+        batch.commit()  # caches the writer handle
+        rewrite_wal(root, applied_txn(_read_manifest(root)), [])
+        batch = catalog.begin_mutation()
+        batch.insert("t", [{"id": 101, "v": 2.0, "s": "y"}])
+        batch.commit()
+        state = read_wal(root)  # the live file, not the unlinked inode
+        assert state.base_txn == 1
+        assert [t.txn for t in state.committed] == [2]
+        assert wal_status(root)["pending_txns"] == 0
+        assert len(_live_rows(root)) == 32
+
+    def test_failed_apply_after_wal_commit_poisons_the_controller(self, tmp_path):
+        root = _saved_dataset(tmp_path)
+        catalog = load_catalog(root, durable=True)
+        batch = catalog.begin_mutation()
+        batch.insert("t", [{"id": 100, "v": 1.0, "s": "x"}])
+        with faults.armed("manifest.before_rename"):
+            with pytest.raises(faults.InjectedCrash):
+                batch.commit()
+        # Disk durably committed the transaction, memory never applied it:
+        # the controller must refuse further commits instead of diverging.
+        assert catalog.durability.poisoned is not None
+        retry = catalog.begin_mutation()
+        retry.insert("t", [{"id": 101, "v": 2.0, "s": "y"}])
+        with pytest.raises(WalError, match="poisoned"):
+            retry.commit()
+        # The documented way out: reload, which replays the WAL transaction.
+        reloaded = load_catalog(root, durable=True)
+        assert reloaded.get("t").num_rows == 31
+        fresh = reloaded.begin_mutation()
+        fresh.insert("t", [{"id": 101, "v": 2.0, "s": "y"}])
+        fresh.commit()
+        assert reloaded.get("t").num_rows == 32
+        assert load_catalog(root).get("t").num_rows == 32
