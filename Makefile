@@ -5,9 +5,9 @@ PYTHON ?= python
 RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
 
 # Tag stamped into the BENCH_*.json artifacts written by `make bench`.
-BENCH_TAG ?= PR6
+BENCH_TAG ?= PR7
 
-.PHONY: test lint test-crash bench-smoke bench bench-parallel bench-feedback bench-index bench-ingest bench-wal docs-check examples
+.PHONY: test lint test-crash bench-smoke bench bench-parallel bench-feedback bench-index bench-ingest bench-wal bench-kernels docs-check examples
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -34,6 +34,7 @@ bench-smoke:
 	    benchmarks/bench_index_pruning.py \
 	    benchmarks/bench_ingest.py \
 	    benchmarks/bench_wal_overhead.py \
+	    benchmarks/bench_kernel_fusion.py \
 	    benchmarks/bench_fig4a_selectivity.py -q --benchmark-disable \
 	    -k "not speedup and not overhead"
 
@@ -64,6 +65,13 @@ bench-ingest:
 ## timing guard), persists its measurements into the current BENCH_*.json
 bench-wal:
 	$(RUN) -m pytest benchmarks/bench_wal_overhead.py -q
+
+## fused expression kernels: clause-work + byte-identity assertions plus the
+## dictionary string-predicate wall-clock guard (the work half also runs in
+## bench-smoke; this target adds the timing half), persists its
+## measurements into the current BENCH_*.json
+bench-kernels:
+	$(RUN) -m pytest benchmarks/bench_kernel_fusion.py -q
 
 ## full benchmark suite with timing (slow); always leaves a BENCH_*.json
 ## artifact behind so the perf trajectory is tracked

@@ -83,3 +83,42 @@ class DictionaryEncoding:
 
     def __repr__(self) -> str:
         return f"DictionaryEncoding(values={self.num_values}, rows={self.num_rows})"
+
+
+#: A string column only gets a predicate/join dictionary when its distinct
+#: count is at most this fraction of its row count — near-unique columns
+#: (titles, names at scale) would pay the encode cost without ever reusing
+#: a code, so they stay on the decoded-value path.
+DICTIONARY_MAX_DISTINCT_FRACTION = 0.5
+
+
+def table_dictionary(table, column_name: str) -> DictionaryEncoding | None:
+    """Cached dictionary encoding of a table's string column.
+
+    Returns ``None`` (also cached) when the column does not exist, is not a
+    string column, is empty, or is too close to unique for encoding to pay
+    off.  The cache lives on the table instance; tables are immutable —
+    mutation replaces the whole :class:`~repro.storage.table.Table` — so the
+    cache never needs invalidating.
+    """
+    cache = table.__dict__.get("_dictionary_cache")
+    if cache is None:
+        cache = {}
+        table._dictionary_cache = cache
+    if column_name in cache:
+        return cache[column_name]
+    encoding = None
+    try:
+        column = table.column(column_name)
+    except KeyError:
+        column = None
+    if (
+        column is not None
+        and column.ctype is ColumnType.STRING
+        and len(column)
+        and column.distinct_count()
+        <= max(1, int(len(column) * DICTIONARY_MAX_DISTINCT_FRACTION))
+    ):
+        encoding = DictionaryEncoding.encode(column)
+    cache[column_name] = encoding
+    return encoding

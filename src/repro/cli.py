@@ -112,6 +112,7 @@ def _session_for(args: argparse.Namespace) -> Session:
         parallelism=getattr(args, "parallelism", 1),
         partitions=getattr(args, "partitions", None),
         access_paths=not getattr(args, "no_access_paths", False),
+        kernels=getattr(args, "kernels", "numpy"),
     )
 
 
@@ -559,6 +560,15 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable zone-map/index scan pruning (results are identical "
         "either way; every page is read)",
+    )
+    parser.add_argument(
+        "--kernels",
+        choices=("off", "numpy", "jit"),
+        default="numpy",
+        help="expression-kernel tier: off = legacy full-width truth arrays, "
+        "numpy = fused selection-vector kernels (default), jit = numba-"
+        "compiled numeric loops (falls back to numpy when numba is absent); "
+        "results are identical at every tier",
     )
 
 

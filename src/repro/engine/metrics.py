@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.kernels.config import KernelConfig
 from repro.storage.iostats import IOStats
 from repro.storage.pagecache import LFUPageCache
 
@@ -42,6 +43,12 @@ class ExecutionMetrics:
     #: Morsels the parallel driver skipped because the partitioning alias
     #: had no candidate rows in their row range.
     partitions_skipped: int = 0
+    #: Rows actually fed to base-predicate clause evaluations.  The legacy
+    #: path charges ``num_rows × clauses`` per predicate (every clause sees
+    #: every row); the fused kernels charge only the rows still alive when
+    #: each clause runs — the ratio between the two is the kernel benchmark's
+    #: work metric.
+    clause_rows_evaluated: int = 0
     #: Per-predicate observation counts: expression key -> [rows evaluated,
     #: rows matched].  Only populated when the execution context runs with
     #: ``collect_feedback`` (the observed ratio feeds re-optimization).
@@ -100,6 +107,7 @@ class ExecutionMetrics:
         self.morsels_executed += other.morsels_executed
         self.pages_pruned += other.pages_pruned
         self.partitions_skipped += other.partitions_skipped
+        self.clause_rows_evaluated += other.clause_rows_evaluated
         for key, (evaluated, matched) in other.predicate_counts.items():
             self.record_predicate(key, evaluated, matched)
         for node_id, (rows_in, rows_out) in other.operator_actuals.items():
@@ -136,6 +144,7 @@ class ExecutionMetrics:
             "morsels_executed": self.morsels_executed,
             "pages_pruned": self.pages_pruned,
             "partitions_skipped": self.partitions_skipped,
+            "clause_rows_evaluated": self.clause_rows_evaluated,
         }
 
 
@@ -178,6 +187,11 @@ class ExecContext:
     #: loop then falls back to a-priori estimates for those clauses instead
     #: of learning biased ones.
     feedback_excluded_aliases: frozenset = frozenset()
+    #: Fused-kernel configuration, or ``None`` for the legacy expression
+    #: path.  ``None`` is the dataclass default so every direct ExecContext
+    #: construction (tests, tools, crash harnesses) keeps the unchanged
+    #: legacy behavior; the session opts executions in explicitly.
+    kernels: KernelConfig | None = None
 
     def timer(self) -> "Stopwatch":
         """A fresh stopwatch (convenience for callers timing phases)."""
@@ -189,6 +203,7 @@ class ExecContext:
             cache=self.cache,
             collect_feedback=self.collect_feedback,
             feedback_excluded_aliases=self.feedback_excluded_aliases,
+            kernels=self.kernels,
         )
 
     def absorb(self, child: "ExecContext") -> None:

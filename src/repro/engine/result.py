@@ -45,6 +45,9 @@ class QueryResult:
         plan_description: pretty-printed plan (or plans) that ran.
         cache_hit: True when the executed plan came out of a plan cache
             (set by the service layer; always False for direct Session use).
+        kernel_tier: the expression-kernel tier that actually ran —
+            ``"off"`` (legacy path), ``"numpy"`` or ``"jit"`` (a requested
+            ``"jit"`` that downgraded reports ``"numpy"``).
     """
 
     def __init__(
@@ -57,6 +60,7 @@ class QueryResult:
         iostats: IOStats | None = None,
         plan_description: str = "",
         cache_hit: bool = False,
+        kernel_tier: str = "off",
     ) -> None:
         self.planner_name = planner_name
         self.output = output
@@ -66,6 +70,7 @@ class QueryResult:
         self.iostats = iostats if iostats is not None else IOStats()
         self.plan_description = plan_description
         self.cache_hit = cache_hit
+        self.kernel_tier = kernel_tier
         self._rows_cache: list[tuple] | None = None
 
     # ------------------------------------------------------------------ #

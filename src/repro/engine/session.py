@@ -58,6 +58,7 @@ from repro.engine.metrics import ExecContext, Stopwatch
 from repro.engine.parallel import execute_plan
 from repro.engine.postprocess import apply_output_shaping
 from repro.engine.result import QueryResult
+from repro.kernels.config import KernelConfig, resolve_tier, validate_tier
 from repro.plan.logical import PlanNode, plan_to_string
 from repro.plan.query import Query
 from repro.storage.catalog import Catalog
@@ -99,6 +100,10 @@ class PreparedPlan:
             against the observed output cardinality (q-error).
         selectivity_overrides: feedback-corrected selectivities the plan was
             built with (empty for a purely a-priori plan).
+        clause_selectivities: estimated selectivity per AND/OR child of the
+            WHERE expression (:func:`repro.optimizer.clause_order.\
+clause_selectivities`); seeds the fused kernels' clause evaluation order
+            and the ``--explain-analyze`` order annotation.
         snapshot: the :class:`~repro.mutation.snapshot.CatalogSnapshot`
             pinned at prepare time.  Execution always runs against it, which
             is what makes reads snapshot-isolated: a mutation committed
@@ -120,6 +125,7 @@ class PreparedPlan:
     estimated_rows: dict[int, float] = field(default_factory=dict)
     estimated_output_rows: float = 0.0
     selectivity_overrides: dict[str, float] = field(default_factory=dict)
+    clause_selectivities: dict[str, float] = field(default_factory=dict)
     #: Per-alias access-path choices
     #: (:class:`~repro.access.chooser.QueryAccessPlan`); ``None`` when access
     #: paths are disabled.  Execution resolves it into candidate bitmaps that
@@ -162,6 +168,13 @@ class Session:
             :class:`~repro.access.manager.AccessPathManager` yet, one is
             registered lazily (zone maps build on first use; secondary
             indexes only ever exist when created explicitly).
+        kernels: expression-kernel tier — ``"off"`` (legacy full-width
+            truth arrays), ``"numpy"`` (fused selection-vector kernels with
+            dictionary-aware string predicates; the default), or ``"jit"``
+            (adds numba-compiled numeric comparison loops; silently
+            downgrades to ``"numpy"`` when numba is not installed).  All
+            tiers return byte-identical results; see
+            :mod:`repro.kernels`.
     """
 
     def __init__(
@@ -175,6 +188,7 @@ class Session:
         parallelism: int = 1,
         partitions: int | None = None,
         access_paths: bool = True,
+        kernels: str = "numpy",
     ) -> None:
         if parallelism < 1:
             raise ValueError(f"parallelism must be positive, got {parallelism}")
@@ -189,6 +203,7 @@ class Session:
         self.parallelism = parallelism
         self.partitions = partitions
         self.access_paths = access_paths
+        self.kernels = validate_tier(kernels)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -295,6 +310,9 @@ class Session:
             estimated_rows = dict(planned.node_rows)
             estimated_output = estimated_rows.get(planned.plan.node_id, 0.0)
 
+        from repro.optimizer.clause_order import clause_selectivities
+
+        predicate_tree = context.predicate_tree
         return PreparedPlan(
             planner=planner,
             kind=kind,
@@ -302,13 +320,17 @@ class Session:
             naive_tags=naive_tags,
             plan=plan,
             annotations=annotations,
-            predicate_tree=context.predicate_tree,
+            predicate_tree=predicate_tree,
             plan_description=description,
             planning_seconds=timer.elapsed(),
             catalog_version=self.catalog.version,
             estimated_rows=estimated_rows,
             estimated_output_rows=estimated_output,
             selectivity_overrides=dict(selectivity_overrides or {}),
+            clause_selectivities=clause_selectivities(
+                predicate_tree.expression if predicate_tree is not None else None,
+                context.estimates,
+            ),
             access_plan=context.estimates.access_plan(),
             # Pin only the tables this query reads: enough for isolated
             # execution, without keeping superseded generations of unrelated
@@ -324,8 +346,13 @@ class Session:
         parallelism: int | None = None,
         partitions: int | None = None,
         collect_feedback: bool = False,
+        kernels: str | None = None,
     ) -> QueryResult:
         """Execute a :class:`PreparedPlan` and return a :class:`QueryResult`.
+
+        ``kernels`` overrides the session's kernel tier for this call only
+        (``"off"`` / ``"numpy"`` / ``"jit"``); every tier returns
+        byte-identical rows, so the knob is purely a performance choice.
 
         ``planning_seconds`` overrides the reported planning time (the
         service layer passes the cache-lookup time on a hit); by default the
@@ -357,7 +384,17 @@ class Session:
         built against — alive until the last pinning plan is dropped.
         """
         query = prepared.query
-        exec_context = ExecContext(collect_feedback=collect_feedback)
+        tier = resolve_tier(self.kernels if kernels is None else kernels)
+        kernel_config = (
+            None
+            if tier == "off"
+            else KernelConfig(
+                tier=tier, clause_selectivities=prepared.clause_selectivities
+            )
+        )
+        exec_context = ExecContext(
+            collect_feedback=collect_feedback, kernels=kernel_config
+        )
         effective_parallelism = (
             self.parallelism if parallelism is None else parallelism
         )
@@ -391,6 +428,7 @@ class Session:
             iostats=exec_context.iostats,
             plan_description=prepared.plan_description,
             cache_hit=cache_hit,
+            kernel_tier=tier,
         )
 
     def explain(

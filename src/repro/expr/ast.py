@@ -33,14 +33,33 @@ class ExprError(ValueError):
 # Value expressions
 # --------------------------------------------------------------------------- #
 class ValueExpr:
-    """Base class of value-producing expressions."""
+    """Base class of value-producing expressions.
+
+    Nodes are immutable, so :meth:`tables` and :meth:`key` memoize on first
+    call (both sit on the per-clause, per-morsel hot path); subclasses
+    implement ``_tables`` / ``_key``.
+    """
 
     def tables(self) -> frozenset[str]:
-        """Set of table aliases referenced by this expression."""
-        raise NotImplementedError
+        """Set of table aliases referenced by this expression (memoized)."""
+        cached = self.__dict__.get("_tables_cache")
+        if cached is None:
+            cached = self._tables()
+            self.__dict__["_tables_cache"] = cached
+        return cached
 
     def key(self) -> str:
-        """Canonical structural key."""
+        """Canonical structural key (memoized)."""
+        cached = self.__dict__.get("_key_cache")
+        if cached is None:
+            cached = self._key()
+            self.__dict__["_key_cache"] = cached
+        return cached
+
+    def _tables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def _key(self) -> str:
         raise NotImplementedError
 
     def evaluate(self, batch: RowBatch) -> tuple[np.ndarray, np.ndarray]:
@@ -66,10 +85,10 @@ class ColumnRef(ValueExpr):
         self.alias = alias
         self.column = column
 
-    def tables(self) -> frozenset[str]:
+    def _tables(self) -> frozenset[str]:
         return frozenset({self.alias})
 
-    def key(self) -> str:
+    def _key(self) -> str:
         return f"{self.alias}.{self.column}"
 
     def evaluate(self, batch: RowBatch) -> tuple[np.ndarray, np.ndarray]:
@@ -84,10 +103,10 @@ class Literal(ValueExpr):
     def __init__(self, value) -> None:
         self.value = value
 
-    def tables(self) -> frozenset[str]:
+    def _tables(self) -> frozenset[str]:
         return frozenset()
 
-    def key(self) -> str:
+    def _key(self) -> str:
         if isinstance(self.value, str):
             return f"'{self.value}'"
         return repr(self.value)
@@ -104,14 +123,34 @@ class Literal(ValueExpr):
 # Boolean expressions
 # --------------------------------------------------------------------------- #
 class BooleanExpr:
-    """Base class of truth-valued expressions."""
+    """Base class of truth-valued expressions.
+
+    Nodes are immutable, so :meth:`tables` and :meth:`key` memoize on first
+    call; subclasses implement ``_tables`` / ``_key``.  Subclass ``__slots__``
+    do not prevent this — the slot-less base class gives every instance a
+    ``__dict__`` to cache into.
+    """
 
     def tables(self) -> frozenset[str]:
-        """Set of table aliases referenced anywhere below this node."""
-        raise NotImplementedError
+        """Set of table aliases referenced anywhere below this node (memoized)."""
+        cached = self.__dict__.get("_tables_cache")
+        if cached is None:
+            cached = self._tables()
+            self.__dict__["_tables_cache"] = cached
+        return cached
 
     def key(self) -> str:
-        """Canonical structural key (identical subexpressions share keys)."""
+        """Canonical structural key (memoized; identical subexpressions share keys)."""
+        cached = self.__dict__.get("_key_cache")
+        if cached is None:
+            cached = self._key()
+            self.__dict__["_key_cache"] = cached
+        return cached
+
+    def _tables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def _key(self) -> str:
         raise NotImplementedError
 
     def evaluate(self, batch: RowBatch) -> np.ndarray:
@@ -168,10 +207,10 @@ class Comparison(BooleanExpr):
         self.op = op
         self.right = right
 
-    def tables(self) -> frozenset[str]:
+    def _tables(self) -> frozenset[str]:
         return self.left.tables() | self.right.tables()
 
-    def key(self) -> str:
+    def _key(self) -> str:
         return f"({self.left.key()} {self.op} {self.right.key()})"
 
     def evaluate(self, batch: RowBatch) -> np.ndarray:
@@ -195,6 +234,11 @@ class LikePredicate(BooleanExpr):
             self._pattern_to_regex(pattern), re.IGNORECASE if case_insensitive else 0
         )
 
+    @property
+    def regex(self) -> re.Pattern:
+        """The compiled (anchored) regex equivalent of the LIKE pattern."""
+        return self._regex
+
     @staticmethod
     def _pattern_to_regex(pattern: str) -> str:
         """Translate a SQL LIKE pattern into an anchored regex."""
@@ -209,10 +253,10 @@ class LikePredicate(BooleanExpr):
         out.append("$")
         return "".join(out)
 
-    def tables(self) -> frozenset[str]:
+    def _tables(self) -> frozenset[str]:
         return self.operand.tables()
 
-    def key(self) -> str:
+    def _key(self) -> str:
         op = "ILIKE" if self.case_insensitive else "LIKE"
         return f"({self.operand.key()} {op} '{self.pattern}')"
 
@@ -238,10 +282,10 @@ class InPredicate(BooleanExpr):
         self.operand = operand
         self.values = tuple(values)
 
-    def tables(self) -> frozenset[str]:
+    def _tables(self) -> frozenset[str]:
         return self.operand.tables()
 
-    def key(self) -> str:
+    def _key(self) -> str:
         rendered = ", ".join(
             f"'{value}'" if isinstance(value, str) else repr(value) for value in self.values
         )
@@ -263,10 +307,10 @@ class BetweenPredicate(BooleanExpr):
         self.low = low
         self.high = high
 
-    def tables(self) -> frozenset[str]:
+    def _tables(self) -> frozenset[str]:
         return self.operand.tables() | self.low.tables() | self.high.tables()
 
-    def key(self) -> str:
+    def _key(self) -> str:
         return f"({self.operand.key()} BETWEEN {self.low.key()} AND {self.high.key()})"
 
     def evaluate(self, batch: RowBatch) -> np.ndarray:
@@ -286,10 +330,10 @@ class IsNullPredicate(BooleanExpr):
         self.operand = operand
         self.negated = negated
 
-    def tables(self) -> frozenset[str]:
+    def _tables(self) -> frozenset[str]:
         return self.operand.tables()
 
-    def key(self) -> str:
+    def _key(self) -> str:
         return f"({self.operand.key()} IS {'NOT ' if self.negated else ''}NULL)"
 
     def evaluate(self, batch: RowBatch) -> np.ndarray:
@@ -306,10 +350,10 @@ class NotExpr(BooleanExpr):
     def __init__(self, child: BooleanExpr) -> None:
         self.child = child
 
-    def tables(self) -> frozenset[str]:
+    def _tables(self) -> frozenset[str]:
         return self.child.tables()
 
-    def key(self) -> str:
+    def _key(self) -> str:
         return f"(NOT {self.child.key()})"
 
     def children(self) -> tuple[BooleanExpr, ...]:
@@ -333,7 +377,7 @@ class _NaryExpr(BooleanExpr):
             )
         self._children = tuple(children)
 
-    def tables(self) -> frozenset[str]:
+    def _tables(self) -> frozenset[str]:
         result: frozenset[str] = frozenset()
         for child in self._children:
             result |= child.tables()
@@ -342,7 +386,7 @@ class _NaryExpr(BooleanExpr):
     def children(self) -> tuple[BooleanExpr, ...]:
         return self._children
 
-    def key(self) -> str:
+    def _key(self) -> str:
         # Child keys are sorted so that commutative rearrangements of the
         # same subexpressions produce the same canonical key.
         child_keys = sorted(child.key() for child in self._children)

@@ -64,6 +64,30 @@ class RowBatch:
         """Table aliases addressable from this batch."""
         return list(self._indices)
 
+    @property
+    def cache(self) -> LFUPageCache | None:
+        """Page cache used for read accounting (may be None)."""
+        return self._cache
+
+    @property
+    def iostats(self) -> IOStats | None:
+        """I/O counter object (may be None)."""
+        return self._iostats
+
+    def table(self, alias: str) -> Table | None:
+        """Backing base table of ``alias``, or None when unbound."""
+        return self._tables.get(alias)
+
+    def restricted(self, rows: np.ndarray) -> "RestrictedBatch":
+        """A view of this batch narrowed to ``rows`` (positions into it).
+
+        Column reads still happen — and memoize, and account I/O — at this
+        batch's full selection; the view merely slices them.  That is what
+        keeps the fused kernels' I/O accounting identical to the legacy
+        path while their clause work shrinks with the alive set.
+        """
+        return RestrictedBatch(self, rows)
+
     def indices_for(self, alias: str) -> np.ndarray:
         """Row-index array for ``alias``."""
         try:
@@ -104,3 +128,36 @@ class RowBatch:
         if positions is None:
             positions = np.arange(table.num_rows, dtype=np.int64)
         return cls({alias: table}, {alias: positions}, cache=cache, iostats=iostats)
+
+
+class RestrictedBatch:
+    """A row-subset view over a :class:`RowBatch`.
+
+    Exposes the same evaluation surface (``num_rows`` / ``column`` /
+    ``indices_for``) over a subset of the parent's rows, given as positions
+    *into the parent batch*.  Column data comes from the parent's memoized
+    full-selection reads and is sliced per call — the view itself never
+    issues storage reads, so evaluating an expression against it is
+    byte-identical to evaluating against the parent and slicing the result.
+    """
+
+    __slots__ = ("_parent", "_rows", "num_rows")
+
+    def __init__(self, parent: RowBatch, rows: np.ndarray) -> None:
+        self._parent = parent
+        self._rows = rows
+        self.num_rows = int(rows.shape[0])
+
+    @property
+    def aliases(self) -> list[str]:
+        """Table aliases addressable from this view."""
+        return self._parent.aliases
+
+    def indices_for(self, alias: str) -> np.ndarray:
+        """Row-index array for ``alias``, narrowed to the view's rows."""
+        return self._parent.indices_for(alias)[self._rows]
+
+    def column(self, alias: str, column_name: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, nulls)`` for the view's rows (sliced parent read)."""
+        values, nulls = self._parent.column(alias, column_name)
+        return values[self._rows], nulls[self._rows]

@@ -1,0 +1,80 @@
+"""Kernel-tier selection for the fused expression kernels.
+
+The engine evaluates predicates through one of three tiers:
+
+* ``"off"``   — the legacy path: every clause evaluates over the full
+  truth arrays of :mod:`repro.expr.three_valued` (the oracle semantics).
+* ``"numpy"`` — fused selection-vector kernels (:mod:`repro.kernels.fused`):
+  AND chains short-circuit over candidate positions, OR trees merge
+  per-disjunct selections without intermediate truth bitmaps, and
+  dictionary-encoded string columns compare integer codes.
+* ``"jit"``   — same as ``"numpy"`` plus numba-compiled comparison loops
+  for numeric columns.  numba is an *optional* dependency
+  (``pip install .[jit]``); when it is absent the tier silently downgrades
+  to ``"numpy"`` so the knob is always safe to set.
+
+:func:`resolve_tier` maps a requested tier to the tier that will actually
+run; the resolved value is what the service layer hashes into plan-cache
+fingerprints and what ``--explain-analyze`` reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+#: Valid values of the ``kernels`` knob on Session / QueryService / CLI.
+KERNEL_TIERS = ("off", "numpy", "jit")
+
+#: The session default: fused NumPy kernels (always available).
+DEFAULT_TIER = "numpy"
+
+
+def validate_tier(tier: str) -> str:
+    """Return ``tier`` lower-cased, raising ``ValueError`` when unknown."""
+    normalized = str(tier).lower()
+    if normalized not in KERNEL_TIERS:
+        raise ValueError(
+            f"unknown kernel tier {tier!r}; choose one of {', '.join(KERNEL_TIERS)}"
+        )
+    return normalized
+
+
+def jit_available() -> bool:
+    """Whether the optional numba dependency is importable."""
+    from repro.kernels import jit
+
+    return jit.AVAILABLE
+
+
+def resolve_tier(tier: str) -> str:
+    """The tier that will actually run: ``"jit"`` downgrades without numba."""
+    normalized = validate_tier(tier)
+    if normalized == "jit" and not jit_available():
+        return "numpy"
+    return normalized
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Resolved kernel configuration carried on an execution context.
+
+    Attributes:
+        tier: the resolved tier (``"numpy"`` or ``"jit"``; ``"off"`` never
+            builds a config — the execution context carries ``None`` and the
+            expression path stays on the legacy code).
+        clause_selectivities: estimated selectivity per AND/OR child
+            expression key, computed at prepare time from the
+            :class:`~repro.optimizer.estimates.EstimateProvider` (and
+            therefore refined by feedback overrides on re-plans).  The fused
+            kernels order conjuncts ascending / disjuncts descending by
+            these values; unknown keys default to 0.5.
+    """
+
+    tier: str = DEFAULT_TIER
+    clause_selectivities: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def use_jit(self) -> bool:
+        """Whether the compiled tier should be attempted for hot loops."""
+        return self.tier == "jit"

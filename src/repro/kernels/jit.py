@@ -1,0 +1,96 @@
+"""Optional numba-compiled kernels (the ``"jit"`` tier).
+
+numba is deliberately *not* a hard dependency: this module imports it inside
+a guard, exposes :data:`AVAILABLE`, and every public function degrades to
+``None`` (meaning "caller should use the NumPy path") when the import failed.
+:func:`repro.kernels.config.resolve_tier` downgrades a requested ``"jit"``
+tier to ``"numpy"`` in that case, so the knob is always safe to set.
+
+The compiled surface is intentionally small: a fused compare-against-literal
+loop over numeric columns that produces three-valued truth codes directly
+(NULL rows become UNKNOWN without materializing an intermediate boolean
+mask).  Everything else — string predicates, dictionary lookups, the
+selection-vector recursion — is already dominated by NumPy kernels that
+release the GIL, so compiling them buys nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only when numba is installed
+    from numba import njit
+
+    AVAILABLE = True
+except ImportError:  # pragma: no cover - the common case in minimal installs
+    njit = None
+    AVAILABLE = False
+
+#: Comparison operators encoded as integers for the compiled loop.
+_OP_CODES = {"=": 0, "!=": 1, "<": 2, "<=": 3, ">": 4, ">=": 5}
+
+#: Three-valued truth codes, duplicated here so the compiled loop does not
+#: close over Python enum objects (must match repro.expr.three_valued).
+_FALSE = np.uint8(0)
+_TRUE = np.uint8(1)
+_UNKNOWN = np.uint8(2)
+
+_compiled_compare = None
+
+
+def _compare_loop(values, nulls, op_code, literal):  # pragma: no cover
+    n = values.shape[0]
+    out = np.empty(n, dtype=np.uint8)
+    for i in range(n):
+        if nulls[i]:
+            out[i] = _UNKNOWN
+            continue
+        value = values[i]
+        if op_code == 0:
+            matched = value == literal
+        elif op_code == 1:
+            matched = value != literal
+        elif op_code == 2:
+            matched = value < literal
+        elif op_code == 3:
+            matched = value <= literal
+        elif op_code == 4:
+            matched = value > literal
+        else:
+            matched = value >= literal
+        out[i] = _TRUE if matched else _FALSE
+    return out
+
+
+def _kernel():
+    """The compiled compare loop, compiled once on first use."""
+    global _compiled_compare
+    if _compiled_compare is None:
+        _compiled_compare = njit(cache=False)(_compare_loop)
+    return _compiled_compare
+
+
+def compare_select(
+    values: np.ndarray, nulls: np.ndarray, op: str, literal
+) -> np.ndarray | None:
+    """Three-valued truth of ``values <op> literal`` via the compiled loop.
+
+    Returns ``None`` when the combination is not compiled (numba missing,
+    non-numeric dtype, non-numeric literal) — the caller falls back to the
+    NumPy leaf evaluator, which is semantically identical.
+    """
+    if not AVAILABLE:
+        return None
+    if values.dtype.kind not in "if":
+        return None
+    if isinstance(literal, bool) or not isinstance(literal, (int, float)):
+        return None
+    op_code = _OP_CODES.get(op)
+    if op_code is None:
+        return None
+    # The literal is passed through untouched: numba specializes the loop per
+    # (values dtype, literal type), and casting an int literal to float here
+    # would lose exactness against int64 columns where NumPy would not.
+    return _kernel()(
+        values, np.ascontiguousarray(nulls, dtype=np.bool_), op_code, literal
+    )

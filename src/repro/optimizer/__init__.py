@@ -9,12 +9,15 @@ This package is the single home of "numbers for the planner":
   :func:`q_error`, the runtime-observation side: accumulated per-clause
   match rates keyed by plan-cache fingerprint, and the re-plan policy;
 * :mod:`repro.optimizer.explain` — ``--explain-analyze`` reporting of
-  estimated vs. actual rows per operator.
+  estimated vs. actual rows per operator;
+* :mod:`repro.optimizer.clause_order` — per-clause selectivity estimates
+  that seed the fused kernels' AND/OR evaluation order.
 
 See the "Optimizer & runtime feedback" section of ``docs/architecture.md``
 for how the pieces close the loop.
 """
 
+from repro.optimizer.clause_order import clause_selectivities
 from repro.optimizer.estimates import (
     EstimateProvider,
     build_estimate_provider,
@@ -34,6 +37,7 @@ __all__ = [
     "FeedbackStats",
     "FeedbackStore",
     "build_estimate_provider",
+    "clause_selectivities",
     "estimate_plan_rows",
     "explain_analyze_report",
     "q_error",

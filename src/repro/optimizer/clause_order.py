@@ -1,0 +1,47 @@
+"""Clause-ordering selectivities for the fused expression kernels.
+
+The fused kernels (:mod:`repro.kernels.fused`) run AND chains most-selective
+clause first and OR trees most-accepting disjunct first.  The order is fixed
+at prepare time from the same :class:`~repro.optimizer.estimates.\
+EstimateProvider` the planners use — which means it is automatically refined
+by the service layer's feedback loop: observed pass rates become selectivity
+overrides on re-plan, and the re-planned order reflects them.
+
+The estimates travel as a flat ``expression key -> selectivity`` map rather
+than a per-node order: planners regroup AND/OR trees while pushing clauses
+around, and since :meth:`~repro.expr.ast._NaryExpr.key` is canonical, a
+subexpression keeps its estimate wherever it ends up in the executed plan.
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast import AndExpr, BooleanExpr, NotExpr, OrExpr
+
+
+def clause_selectivities(expression: BooleanExpr | None, estimates) -> dict[str, float]:
+    """Estimated selectivity for every AND/OR child below ``expression``.
+
+    Only children of conjunctions/disjunctions are recorded — they are the
+    units the fused kernels order.  Estimation failures (an expression shape
+    the estimator does not model) simply omit the key; the kernels fall back
+    to their neutral default for it.
+    """
+    out: dict[str, float] = {}
+    if expression is None or estimates is None:
+        return out
+    _walk(expression, estimates, out)
+    return out
+
+
+def _walk(expr: BooleanExpr, estimates, out: dict[str, float]) -> None:
+    if isinstance(expr, (AndExpr, OrExpr)):
+        for child in expr.children():
+            key = child.key()
+            if key not in out:
+                try:
+                    out[key] = float(estimates.selectivity(child))
+                except Exception:
+                    pass
+            _walk(child, estimates, out)
+    elif isinstance(expr, NotExpr):
+        _walk(expr.child, estimates, out)

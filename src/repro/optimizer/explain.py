@@ -11,7 +11,8 @@ loop corrects.
 
 from __future__ import annotations
 
-from repro.plan.logical import PlanNode, TableScanNode
+from repro.expr.ast import AndExpr, OrExpr
+from repro.plan.logical import FilterNode, PlanNode, TableScanNode
 
 
 def _plan_roots(prepared) -> list[PlanNode]:
@@ -56,7 +57,26 @@ def explain_analyze_report(prepared, result) -> str:
     estimates = prepared.estimated_rows
     pruning = result.metrics.scan_pruning
     access_plan = prepared.access_plan
+    kernel_tier = getattr(result, "kernel_tier", "off")
     rows: list[tuple[str, str, str, str, str]] = []
+
+    def clause_order_annotation(node: FilterNode) -> str:
+        """The fused kernels' clause evaluation order for a filter node.
+
+        Rendered as 1-based positions into the predicate's written child
+        order (``3→1→2`` means the third conjunct runs first).  Empty when
+        the legacy path ran or the predicate has a single clause.
+        """
+        if kernel_tier == "off":
+            return ""
+        predicate = node.predicate
+        if not isinstance(predicate, (AndExpr, OrExpr)):
+            return ""
+        from repro.kernels.fused import ordered_children
+
+        written = {id(child): i + 1 for i, child in enumerate(predicate.children())}
+        ordered = ordered_children(predicate, prepared.clause_selectivities)
+        return " [clause order: " + "→".join(str(written[id(c)]) for c in ordered) + "]"
 
     def scan_annotation(node: TableScanNode) -> tuple[str, str]:
         """(extra label text, pruned column) for a scan node."""
@@ -74,6 +94,8 @@ def explain_analyze_report(prepared, result) -> str:
         if isinstance(node, TableScanNode):
             extra, pruned = scan_annotation(node)
             label += extra
+        elif isinstance(node, FilterNode):
+            label += clause_order_annotation(node)
         actual = actuals.get(node.node_id)
         rows.append(
             (
@@ -116,6 +138,7 @@ def explain_analyze_report(prepared, result) -> str:
         f"planner={prepared.planner} estimated_output_rows="
         f"{_format_rows(prepared.estimated_output_rows)} "
         f"actual_output_rows={result.metrics.output_rows} "
-        f"pages_pruned={result.metrics.pages_pruned}"
+        f"pages_pruned={result.metrics.pages_pruned} "
+        f"kernels={kernel_tier}"
     )
     return "\n".join(lines + [summary])

@@ -22,8 +22,10 @@ import numpy as np
 
 from repro.engine.metrics import ExecContext
 from repro.expr import three_valued as tv
-from repro.expr.ast import BooleanExpr, ColumnRef
+from repro.expr.ast import BooleanExpr, ColumnRef, iter_base_predicates
 from repro.expr.eval import RowBatch
+from repro.kernels import dictionary as dict_kernels
+from repro.kernels.fused import FusedEvaluator
 from repro.plan.query import JoinCondition
 from repro.storage.table import Table
 from repro.utils.keys import composite_keys
@@ -61,6 +63,17 @@ def evaluate_predicate(
             f"{sorted(missing)} not present in the input relation "
             f"(aliases: {sorted(indices)})"
         )
+    if positions is not None:
+        num_rows = int(np.asarray(positions).shape[0])
+    elif aliases:
+        num_rows = int(np.asarray(indices[next(iter(aliases))]).shape[0])
+    else:
+        num_rows = 0
+    if num_rows == 0:
+        # Zero-row early exit: no batch dicts, no RowBatch, no column reads.
+        # The legacy path produced the same empty truth array, it just paid
+        # for the scaffolding first.
+        return np.zeros(0, dtype=np.uint8)
     if positions is None:
         batch_indices = {alias: indices[alias] for alias in aliases}
     else:
@@ -69,13 +82,24 @@ def evaluate_predicate(
     batch = RowBatch(
         batch_tables, batch_indices, cache=context.cache, iostats=context.iostats
     )
-    truth = predicate.evaluate(batch)
-    if (
+    feedback_eligible = (
         context.collect_feedback
         and description in ("filter", "bypass filter")
-        and truth.size
         and not (aliases & context.feedback_excluded_aliases)
-    ):
+    )
+    if context.kernels is not None:
+        evaluator = FusedEvaluator(
+            batch, context.kernels, context, record_observations=feedback_eligible
+        )
+        truth = evaluator.evaluate(predicate)
+    else:
+        truth = predicate.evaluate(batch)
+        # Every clause of the tree saw every row: that is the work the fused
+        # kernels avoid, and the baseline of the clause-work benchmark.
+        context.metrics.clause_rows_evaluated += num_rows * sum(
+            1 for _ in iter_base_predicates(predicate)
+        )
+    if feedback_eligible and truth.size:
         # The observed per-clause pass rate is the raw material of the
         # feedback loop: ratios are partition-invariant (evaluated and
         # matched scale together when a build side re-runs per morsel), so
@@ -130,7 +154,29 @@ def read_join_keys(
     ``left_positions`` / ``right_positions`` optionally restrict each side to
     a subset of its relation rows (tagged execution joins only the rows named
     by its tag maps).
+
+    When either side is empty no columns are read at all (zero-row early
+    exit): both key arrays come back all ``-1``, which the join kernel drops,
+    so the join output is the same empty result the reads would have
+    produced.  With fused kernels enabled, string key columns that both
+    carry dictionaries are joined on their integer codes (the probe side
+    remapped into the build side's code space) instead of decoded values —
+    same equality structure and NULLs, so identical join output, but int
+    factorization instead of object factorization.
     """
+    if conditions:
+        first_left, first_right = orient_condition(conditions[0], left_indices)
+        left_count = int(np.asarray(left_indices[first_left.alias]).shape[0])
+        if left_positions is not None:
+            left_count = int(np.asarray(left_positions).shape[0])
+        right_count = int(np.asarray(right_indices[first_right.alias]).shape[0])
+        if right_positions is not None:
+            right_count = int(np.asarray(right_positions).shape[0])
+        if left_count == 0 or right_count == 0:
+            return (
+                np.full(left_count, -1, dtype=np.int64),
+                np.full(right_count, -1, dtype=np.int64),
+            )
     left_columns = []
     right_columns = []
     for condition in conditions:
@@ -141,6 +187,22 @@ def read_join_keys(
         right_rows = right_indices[right_ref.alias]
         if right_positions is not None:
             right_rows = right_rows[right_positions]
+        pair = None
+        if context.kernels is not None:
+            pair = dict_kernels.join_code_columns(
+                left_tables[left_ref.alias],
+                left_ref.column,
+                left_rows,
+                right_tables[right_ref.alias],
+                right_ref.column,
+                right_rows,
+                cache=context.cache,
+                iostats=context.iostats,
+            )
+        if pair is not None:
+            left_columns.append(pair[0])
+            right_columns.append(pair[1])
+            continue
         left_columns.append(
             left_tables[left_ref.alias].read_column_at(
                 left_ref.column, left_rows, cache=context.cache, iostats=context.iostats

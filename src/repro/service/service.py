@@ -46,6 +46,7 @@ from repro.engine.result import QueryResult
 from repro.engine.session import PreparedPlan, Session
 from repro.optimizer.feedback import DEFAULT_QERROR_THRESHOLD, FeedbackStore
 from repro.plan.query import Query
+from repro.kernels.config import resolve_tier, validate_tier
 from repro.service.fingerprint import query_fingerprint
 from repro.service.plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
 from repro.service.stats_cache import StatsCache
@@ -152,6 +153,10 @@ class QueryService:
             adds counting passes to the execution hot path).
         qerror_threshold: q-error (``max(est/act, act/est)`` of output rows)
             above which a cached plan is considered drifted.
+        kernels: expression-kernel tier for queries served through this
+            service (``None`` keeps the session's setting).  The *resolved*
+            tier is hashed into plan-cache fingerprints, so flipping the
+            knob addresses separate cache slots instead of mixing tiers.
     """
 
     def __init__(
@@ -164,12 +169,14 @@ class QueryService:
         partitions: int | None = None,
         feedback: bool = False,
         qerror_threshold: float = DEFAULT_QERROR_THRESHOLD,
+        kernels: str | None = None,
     ) -> None:
         if isinstance(session, Catalog):
             session = Session(session)
         self.session = session
         self.parallelism = parallelism
         self.partitions = partitions
+        self.kernels = validate_tier(kernels) if kernels is not None else None
         if self.session.stats_provider is None:
             self.session.stats_provider = StatsCache(self.session.catalog)
         self.stats_cache = self.session.stats_provider
@@ -240,6 +247,7 @@ class QueryService:
                 parallelism=self.parallelism,
                 partitions=self.partitions,
                 collect_feedback=self.feedback,
+                kernels=self.kernels,
             )
         else:
             result = self.session.execute_prepared(
@@ -249,6 +257,7 @@ class QueryService:
                 parallelism=self.parallelism,
                 partitions=self.partitions,
                 collect_feedback=self.feedback,
+                kernels=self.kernels,
             )
         if self.feedback:
             self._observe(key, prepared, result)
@@ -517,6 +526,9 @@ class QueryService:
             cost_params=self.session.cost_params,
             access_version=manager.version if manager is not None else -1,
             table_versions=self._table_versions(query),
+            kernels=resolve_tier(
+                self.kernels if self.kernels is not None else self.session.kernels
+            ),
         )
 
     def _table_versions(self, query: Query) -> tuple[tuple[str, int], ...] | None:

@@ -257,6 +257,26 @@ class Column:
         iostats.record_values(int(positions.size))
         return self._data[positions], self._nulls[positions]
 
+    def account_read(
+        self,
+        positions: np.ndarray | Sequence[int],
+        cache: LFUPageCache | None = None,
+        iostats: IOStats | None = None,
+    ) -> None:
+        """Account the page traffic of :meth:`read_at` without materializing.
+
+        Used by the kernel layer when a dictionary sidecar supplies the cell
+        values as integer codes: the codes live on the same simulated pages
+        as the values, so the traffic is identical to a ``read_at`` of the
+        same positions — only the Python-level value materialization is
+        skipped.
+        """
+        iostats = iostats if iostats is not None else GLOBAL_IO_STATS
+        positions = np.asarray(positions, dtype=np.int64)
+        unique_positions = np.unique(positions) if positions.size else positions
+        self._account_bitmap_read(unique_positions, cache, iostats)
+        iostats.record_values(int(positions.size))
+
     def _account_sequential(self, iostats: IOStats) -> None:
         iostats.record_sequential_scan(self.num_pages)
 

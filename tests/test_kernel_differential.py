@@ -1,0 +1,286 @@
+"""Differential suite for the fused expression kernels.
+
+Every kernel tier — ``off`` (legacy full-width truth arrays), ``numpy``
+(fused selection-vector kernels with dictionary-aware string predicates) and
+``jit`` (numba-compiled numeric loops; auto-skipped when numba is absent) —
+must return byte-identical rows under every planner, at parallelism
+{1, 4} x partitions {1, 3}, with and without secondary indexes.  Plus the
+targeted satellites: NaN/NULL three-valued edge cases, dictionary-miss
+constants, zero-I/O empty-input early exits, AST memoization, automatic jit
+downgrade, and the kernel tier in plan fingerprints and explain output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Column, Session, Table
+from repro.access.manager import ensure_access_manager
+from repro.engine.metrics import ExecContext
+from repro.kernels import KernelConfig, jit_available, resolve_tier, validate_tier
+from repro.physical.expressions import evaluate_predicate, read_join_keys
+from repro.service.fingerprint import query_fingerprint
+from repro.sql import parse_query
+from repro.testing.differential import DEFAULT_PLANNERS
+from repro.testing.oracle import evaluate_oracle
+
+PAGE = 16
+
+TIERS = (
+    "off",
+    "numpy",
+    pytest.param("jit", marks=pytest.mark.skipif(not jit_available(), reason="numba not installed")),
+)
+
+#: Predicate-heavy disjunctive workload over dictionary-eligible string
+#: columns (status/region are low-cardinality), NULLs in both string and
+#: float columns, genuine NaN cells, LIKE/IN, a cross-table comparison, and
+#: a constant absent from every dictionary.
+QUERIES = [
+    (
+        "and_chain_strings",
+        "SELECT o.id, c.name FROM orders AS o JOIN customers AS c ON o.cust = c.cid "
+        "WHERE o.status = 'gold' AND o.amount < 70 AND c.region IN ('n', 's')",
+    ),
+    (
+        "or_tree_like",
+        "SELECT o.id, o.status FROM orders AS o JOIN customers AS c ON o.cust = c.cid "
+        "WHERE (o.status LIKE 'go%' AND o.amount IS NOT NULL) "
+        "   OR (c.region = 'w' AND o.amount > 90) OR o.status = 'bronze'",
+    ),
+    (
+        "dictionary_miss",
+        "SELECT o.id FROM orders AS o JOIN customers AS c ON o.cust = c.cid "
+        "WHERE o.status = 'no_such_status' OR c.region IN ('zz', 'n') "
+        "   OR o.status LIKE 'zz%'",
+    ),
+    (
+        "nan_null_edges",
+        "SELECT o.id, o.amount FROM orders AS o JOIN customers AS c ON o.cust = c.cid "
+        "WHERE (o.amount > 50 AND o.status != 'silver') "
+        "   OR (o.amount IS NULL AND c.region = 'e') OR c.score > o.amount",
+    ),
+]
+
+
+def _catalog(with_indexes: bool) -> Catalog:
+    rng = np.random.default_rng(23)
+    n, m = 400, 60
+    amounts = rng.uniform(0, 100, n).round(1).tolist()
+    for position in range(0, n, 13):
+        amounts[position] = None  # NULL floats
+    for position in range(5, n, 29):
+        amounts[position] = float("nan")  # genuine (non-NULL) NaN cells
+    statuses = [["gold", "silver", "bronze", None][i % 4] for i in range(n)]
+    orders = Table(
+        "orders",
+        [
+            Column("id", list(range(n)), page_size=PAGE),
+            Column("cust", rng.integers(0, m, n).tolist(), page_size=PAGE),
+            Column("status", statuses, page_size=PAGE),
+            Column("amount", amounts, page_size=PAGE),
+        ],
+    )
+    customers = Table(
+        "customers",
+        [
+            Column("cid", list(range(m)), page_size=PAGE),
+            Column("name", [f"cust_{i}" for i in range(m)], page_size=PAGE),
+            Column("region", [["n", "s", "e", "w"][i % 4] for i in range(m)], page_size=PAGE),
+            Column("score", rng.uniform(0, 10, m).tolist(), page_size=PAGE),
+        ],
+    )
+    catalog = Catalog([orders, customers])
+    if with_indexes:
+        manager = ensure_access_manager(catalog)
+        manager.create_index("orders", "status", kind="bitmap")
+        manager.create_index("customers", "region", kind="bitmap")
+    return catalog
+
+
+@pytest.fixture(scope="module")
+def catalogs():
+    return {True: _catalog(with_indexes=True), False: _catalog(with_indexes=False)}
+
+
+@pytest.fixture(scope="module")
+def oracle_rows(catalogs):
+    return {
+        name: evaluate_oracle(catalogs[False], parse_query(sql)) for name, sql in QUERIES
+    }
+
+
+# --------------------------------------------------------------------------- #
+# The matrix: tiers x planners x parallelism/partitions x indexes
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("planner", DEFAULT_PLANNERS + ("tmin",))
+@pytest.mark.parametrize(
+    "parallelism,partitions,indexed",
+    [(1, 1, False), (1, 3, True), (4, 1, True), (4, 3, False)],
+)
+def test_all_tiers_byte_identical(
+    catalogs, oracle_rows, planner, parallelism, partitions, indexed
+):
+    tiers = ["off", "numpy"] + (["jit"] if jit_available() else [])
+    sessions = {
+        tier: Session(
+            catalogs[indexed],
+            parallelism=parallelism,
+            partitions=partitions,
+            access_paths=indexed,
+            kernels=tier,
+        )
+        for tier in tiers
+    }
+    for name, sql in QUERIES:
+        results = {tier: sessions[tier].execute(sql, planner=planner) for tier in tiers}
+        assert results["off"].sorted_rows() == oracle_rows[name], (planner, name)
+        for tier in tiers[1:]:
+            # Byte-identical: same rows in the same order, not just the set.
+            assert results[tier].rows == results["off"].rows, (planner, name, tier)
+
+
+# --------------------------------------------------------------------------- #
+# Satellites
+# --------------------------------------------------------------------------- #
+def test_zero_row_predicate_skips_all_reads(catalogs):
+    """Empty inputs must not build batches or touch storage at all."""
+    catalog = catalogs[False]
+    orders = catalog.get("orders")
+    predicate = parse_query(
+        "SELECT o.id FROM orders AS o WHERE o.status = 'gold' AND o.amount < 50"
+    ).predicate
+    for config in (None, KernelConfig()):
+        context = ExecContext(kernels=config)
+        truth = evaluate_predicate(
+            predicate,
+            {"o": orders},
+            {"o": np.zeros(0, dtype=np.int64)},
+            context,
+        )
+        assert truth.shape == (0,) and truth.dtype == np.uint8
+        assert context.iostats.pages_read == 0
+        assert context.iostats.pages_hit == 0
+        assert context.iostats.values_read == 0
+        assert context.iostats.sequential_scans == 0
+
+
+def test_zero_row_join_keys_skip_all_reads(catalogs):
+    catalog = catalogs[False]
+    orders, customers = catalog.get("orders"), catalog.get("customers")
+    conditions = list(
+        parse_query(
+            "SELECT o.id FROM orders AS o JOIN customers AS c ON o.cust = c.cid"
+        ).join_conditions
+    )
+    some_rows = np.arange(10, dtype=np.int64)
+    empty = np.zeros(0, dtype=np.int64)
+    for left_rows, right_rows in [(empty, some_rows), (some_rows, empty), (empty, empty)]:
+        context = ExecContext()
+        left_keys, right_keys = read_join_keys(
+            conditions,
+            {"o": orders},
+            {"o": left_rows},
+            {"c": customers},
+            {"c": right_rows},
+            context,
+        )
+        assert left_keys.shape == left_rows.shape
+        assert right_keys.shape == right_rows.shape
+        assert (left_keys == -1).all() and (right_keys == -1).all()
+        assert context.iostats.pages_read == 0
+        assert context.iostats.values_read == 0
+        assert context.iostats.sequential_scans == 0
+
+
+def test_ast_memoization():
+    predicate = parse_query(
+        "SELECT o.id FROM orders AS o WHERE o.status = 'gold' AND o.amount < 50"
+    ).predicate
+    assert predicate.key() is predicate.key()
+    assert predicate.tables() is predicate.tables()
+    child = predicate.children()[0]
+    assert child.key() is child.key()
+
+
+def test_dictionary_miss_is_no_match_not_error(catalogs):
+    session = Session(catalogs[False], kernels="numpy")
+    legacy = Session(catalogs[False], kernels="off")
+    sql = (
+        "SELECT o.id FROM orders AS o "
+        "WHERE o.status = 'absent' OR o.status IN ('nope', 'nada') "
+        "   OR o.status LIKE 'qq%'"
+    )
+    assert session.execute(sql).rows == legacy.execute(sql).rows == []
+
+
+def test_validate_and_resolve_tier():
+    assert validate_tier("NumPy") == "numpy"
+    with pytest.raises(ValueError, match="unknown kernel tier"):
+        validate_tier("cuda")
+    if not jit_available():
+        assert resolve_tier("jit") == "numpy"
+    assert resolve_tier("off") == "off"
+
+
+def test_jit_downgrades_without_numba(catalogs):
+    session = Session(catalogs[False], kernels="jit")
+    result = session.execute(QUERIES[0][1], planner="tcombined")
+    expected_tier = "jit" if jit_available() else "numpy"
+    assert result.kernel_tier == expected_tier
+
+
+def test_kernels_off_runs_legacy_path(catalogs):
+    result = Session(catalogs[False], kernels="off").execute(QUERIES[0][1])
+    assert result.kernel_tier == "off"
+    # Legacy clause accounting: every clause of the tree charged every row.
+    assert result.metrics.clause_rows_evaluated > 0
+
+
+def test_fused_does_less_clause_work(catalogs):
+    """A multi-clause AND evaluated as one predicate short-circuits."""
+    orders = catalogs[False].get("orders")
+    predicate = parse_query(
+        "SELECT o.id FROM orders AS o "
+        "WHERE o.status = 'gold' AND o.amount < 50 AND o.id < 300"
+    ).predicate
+    rows = np.arange(400, dtype=np.int64)
+    legacy_context = ExecContext()
+    legacy_truth = evaluate_predicate(predicate, {"o": orders}, {"o": rows}, legacy_context)
+    fused_context = ExecContext(kernels=KernelConfig())
+    fused_truth = evaluate_predicate(predicate, {"o": orders}, {"o": rows}, fused_context)
+    assert np.array_equal(legacy_truth, fused_truth)
+    assert legacy_context.metrics.clause_rows_evaluated == 3 * 400
+    # The first clause sees all rows; later clauses only the still-alive.
+    assert fused_context.metrics.clause_rows_evaluated < 3 * 400
+
+
+def test_fingerprint_differs_by_tier():
+    sql = "SELECT o.id FROM orders AS o WHERE o.status = 'gold'"
+    prints = {
+        query_fingerprint(sql, "tcombined", catalog_version=1, kernels=tier)
+        for tier in ("off", "numpy", "jit")
+    }
+    assert len(prints) == 3
+
+
+def test_explain_analyze_shows_tier_and_clause_order(catalogs):
+    from repro.optimizer import explain_analyze_report
+
+    session = Session(catalogs[False], kernels="numpy")
+    # A cross-table OR cannot be pushed below the join, so it survives
+    # planning as one multi-clause FilterNode — the annotation target.
+    sql = (
+        "SELECT o.id FROM orders AS o JOIN customers AS c ON o.cust = c.cid "
+        "WHERE o.amount > 90 OR c.region = 'w'"
+    )
+    prepared = session.prepare(sql, planner="bpushconj")
+    result = session.execute_prepared(prepared, collect_feedback=True)
+    report = explain_analyze_report(prepared, result)
+    assert "kernels=numpy" in report
+    assert "clause order:" in report
+    legacy_result = session.execute_prepared(prepared, collect_feedback=True, kernels="off")
+    legacy_report = explain_analyze_report(prepared, legacy_result)
+    assert "kernels=off" in legacy_report
+    assert "clause order:" not in legacy_report
