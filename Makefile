@@ -5,9 +5,9 @@ PYTHON ?= python
 RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
 
 # Tag stamped into the BENCH_*.json artifacts written by `make bench`.
-BENCH_TAG ?= PR7
+BENCH_TAG ?= PR8
 
-.PHONY: test lint test-crash bench-smoke bench bench-parallel bench-feedback bench-index bench-ingest bench-wal bench-kernels docs-check examples
+.PHONY: test lint test-crash bench-smoke bench bench-parallel bench-shards bench-feedback bench-index bench-ingest bench-wal bench-kernels docs-check examples
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -30,6 +30,7 @@ test-crash:
 bench-smoke:
 	$(RUN) -m pytest benchmarks/bench_service_throughput.py \
 	    benchmarks/bench_parallel_scan.py \
+	    benchmarks/bench_sharded_scan.py \
 	    benchmarks/bench_feedback_replan.py \
 	    benchmarks/bench_index_pruning.py \
 	    benchmarks/bench_ingest.py \
@@ -42,6 +43,13 @@ bench-smoke:
 ## cores; the timing test self-skips on single-core hosts) plus timed runs
 bench-parallel:
 	$(RUN) -m pytest benchmarks/bench_parallel_scan.py -q
+
+## shared-nothing sharded execution: the >= 2x-at-4-shards speedup assertion
+## (needs >= 4 CPU cores; self-skips below that) plus timed runs, persists
+## its measurements into the current BENCH_*.json (the byte-identity half
+## also runs in bench-smoke)
+bench-shards:
+	$(RUN) -m pytest benchmarks/bench_sharded_scan.py -q
 
 ## feedback-driven re-planning: work + wall-clock assertions, persists
 ## its measurements into the current BENCH_*.json

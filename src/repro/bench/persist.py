@@ -9,15 +9,18 @@ pytest-benchmark, so full timing runs always leave a ``BENCH_*.json``
 artifact behind.
 
 Every recorded entry is stamped with the repository's current git SHA
-(``git_sha``, with a ``-dirty`` suffix for an unclean tree) and a UTC
-timestamp (``recorded_at``), so numbers in a ``BENCH_*.json`` remain
-traceable to the exact revision that produced them across PRs.
+(``git_sha``, with a ``-dirty`` suffix for an unclean tree), a UTC
+timestamp (``recorded_at``) and the producing host's context (``host``:
+CPU count, platform, Python version), so numbers in a ``BENCH_*.json``
+remain traceable to the exact revision that produced them across PRs —
+and multi-core shard speedups stay interpretable next to 1-CPU CI runs.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
 import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
@@ -29,7 +32,23 @@ RESULTS_PATH_ENV = "BENCH_RESULTS_PATH"
 #: root under ``make bench``).  Bumped per PR so each PR's benchmark
 #: campaign leaves its own artifact; earlier ``BENCH_*.json`` files stay on
 #: the record.
-DEFAULT_RESULTS_FILE = "BENCH_PR7.json"
+DEFAULT_RESULTS_FILE = "BENCH_PR8.json"
+
+
+def host_context() -> dict:
+    """The producing host's context, stamped into every recorded entry.
+
+    Wall-clock numbers are only comparable between hosts with similar
+    hardware; in particular the shard/parallelism speedup benchmarks are
+    meaningless on single-core CI runners.  Recording ``cpu_count`` (plus
+    platform and Python version) next to every entry makes that visible in
+    the artifact itself.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def results_path(path: str | os.PathLike | None = None) -> Path:
@@ -73,7 +92,8 @@ def record_bench_result(
     The file maps benchmark names to payload dictionaries.  Existing entries
     for other benchmarks are preserved; re-recording the same benchmark
     updates its keys in place.  The entry is stamped with the producing git
-    SHA and a UTC timestamp for cross-PR traceability.
+    SHA, a UTC timestamp and the host context (:func:`host_context`) for
+    cross-PR and cross-host traceability.
     """
     target = results_path(path)
     if target.exists():
@@ -93,6 +113,7 @@ def record_bench_result(
     if sha is not None:
         entry["git_sha"] = sha
     entry["recorded_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    entry["host"] = host_context()
     target.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -19,7 +19,11 @@ from repro.core.generalize import generalize_tag, refutes_root, satisfies_root
 from repro.core.predtree import PredicateTree
 from repro.core.tags import Tag
 from repro.engine.metrics import ExecContext
-from repro.engine.result import OutputColumns, materialize_output
+from repro.engine.result import (
+    OutputColumns,
+    materialize_empty_output,
+    materialize_output,
+)
 from repro.expr import three_valued as tv
 from repro.expr.ast import BooleanExpr
 from repro.physical.expressions import evaluate_predicate, read_join_keys
@@ -243,10 +247,14 @@ class BypassProjectOperator:
         tree: PredicateTree | None,
         select: list,
         three_valued: bool = True,
+        alias_tables: dict | None = None,
     ) -> None:
         self.tree = tree
         self.select = list(select or [])
         self.three_valued = three_valued
+        #: alias -> base :class:`~repro.storage.table.Table`, supplied by the
+        #: compiler so a zero-match execution still knows the output schema.
+        self.alias_tables = dict(alias_tables) if alias_tables else None
 
     def execute(self, streams: StreamSet, context: ExecContext) -> OutputColumns:
         """Materialize the output columns of the accepted streams."""
@@ -258,6 +266,21 @@ class BypassProjectOperator:
                 accepted.append(relation)
 
         if not accepted:
+            # A zero-match execution must still emit the output schema:
+            # downstream aggregation (COUNT = 0 / NULL extremes) and sharded
+            # partial aggregation need the column names and dtypes.  The
+            # compiler supplies the alias -> table map; when this operator
+            # was built by hand without one, fall back to a rejected
+            # stream's relation (which spans the full alias set at the
+            # root), and only a schema-less empty when no stream arrived.
+            if self.alias_tables is not None:
+                return materialize_empty_output(
+                    self.alias_tables, list(self.alias_tables), self.select
+                )
+            for stream in streams:
+                return materialize_empty_output(
+                    stream.relation.tables, stream.relation.indices, self.select
+                )
             return OutputColumns.empty()
 
         merged_tables = {}

@@ -113,6 +113,7 @@ def _session_for(args: argparse.Namespace) -> Session:
         partitions=getattr(args, "partitions", None),
         access_paths=not getattr(args, "no_access_paths", False),
         kernels=getattr(args, "kernels", "numpy"),
+        shards=getattr(args, "shards", 1),
     )
 
 
@@ -553,7 +554,16 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         "--partitions",
         type=int,
         default=None,
-        help="table partitions per query (defaults to --parallelism)",
+        help="table partitions per query (defaults to --parallelism times --shards)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shared-nothing worker processes per query (scatter-gather; "
+        "1 = in-process execution; byte-identical output at any shard "
+        "count for a fixed --partitions, and --parallelism threads run "
+        "inside each shard)",
     )
     parser.add_argument(
         "--no-access-paths",

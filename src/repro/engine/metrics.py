@@ -43,6 +43,12 @@ class ExecutionMetrics:
     #: Morsels the parallel driver skipped because the partitioning alias
     #: had no candidate rows in their row range.
     partitions_skipped: int = 0
+    #: Worker processes that executed partition blocks for this query under
+    #: sharded execution (0 on the in-process path).  Counted only at the
+    #: coordinator, so it is the one scalar that differs between a serial
+    #: and a sharded run of the same partitioning — comparisons of merged
+    #: counters should exclude it.
+    shards_executed: int = 0
     #: Rows actually fed to base-predicate clause evaluations.  The legacy
     #: path charges ``num_rows × clauses`` per predicate (every clause sees
     #: every row); the fused kernels charge only the rows still alive when
@@ -107,6 +113,7 @@ class ExecutionMetrics:
         self.morsels_executed += other.morsels_executed
         self.pages_pruned += other.pages_pruned
         self.partitions_skipped += other.partitions_skipped
+        self.shards_executed += other.shards_executed
         self.clause_rows_evaluated += other.clause_rows_evaluated
         for key, (evaluated, matched) in other.predicate_counts.items():
             self.record_predicate(key, evaluated, matched)
@@ -144,6 +151,7 @@ class ExecutionMetrics:
             "morsels_executed": self.morsels_executed,
             "pages_pruned": self.pages_pruned,
             "partitions_skipped": self.partitions_skipped,
+            "shards_executed": self.shards_executed,
             "clause_rows_evaluated": self.clause_rows_evaluated,
         }
 
@@ -192,6 +200,12 @@ class ExecContext:
     #: construction (tests, tools, crash harnesses) keeps the unchanged
     #: legacy behavior; the session opts executions in explicitly.
     kernels: KernelConfig | None = None
+    #: Set by the sharded scatter–gather coordinator when aggregation was
+    #: pushed down to the shards and already combined: output shaping must
+    #: then skip its aggregate step (DISTINCT / ORDER BY / LIMIT still run).
+    #: Coordinator-level state — never set on forked children, never merged
+    #: by :meth:`absorb`.
+    aggregates_prefolded: bool = False
 
     def timer(self) -> "Stopwatch":
         """A fresh stopwatch (convenience for callers timing phases)."""

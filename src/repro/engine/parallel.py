@@ -32,6 +32,7 @@ per morsel.
 
 from __future__ import annotations
 
+import atexit
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
@@ -45,8 +46,10 @@ from repro.storage.table import owned_page_range
 
 # Morsel pools are shared process-wide, one per worker count (in practice a
 # handful of distinct counts).  Creating a pool per query would spawn and
-# join threads on the serving hot path; pools are never shut down — their
-# idle threads are reused by every subsequent query at that parallelism.
+# join threads on the serving hot path; idle pool threads are reused by
+# every subsequent query at that parallelism.  shutdown_morsel_pools()
+# (registered via atexit, also invoked by the shard workers' own exit path)
+# tears them down; the registry repopulates lazily afterwards.
 _POOLS: dict[int, ThreadPoolExecutor] = {}
 _POOLS_LOCK = threading.Lock()
 
@@ -60,6 +63,25 @@ def _morsel_pool(workers: int) -> ThreadPoolExecutor:
             )
             _POOLS[workers] = pool
         return pool
+
+
+def shutdown_morsel_pools(wait: bool = True) -> None:
+    """Shut down every process-wide morsel thread pool (re-created on use).
+
+    The registry otherwise grows one never-collected pool per distinct
+    worker count for the life of the process.  Registered via ``atexit``
+    (alongside :func:`repro.engine.shard.shutdown_shard_pools`, which shard
+    worker processes also call before exiting) and callable directly by
+    embedders that want deterministic teardown.
+    """
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_morsel_pools)
 
 
 def choose_partition_alias(kind: str, plan, catalog: Catalog) -> str | None:
@@ -108,6 +130,8 @@ def execute_plan(
     parallelism: int = 1,
     partitions: int | None = None,
     access_plan=None,
+    shards: int = 1,
+    query=None,
 ) -> OutputColumns:
     """Execute a planner's output through the physical layer.
 
@@ -120,19 +144,32 @@ def execute_plan(
         annotations: tag maps (tagged plans).
         predicate_tree: the query's predicate tree.
         three_valued: SQL three-valued logic (bypass evaluation).
-        parallelism: worker threads driving morsels (1 = run inline).
-        partitions: number of table partitions; defaults to ``parallelism``.
-            ``partitions=1`` bypasses the morsel loop entirely.
+        parallelism: worker threads driving morsels (1 = run inline).  Under
+            sharded execution this is the *intra-shard* thread count.
+        partitions: number of table partitions; defaults to
+            ``parallelism × shards``.  ``partitions=1`` bypasses the morsel
+            loop entirely.
         access_plan: optional
             :class:`~repro.access.chooser.QueryAccessPlan`; its resolved
             candidate bitmaps restrict the scans (zone-map/index pruning) and
             let the driver skip morsels whose partition of the partitioning
             alias holds no candidate row.  Pruning never changes the rows
             returned, only the pages touched.
+        shards: worker *processes* executing contiguous partition blocks
+            (see :mod:`repro.engine.shard`).  ``shards=1`` is exactly the
+            in-process path; for a fixed partition count the output is
+            byte-identical at every shard count.
+        query: the bound :class:`~repro.plan.query.Query`; when provided,
+            sharded execution may push exactly-mergeable aggregation (or a
+            bare LIMIT) down to the shards, flagging
+            ``context.aggregates_prefolded`` so output shaping skips the
+            already-folded step.
     """
     if parallelism < 1:
         raise ValueError(f"parallelism must be positive, got {parallelism}")
-    num_partitions = parallelism if partitions is None else partitions
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    num_partitions = parallelism * shards if partitions is None else partitions
     if num_partitions < 1:
         raise ValueError(f"partitions must be positive, got {num_partitions}")
 
@@ -191,6 +228,30 @@ def execute_plan(
                 context.metrics.record_scan_pruning(scan_node_id, pages, pages)
         context.metrics.partitions_skipped += len(all_partitions) - len(live)
         all_partitions = live
+
+    if shards > 1 and len(all_partitions) > 1:
+        # Scatter the live partitions across worker processes as contiguous
+        # blocks; the shard-order gather is the partition-order merge, so
+        # the result is byte-identical to the in-process path below.  All
+        # pruning accounting already happened above, at the coordinator.
+        from repro.engine.shard import scatter_gather
+
+        return scatter_gather(
+            kind=kind,
+            plan=plan,
+            catalog=catalog,
+            context=context,
+            annotations=annotations,
+            predicate_tree=predicate_tree,
+            three_valued=three_valued,
+            scan_candidates=scan_candidates,
+            alias=alias,
+            partitions=all_partitions,
+            shards=shards,
+            parallelism=parallelism,
+            query=query,
+        )
+
     morsels = [
         (
             partition,

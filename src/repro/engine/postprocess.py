@@ -28,9 +28,17 @@ class OutputShapingError(ValueError):
     """Raised when an output-shaping clause references an unknown column."""
 
 
-def apply_output_shaping(output: OutputColumns, query: Query) -> OutputColumns:
-    """Apply aggregation, DISTINCT, ORDER BY and LIMIT to ``output``."""
-    if query.aggregates:
+def apply_output_shaping(
+    output: OutputColumns, query: Query, skip_aggregates: bool = False
+) -> OutputColumns:
+    """Apply aggregation, DISTINCT, ORDER BY and LIMIT to ``output``.
+
+    ``skip_aggregates`` is set by the session when sharded execution already
+    pushed the aggregation down and combined the partial states
+    (:mod:`repro.engine.partial_agg`): ``output`` then *is* the aggregated
+    row set and only the later shaping steps still apply.
+    """
+    if query.aggregates and not skip_aggregates:
         output = aggregate(output, query.group_by, query.aggregates)
     if query.distinct:
         output = distinct(output)

@@ -175,6 +175,14 @@ class Session:
             downgrades to ``"numpy"`` when numba is not installed).  All
             tiers return byte-identical results; see
             :mod:`repro.kernels`.
+        shards: shared-nothing worker *processes* executing contiguous
+            blocks of the partitioned scan (see :mod:`repro.engine.shard`).
+            ``shards=1`` (the default) is exactly the in-process path; above
+            1, partitions default to ``parallelism × shards`` and
+            ``parallelism`` becomes the intra-shard thread count.  For a
+            fixed partition count the output is byte-identical at every
+            shard count.  Worker processes read only shipped snapshot-pinned
+            tables (no catalog, no WAL writer).
     """
 
     def __init__(
@@ -189,11 +197,14 @@ class Session:
         partitions: int | None = None,
         access_paths: bool = True,
         kernels: str = "numpy",
+        shards: int = 1,
     ) -> None:
         if parallelism < 1:
             raise ValueError(f"parallelism must be positive, got {parallelism}")
         if partitions is not None and partitions < 1:
             raise ValueError(f"partitions must be positive, got {partitions}")
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
         self.catalog = catalog
         self.cost_params = cost_params or CostParams()
         self.three_valued = three_valued
@@ -204,6 +215,7 @@ class Session:
         self.partitions = partitions
         self.access_paths = access_paths
         self.kernels = validate_tier(kernels)
+        self.shards = shards
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -215,20 +227,25 @@ class Session:
         naive_tags: bool = False,
         parallelism: int | None = None,
         partitions: int | None = None,
+        shards: int | None = None,
     ) -> QueryResult:
         """Plan and execute a query; returns a :class:`QueryResult`.
 
-        ``parallelism`` / ``partitions`` override the session defaults for
-        this call only.
+        ``parallelism`` / ``partitions`` / ``shards`` override the session
+        defaults for this call only.
         """
         planner = planner.lower()
         if planner == "tmin":
             return self._execute_tmin(
-                self._bind(query), naive_tags, parallelism=parallelism, partitions=partitions
+                self._bind(query),
+                naive_tags,
+                parallelism=parallelism,
+                partitions=partitions,
+                shards=shards,
             )
         prepared = self.prepare(query, planner, naive_tags)
         return self.execute_prepared(
-            prepared, parallelism=parallelism, partitions=partitions
+            prepared, parallelism=parallelism, partitions=partitions, shards=shards
         )
 
     def begin_mutation(self):
@@ -347,6 +364,7 @@ class Session:
         partitions: int | None = None,
         collect_feedback: bool = False,
         kernels: str | None = None,
+        shards: int | None = None,
     ) -> QueryResult:
         """Execute a :class:`PreparedPlan` and return a :class:`QueryResult`.
 
@@ -365,7 +383,11 @@ class Session:
         arguments override session defaults), the plan runs morsel-by-morsel
         on a worker pool; the partition-order merge keeps the output
         byte-identical to running the same partitioning with one worker, at
-        any worker count.  Output shaping runs once, after the merge.
+        any worker count.  With ``shards`` above 1 the partitions execute as
+        contiguous blocks on worker *processes* (:mod:`repro.engine.shard`)
+        — same merge order, same bytes, and exactly-mergeable aggregations
+        are pre-folded on the shards.  Output shaping runs once, after the
+        gather.
 
         ``collect_feedback`` additionally records per-predicate match counts
         and per-operator actual row counts into the result's metrics (the
@@ -399,6 +421,7 @@ class Session:
             self.parallelism if parallelism is None else parallelism
         )
         effective_partitions = self.partitions if partitions is None else partitions
+        effective_shards = self.shards if shards is None else shards
 
         execution_timer = Stopwatch()
         output = execute_plan(
@@ -412,9 +435,13 @@ class Session:
             parallelism=effective_parallelism,
             partitions=effective_partitions,
             access_plan=prepared.access_plan if self.access_paths else None,
+            shards=effective_shards,
+            query=query,
         )
         if query.has_output_shaping:
-            output = apply_output_shaping(output, query)
+            output = apply_output_shaping(
+                output, query, skip_aggregates=exec_context.aggregates_prefolded
+            )
         execution_seconds = execution_timer.elapsed()
 
         return QueryResult(
@@ -482,13 +509,14 @@ class Session:
         naive_tags: bool,
         parallelism: int | None = None,
         partitions: int | None = None,
+        shards: int | None = None,
     ) -> QueryResult:
         """Execute every tagged candidate planner and keep the fastest run."""
         best: QueryResult | None = None
         for planner in TMIN_CANDIDATES:
             prepared = self.prepare(query, planner, naive_tags)
             result = self.execute_prepared(
-                prepared, parallelism=parallelism, partitions=partitions
+                prepared, parallelism=parallelism, partitions=partitions, shards=shards
             )
             if best is None or result.total_seconds < best.total_seconds:
                 best = result

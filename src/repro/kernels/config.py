@@ -74,6 +74,15 @@ class KernelConfig:
     tier: str = DEFAULT_TIER
     clause_selectivities: Mapping[str, float] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Normalize to a plain dict so the config is always shard-shippable
+        # (pickled to worker processes) regardless of what mapping type the
+        # caller handed in (views, proxies, chained maps).
+        if not isinstance(self.clause_selectivities, dict):
+            object.__setattr__(
+                self, "clause_selectivities", dict(self.clause_selectivities)
+            )
+
     @property
     def use_jit(self) -> bool:
         """Whether the compiled tier should be attempted for hot loops."""

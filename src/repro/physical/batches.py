@@ -93,12 +93,16 @@ def merge_batches(batches: list):
 def merge_output_columns(batches: list[OutputColumns]) -> OutputColumns:
     """Concatenate output-column batches in order.
 
-    Empty unnamed batches (a bypass partition that accepted no stream) carry
-    no column schema and are skipped; if every batch is empty the first is
-    returned unchanged, matching what serial execution produces.
+    Empty batches are skipped; when every batch is empty, the first one that
+    still carries a column schema wins (a drained root that saw no input at
+    all yields a schema-less empty, and downstream aggregation needs the
+    names and dtypes from a sibling that kept them).
     """
     non_empty = [batch for batch in batches if batch.row_count > 0]
     if not non_empty:
+        for batch in batches:
+            if batch.names:
+                return batch
         return batches[0] if batches else OutputColumns.empty()
     if len(non_empty) == 1:
         return non_empty[0]

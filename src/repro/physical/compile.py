@@ -266,12 +266,21 @@ class _Compiler:
         if not isinstance(plan, ProjectNode):
             raise ValueError("bypass plans must be rooted at a ProjectNode")
         child = self._bypass_node(plan.child)
+        # The root keeps the alias -> table map so a partition where every
+        # stream was rejected still emits a schema-carrying empty output
+        # (downstream aggregation needs the column names and dtypes).
+        alias_tables = {
+            scan.alias: self.catalog.get(scan.table_name)
+            for scan in plan.walk()
+            if isinstance(scan, TableScanNode)
+        }
         return BypassProjectPhysical(
             child,
             self.predicate_tree,
             plan.columns,
             self.three_valued,
             node_id=plan.node_id,
+            alias_tables=alias_tables,
         )
 
     def _bypass_node(self, node: PlanNode) -> PhysicalOperator:

@@ -326,10 +326,14 @@ class BypassProjectPhysical(PhysicalOperator):
         columns: list,
         three_valued: bool,
         node_id: int | None = None,
+        alias_tables: dict | None = None,
     ) -> None:
         super().__init__([child], node_id=node_id)
         self.kernel = BypassProjectOperator(
-            predicate_tree, columns, three_valued=three_valued
+            predicate_tree,
+            columns,
+            three_valued=three_valued,
+            alias_tables=alias_tables,
         )
 
     def _next(self, context: ExecContext):

@@ -145,6 +145,12 @@ class QueryService:
             compose; the returned rows are the same either way.
         partitions: table partitions per query served through this service
             (``None`` keeps the session's setting).
+        shards: shared-nothing worker processes per query served through
+            this service (``None`` keeps the session's setting; see
+            :mod:`repro.engine.shard`).  The knob never changes plans or
+            results — it is not part of plan-cache fingerprints — and the
+            shard pool serializes scatter–gathers, so concurrent batch
+            queries at the same shard count queue on it.
         feedback: enable the runtime feedback loop — executions record
             observed per-clause selectivities (into :attr:`feedback_store`),
             and cached plans whose estimated-vs-actual output cardinality
@@ -170,12 +176,16 @@ class QueryService:
         feedback: bool = False,
         qerror_threshold: float = DEFAULT_QERROR_THRESHOLD,
         kernels: str | None = None,
+        shards: int | None = None,
     ) -> None:
         if isinstance(session, Catalog):
             session = Session(session)
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
         self.session = session
         self.parallelism = parallelism
         self.partitions = partitions
+        self.shards = shards
         self.kernels = validate_tier(kernels) if kernels is not None else None
         if self.session.stats_provider is None:
             self.session.stats_provider = StatsCache(self.session.catalog)
@@ -236,6 +246,7 @@ class QueryService:
                 naive_tags=naive_tags,
                 parallelism=self.parallelism,
                 partitions=self.partitions,
+                shards=self.shards,
             )
 
         lookup_timer = Stopwatch()
@@ -248,6 +259,7 @@ class QueryService:
                 partitions=self.partitions,
                 collect_feedback=self.feedback,
                 kernels=self.kernels,
+                shards=self.shards,
             )
         else:
             result = self.session.execute_prepared(
@@ -258,6 +270,7 @@ class QueryService:
                 partitions=self.partitions,
                 collect_feedback=self.feedback,
                 kernels=self.kernels,
+                shards=self.shards,
             )
         if self.feedback:
             self._observe(key, prepared, result)

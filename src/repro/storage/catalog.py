@@ -36,6 +36,12 @@ class Catalog:
         #: mutation batches are WAL-logged and applied to the saved dataset
         #: before they become visible here.
         self.durability = None
+        #: When True, :meth:`begin_mutation` refuses to start batches: the
+        #: catalog serves reads only.  Set by ``load_catalog(root,
+        #: read_only=True)`` — the mode shard/distributed worker processes
+        #: load datasets under, so a worker can never acquire a WAL writer
+        #: or mutate shared state behind the coordinator's back.
+        self.read_only = False
         #: Re-entrant lock serializing writers.  Commits, compaction swaps
         #: and snapshot reads take it; the lock ordering discipline is
         #: catalog lock **before** dataset (WAL) lock, everywhere.
@@ -118,7 +124,15 @@ class Catalog:
         ``commit()`` — the catalog version is bumped exactly once per
         committed batch, and every derived structure (statistics, zone maps,
         indexes, cached plans) is maintained incrementally.
+
+        Raises ``PermissionError`` on a read-only catalog (see
+        :attr:`read_only`).
         """
+        if self.read_only:
+            raise PermissionError(
+                "catalog is read-only (loaded with read_only=True); "
+                "mutations must go through the writing coordinator"
+            )
         from repro.mutation.batch import MutationBatch
 
         return MutationBatch(self)

@@ -415,6 +415,7 @@ def load_catalog(
     tables: Iterable[str] | None = None,
     recover: bool = True,
     durable: bool = False,
+    read_only: bool = False,
 ) -> Catalog:
     """Load a catalog previously written by :func:`save_catalog`.
 
@@ -444,7 +445,19 @@ def load_catalog(
     (as ``catalog.durability``): every subsequent
     :meth:`~repro.mutation.batch.MutationBatch.commit` is WAL-logged and
     applied to the directory *before* it becomes visible in memory.
+
+    ``read_only=True`` marks the returned catalog read-only:
+    ``begin_mutation`` raises and no WAL writer can ever attach.  This is
+    the loading mode for shard / distributed worker processes — they serve
+    snapshot-pinned reads and must not be able to mutate shared state (it
+    also skips crash recovery, which would *write* to the dataset; a
+    coordinator owns recovery).  ``read_only`` and ``durable`` are mutually
+    exclusive.
     """
+    if read_only and durable:
+        raise ValueError("read_only and durable are mutually exclusive")
+    if read_only:
+        recover = False
     root = Path(root)
     manifest_path = root / MANIFEST_NAME
     if not manifest_path.exists():
@@ -532,6 +545,8 @@ def load_catalog(
     )
     if durable:
         attach_durability(catalog, root)
+    if read_only:
+        catalog.read_only = True
     return catalog
 
 

@@ -1,0 +1,61 @@
+"""Regression: process-wide execution pools must be shut down, not leaked.
+
+The morsel thread-pool registry (`repro.engine.parallel._POOLS`) historically
+grew one never-collected ThreadPoolExecutor per distinct worker count for the
+life of the process.  `shutdown_morsel_pools()` drains it (and is registered
+via ``atexit``, so embedders and shard worker processes tear down cleanly);
+pools transparently re-create on next use.  The shard process-pool registry
+follows the same contract.
+"""
+
+from __future__ import annotations
+
+import atexit
+
+from repro.engine import parallel, shard
+
+
+def test_morsel_pool_reuse_and_shutdown():
+    first = parallel._morsel_pool(2)
+    assert parallel._morsel_pool(2) is first
+    other = parallel._morsel_pool(3)
+    assert other is not first
+    assert set(parallel._POOLS) == {2, 3}
+
+    parallel.shutdown_morsel_pools()
+    assert parallel._POOLS == {}
+    # A shut-down executor refuses new work; the registry must hand back a
+    # fresh, usable pool instead.
+    fresh = parallel._morsel_pool(2)
+    assert fresh is not first
+    assert fresh.submit(lambda: 41 + 1).result() == 42
+    parallel.shutdown_morsel_pools()
+
+
+def test_shutdown_idempotent_and_nowait():
+    parallel._morsel_pool(2)
+    parallel.shutdown_morsel_pools(wait=False)
+    parallel.shutdown_morsel_pools()  # empty registry: no-op
+    assert parallel._POOLS == {}
+
+
+def test_shutdown_hooks_registered_atexit():
+    """Both registries tear down at interpreter exit."""
+    # atexit keeps registered callables in a private table; the public,
+    # stable signal is that unregistering succeeds without error and the
+    # functions are re-registerable (as module import did).
+    atexit.unregister(parallel.shutdown_morsel_pools)
+    atexit.register(parallel.shutdown_morsel_pools)
+    atexit.unregister(shard.shutdown_shard_pools)
+    atexit.register(shard.shutdown_shard_pools)
+
+
+def test_shard_pool_registry_follows_same_contract():
+    shard.shutdown_shard_pools()
+    assert shard._SHARD_POOLS == {}
+    pool = shard.shard_pool(2)
+    assert shard.shard_pool(2) is pool
+    shard.shutdown_shard_pools()
+    assert shard._SHARD_POOLS == {}
+    assert shard.shard_pool(2) is not pool
+    shard.shutdown_shard_pools()
