@@ -1,0 +1,138 @@
+"""Observability overhead: metrics publication and tracing must stay cheap.
+
+The PR-9 observability layer promises that results are byte-identical and
+the hot path is essentially untouched when tracing is off.  This benchmark
+prices both halves by running the same query stream through a
+:class:`~repro.service.QueryService` three ways:
+
+* **bare** — ``instruments.set_enabled(False)``, tracing off: every publish
+  helper reduces to one boolean test, the pre-PR-9 hot path;
+* **obs-on** — metrics publication enabled (the default), tracing off: the
+  production configuration every query pays;
+* **trace-on** — metrics plus a full span tree and per-operator timing.
+
+Assertions:
+
+* **equivalence** (always; part of ``make bench-smoke``) — all three modes
+  return byte-identical rows and identical IO accounting;
+* **overhead guards** (timing; deselected by ``make bench-smoke``, run by
+  ``make bench-obs``) — median per-query latency stays within **1.05x** of
+  bare with metrics on, and within **1.25x** with tracing on.
+
+Results are persisted to ``BENCH_PR9.json`` (see :mod:`repro.bench.persist`).
+
+Not tied to a paper figure — this benchmarks the repo's observability
+subsystem, not the paper's planners (see docs/benchmarks.md).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro import QueryService, Session
+from repro.bench.persist import record_bench_result
+from repro.obs import instruments
+from repro.workloads.synthetic import SyntheticConfig, generate_synthetic_catalog
+
+#: Rows per synthetic table.
+TABLE_SIZE = 4_000
+
+#: Measured repetitions of the query list per mode (after WARMUP discarded).
+REPEAT = 40
+WARMUP = 5
+
+QUERIES = (
+    "SELECT * FROM T0 JOIN T1 ON T0.id = T1.fid "
+    "WHERE T1.A1 < 0.2 OR (T1.A2 > 0.8 AND T0.A1 < 0.5)",
+    "SELECT * FROM T0 JOIN T2 ON T0.id = T2.fid "
+    "WHERE T2.A3 < 0.3 OR T0.A2 > 0.9",
+)
+
+
+#: (mode name, publish metrics?, trace?) — measured interleaved per
+#: repetition so clock drift and cache warm-up hit every mode equally.
+MODES = (
+    ("bare", False, False),
+    ("obs", True, False),
+    ("trace", True, True),
+)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    catalog = generate_synthetic_catalog(SyntheticConfig(table_size=TABLE_SIZE, seed=3))
+    services = {
+        name: QueryService(Session(catalog, parallelism=2))
+        for name, _, _ in MODES
+    }
+    latencies = {name: [] for name, _, _ in MODES}
+    results = {}
+    try:
+        for repetition in range(WARMUP + REPEAT):
+            for name, publish, trace in MODES:
+                instruments.set_enabled(publish)
+                for sql in QUERIES:
+                    start = time.perf_counter()
+                    services[name].execute(sql, trace=trace)
+                    if repetition >= WARMUP:
+                        latencies[name].append(time.perf_counter() - start)
+        for name, publish, trace in MODES:
+            instruments.set_enabled(publish)
+            results[name] = [services[name].execute(sql, trace=trace) for sql in QUERIES]
+    finally:
+        instruments.set_enabled(True)
+        for service in services.values():
+            service.close()
+
+    bare_s, obs_s, trace_s = (
+        statistics.median(latencies[name]) for name, _, _ in MODES
+    )
+
+    payload = {
+        "queries": len(QUERIES),
+        "repetitions": REPEAT,
+        "bare_ms": bare_s * 1e3,
+        "obs_on_ms": obs_s * 1e3,
+        "trace_on_ms": trace_s * 1e3,
+        "obs_overhead_x": obs_s / bare_s,
+        "trace_overhead_x": trace_s / bare_s,
+    }
+    record_bench_result("obs_overhead", payload)
+    return {"payload": payload, "results": results}
+
+
+def test_observability_modes_return_identical_results(measured):
+    bare, obs, trace = (measured["results"][mode] for mode in ("bare", "obs", "trace"))
+    for bare_r, obs_r, trace_r in zip(bare, obs, trace):
+        assert bare_r.rows == obs_r.rows == trace_r.rows
+        assert (
+            bare_r.iostats.as_dict()
+            == obs_r.iostats.as_dict()
+            == trace_r.iostats.as_dict()
+        )
+        assert (
+            bare_r.metrics.as_dict()
+            == obs_r.metrics.as_dict()
+            == trace_r.metrics.as_dict()
+        )
+        assert bare_r.trace is None and obs_r.trace is None
+        assert trace_r.trace is not None
+
+
+def test_metrics_publication_overhead_guard(measured):
+    payload = measured["payload"]
+    assert payload["obs_overhead_x"] <= 1.05, (
+        f"metrics publication overhead {payload['obs_overhead_x']:.3f}x exceeds "
+        f"1.05x (bare {payload['bare_ms']:.3f}ms, obs-on {payload['obs_on_ms']:.3f}ms)"
+    )
+
+
+def test_tracing_overhead_guard(measured):
+    payload = measured["payload"]
+    assert payload["trace_overhead_x"] <= 1.25, (
+        f"tracing overhead {payload['trace_overhead_x']:.3f}x exceeds 1.25x "
+        f"(bare {payload['bare_ms']:.3f}ms, trace-on {payload['trace_on_ms']:.3f}ms)"
+    )

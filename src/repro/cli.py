@@ -20,7 +20,9 @@ Subcommands::
     recover    replay the write-ahead log: truncate torn tails, re-apply
                committed-but-unapplied transactions (load_catalog does this
                automatically on open; the verb makes it explicit/scriptable)
-    wal        inspect the write-ahead log (``wal status``)
+    wal        inspect the write-ahead log (``wal status [--format json]``)
+    metrics    print the process metrics registry in Prometheus text format,
+               optionally after running queries to populate it
     table      introspect a saved dataset (``table stats <name>``)
     index      create / drop / list secondary indexes on a saved dataset
     fuzz       differential-test all planners against the naive oracle
@@ -38,9 +40,11 @@ Examples::
     python -m repro insert --data data/t0t1t2 --table T1 --values '[{"id": 7, "A1": 0.5}]'
     python -m repro delete --data data/t0t1t2 --table T1 --where "T1.A1 > 0.9"
     python -m repro query  --data data/t0t1t2 --snapshot 0 --sql "..."   # pre-mutation state
+    python -m repro query  --data data/t0t1t2 --trace trace.json --sql "..."
+    python -m repro metrics --data data/t0t1t2 --sql "SELECT * FROM T0"
     python -m repro compact --data data/t0t1t2 --online
     python -m repro recover --data data/t0t1t2
-    python -m repro wal status --data data/t0t1t2
+    python -m repro wal status --data data/t0t1t2 --format json
     python -m repro table stats T1 --data data/t0t1t2
     python -m repro index create --data data/t0t1t2 --table T1 --column A1
     python -m repro index list --data data/t0t1t2
@@ -117,8 +121,29 @@ def _session_for(args: argparse.Namespace) -> Session:
     )
 
 
+def _write_trace(result, path: str, trace_format: str) -> None:
+    """Serialize ``result.trace`` to ``path`` as JSON or Chrome trace events."""
+    import json
+
+    tracer = result.trace
+    if tracer is None:
+        print("no trace was recorded for this execution", file=sys.stderr)
+        return
+    if trace_format == "chrome":
+        payload = json.dumps(tracer.to_chrome_trace(), indent=2)
+    else:
+        payload = tracer.to_json()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload + "\n")
+    print(f"wrote {trace_format} trace to {path}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     session = _session_for(args)
+    want_trace = args.trace is not None
+    if want_trace and args.planner == "tmin":
+        print("--trace is unavailable for the tmin oracle", file=sys.stderr)
+        return 2
     if args.explain_analyze:
         if args.planner == "tmin":
             print("--explain-analyze is unavailable for the tmin oracle", file=sys.stderr)
@@ -126,12 +151,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         from repro.optimizer import explain_analyze_report
 
         prepared = session.prepare(args.sql, planner=args.planner)
-        result = session.execute_prepared(prepared, collect_feedback=True)
+        # Tracing is what collects per-operator wall clock, so --explain-analyze
+        # always traces (the "actual s" column would otherwise be all '-').
+        result = session.execute_prepared(prepared, collect_feedback=True, trace=True)
         _print_result(result, args.max_rows, args.metrics)
         print(explain_analyze_report(prepared, result))
+        if want_trace:
+            _write_trace(result, args.trace, args.trace_format)
         return 0
-    result = session.execute(args.sql, planner=args.planner)
+    result = session.execute(args.sql, planner=args.planner, trace=want_trace)
     _print_result(result, args.max_rows, args.metrics)
+    if want_trace:
+        _write_trace(result, args.trace, args.trace_format)
     return 0
 
 
@@ -258,6 +289,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         default_timeout=args.timeout,
         feedback=args.feedback,
         qerror_threshold=args.qerror_threshold,
+        slow_query_seconds=args.slow_query_seconds,
+        slow_query_sink=_slow_query_sink if args.slow_query_seconds is not None else None,
     ) as service:
         report = service.execute_batch(statements, planner=args.planner)
         rows = []
@@ -288,29 +321,44 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 0 if len(report.succeeded) == len(report) else 1
 
 
+def _slow_query_sink(record) -> None:
+    """Default slow-query sink for the CLI: one JSON line per record on stderr."""
+    print(f"slow query: {record.as_json()}", file=sys.stderr)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
     session = _session_for(args)
     interactive = sys.stdin.isatty()
     if interactive:
         print(
             f"repro serve — planner={args.planner}; terminate statements with ';', "
-            "'\\stats' shows cache metrics, '\\quit' exits."
+            "'\\stats' shows cache metrics, '\\metrics' the Prometheus registry, "
+            "'\\quit' exits."
         )
     with QueryService(
         session,
         plan_cache_size=args.cache_size,
         feedback=args.feedback,
         qerror_threshold=args.qerror_threshold,
+        slow_query_seconds=args.slow_query_seconds,
+        slow_query_sink=_slow_query_sink if args.slow_query_seconds is not None else None,
     ) as service:
 
         def run_statement(statement: str) -> None:
+            started = perf_counter()
             try:
                 result = service.execute(statement, planner=args.planner)
             except Exception as error:  # noqa: BLE001 - REPL keeps going
                 print(f"error: {error}", file=sys.stderr)
                 return
+            elapsed = perf_counter() - started
             _print_result(result, args.max_rows, show_metrics=False)
-            print(f"[plan cache {'hit' if result.cache_hit else 'miss'}]")
+            print(
+                f"[plan cache {'hit' if result.cache_hit else 'miss'} | "
+                f"{elapsed:.4f}s elapsed]"
+            )
 
         buffer = ""
         while True:
@@ -327,6 +375,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 break
             if stripped == r"\stats" and not buffer.strip():
                 _print_cache_metrics(service)
+                continue
+            if stripped == r"\metrics" and not buffer.strip():
+                from repro.obs.registry import get_registry
+
+                print(get_registry().render(), end="")
                 continue
             # Only terminated statements run; the unterminated tail (e.g. a
             # multi-line statement, or a ';' hidden inside a string literal)
@@ -412,6 +465,39 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.mutation.wal import wal_status
+    from repro.obs.instruments import publish_wal_status
+    from repro.obs.registry import get_registry
+
+    statements: list[str] = []
+    if args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            statements.extend(split_statements(handle.read()))
+    for sql in args.sql or ():
+        statements.extend(split_statements(sql))
+    if statements:
+        session = _session_for(args)
+        with QueryService(
+            session,
+            feedback=args.feedback,
+            qerror_threshold=args.qerror_threshold,
+            slow_query_seconds=args.slow_query_seconds,
+        ) as service:
+            for statement in statements:
+                try:
+                    service.execute(statement, planner=args.planner)
+                except Exception as error:  # noqa: BLE001 - still render the registry
+                    print(f"error: {error}", file=sys.stderr)
+    registry = get_registry()
+    try:
+        publish_wal_status(registry, wal_status(args.data))
+    except (KeyError, ValueError, OSError) as error:
+        print(f"warning: wal status unavailable: {error}", file=sys.stderr)
+    print(registry.render(), end="")
+    return 0
+
+
 def _cmd_wal_status(args: argparse.Namespace) -> int:
     from repro.mutation.wal import wal_status
 
@@ -420,6 +506,16 @@ def _cmd_wal_status(args: argparse.Namespace) -> int:
     except (KeyError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.format == "json":
+        # The status dictionary travels through a private MetricsRegistry so
+        # the JSON document is exactly the registry's snapshot serialization.
+        from repro.obs.instruments import publish_wal_status
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        publish_wal_status(registry, status)
+        print(registry.snapshot_json())
+        return 0
     if not status["exists"]:
         print("no write-ahead log")
         return 0
@@ -540,6 +636,13 @@ def _add_feedback_flags(parser: argparse.ArgumentParser) -> None:
         help="estimated-vs-actual output q-error above which a cached plan "
         "is re-planned (with --feedback)",
     )
+    parser.add_argument(
+        "--slow-query-seconds",
+        type=float,
+        default=None,
+        help="arm the slow-query log: queries at or over this many seconds "
+        "emit a structured JSON record on stderr",
+    )
 
 
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
@@ -616,6 +719,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="read the dataset as of the first K append-log records "
         "(0 = the base state; default: all records applied)",
+    )
+    query.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="trace the execution and write the span tree to PATH "
+        "(results are byte-identical with tracing on or off)",
+    )
+    query.add_argument(
+        "--trace-format",
+        choices=("json", "chrome"),
+        default="json",
+        help="trace file format: json = hierarchical span tree, "
+        "chrome = trace-event list for chrome://tracing / Perfetto",
     )
     _add_parallel_flags(query)
     query.set_defaults(func=_cmd_query)
@@ -712,7 +829,27 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="committed/applied/pending transactions and torn bytes"
     )
     wal_stat.add_argument("--data", required=True, help="catalog directory")
+    wal_stat.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="text = human-readable summary, json = machine-readable gauges "
+        "(the metrics registry's snapshot serialization)",
+    )
     wal_stat.set_defaults(func=_cmd_wal_status)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="print the process metrics registry (Prometheus text format)"
+    )
+    metrics.add_argument("--data", required=True, help="catalog directory")
+    metrics.add_argument(
+        "--sql", action="append", help="inline SQL to run first so counters move (repeatable)"
+    )
+    metrics.add_argument("--file", help="file of ;-separated SQL statements to run first")
+    metrics.add_argument("--planner", default="tcombined", choices=sorted(ALL_PLANNERS))
+    _add_feedback_flags(metrics)
+    _add_parallel_flags(metrics)
+    metrics.set_defaults(func=_cmd_metrics)
 
     table = subparsers.add_parser("table", help="introspect a saved dataset")
     table_sub = table.add_subparsers(dest="table_command", required=True)

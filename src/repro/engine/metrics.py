@@ -206,6 +206,12 @@ class ExecContext:
     #: Coordinator-level state — never set on forked children, never merged
     #: by :meth:`absorb`.
     aggregates_prefolded: bool = False
+    #: Opt-in :class:`~repro.obs.trace.Tracer` collecting this execution's
+    #: span tree and per-operator timings.  ``None`` (the default) keeps the
+    #: hot path free of any timing work — operators and drivers test this
+    #: field before touching the tracer.  Forked and absorbed alongside the
+    #: counters so traces merge across morsel workers exactly like metrics.
+    tracer: object | None = None
 
     def timer(self) -> "Stopwatch":
         """A fresh stopwatch (convenience for callers timing phases)."""
@@ -218,12 +224,15 @@ class ExecContext:
             collect_feedback=self.collect_feedback,
             feedback_excluded_aliases=self.feedback_excluded_aliases,
             kernels=self.kernels,
+            tracer=self.tracer.fork() if self.tracer is not None else None,
         )
 
     def absorb(self, child: "ExecContext") -> None:
         """Merge a forked child's counters back into this context."""
         self.metrics.merge(child.metrics)
         self.iostats.merge(child.iostats)
+        if self.tracer is not None and child.tracer is not None:
+            self.tracer.absorb(child.tracer)
 
 
 class Stopwatch:

@@ -173,7 +173,14 @@ def execute_plan(
     if num_partitions < 1:
         raise ValueError(f"partitions must be positive, got {num_partitions}")
 
-    scan_candidates = access_plan.resolve_all() if access_plan is not None else {}
+    if access_plan is not None:
+        if context.tracer is not None:
+            with context.tracer.span("access_paths.resolve"):
+                scan_candidates = access_plan.resolve_all()
+        else:
+            scan_candidates = access_plan.resolve_all()
+    else:
+        scan_candidates = {}
     if scan_candidates and context.collect_feedback:
         # Predicate observations over pruned aliases are conditioned on the
         # candidate set and must not feed the selectivity feedback loop.
@@ -270,16 +277,25 @@ def execute_plan(
         for partition in all_partitions
     ]
 
-    def run_morsel(physical) -> tuple[OutputColumns, ExecContext]:
+    def run_morsel(partition, physical) -> tuple[OutputColumns, ExecContext]:
         child = context.fork()
-        output = physical.execute(child)
+        if child.tracer is not None:
+            with child.tracer.span(
+                "morsel", start_row=partition.start, stop_row=partition.stop
+            ):
+                output = physical.execute(child)
+        else:
+            output = physical.execute(child)
         return output, child
 
     if parallelism == 1 or len(morsels) == 1:
-        outcomes = [run_morsel(physical) for _partition, physical in morsels]
+        outcomes = [run_morsel(partition, physical) for partition, physical in morsels]
     else:
         pool = _morsel_pool(min(parallelism, len(morsels)))
-        futures = [pool.submit(run_morsel, physical) for _partition, physical in morsels]
+        futures = [
+            pool.submit(run_morsel, partition, physical)
+            for partition, physical in morsels
+        ]
         outcomes = [future.result() for future in futures]
 
     # Reduce per-morsel contexts and outputs in partition order: counters are

@@ -48,6 +48,8 @@ class QueryResult:
         kernel_tier: the expression-kernel tier that actually ran —
             ``"off"`` (legacy path), ``"numpy"`` or ``"jit"`` (a requested
             ``"jit"`` that downgraded reports ``"numpy"``).
+        trace: the :class:`~repro.obs.trace.Tracer` that followed this
+            execution, or ``None`` when tracing was off (the default).
     """
 
     def __init__(
@@ -61,6 +63,7 @@ class QueryResult:
         plan_description: str = "",
         cache_hit: bool = False,
         kernel_tier: str = "off",
+        trace=None,
     ) -> None:
         self.planner_name = planner_name
         self.output = output
@@ -71,6 +74,7 @@ class QueryResult:
         self.plan_description = plan_description
         self.cache_hit = cache_hit
         self.kernel_tier = kernel_tier
+        self.trace = trace
         self._rows_cache: list[tuple] | None = None
 
     # ------------------------------------------------------------------ #

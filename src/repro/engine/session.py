@@ -228,11 +228,13 @@ class Session:
         parallelism: int | None = None,
         partitions: int | None = None,
         shards: int | None = None,
+        trace: bool = False,
     ) -> QueryResult:
         """Plan and execute a query; returns a :class:`QueryResult`.
 
         ``parallelism`` / ``partitions`` / ``shards`` override the session
-        defaults for this call only.
+        defaults for this call only.  ``trace=True`` attaches a span tree to
+        the result (see :meth:`execute_prepared`).
         """
         planner = planner.lower()
         if planner == "tmin":
@@ -245,7 +247,11 @@ class Session:
             )
         prepared = self.prepare(query, planner, naive_tags)
         return self.execute_prepared(
-            prepared, parallelism=parallelism, partitions=partitions, shards=shards
+            prepared,
+            parallelism=parallelism,
+            partitions=partitions,
+            shards=shards,
+            trace=trace,
         )
 
     def begin_mutation(self):
@@ -365,6 +371,7 @@ class Session:
         collect_feedback: bool = False,
         kernels: str | None = None,
         shards: int | None = None,
+        trace=False,
     ) -> QueryResult:
         """Execute a :class:`PreparedPlan` and return a :class:`QueryResult`.
 
@@ -404,6 +411,15 @@ class Session:
         swap registers new table objects, but the snapshot keeps the old
         immutable ones — with the row positions the plan's access paths were
         built against — alive until the last pinning plan is dropped.
+
+        ``trace`` opts this execution into structured tracing: pass ``True``
+        for a fresh :class:`~repro.obs.trace.Tracer` or an existing tracer
+        to nest the query under its open spans.  The result then carries the
+        span tree (``result.trace``) — query → plan (synthetic, backfilled
+        from the reported planning time) → execute (morsel / shard /
+        per-operator detail) → postprocess — and per-operator timings.
+        Tracing never changes rows, IO accounting, or work counters; with
+        ``trace`` falsy (the default) no tracer object exists at all.
         """
         query = prepared.query
         tier = resolve_tier(self.kernels if kernels is None else kernels)
@@ -414,14 +430,36 @@ class Session:
                 tier=tier, clause_selectivities=prepared.clause_selectivities
             )
         )
+        tracer = None
+        if trace:
+            from repro.obs.trace import Tracer
+
+            tracer = trace if isinstance(trace, Tracer) else Tracer()
         exec_context = ExecContext(
-            collect_feedback=collect_feedback, kernels=kernel_config
+            collect_feedback=collect_feedback, kernels=kernel_config, tracer=tracer
         )
         effective_parallelism = (
             self.parallelism if parallelism is None else parallelism
         )
         effective_partitions = self.partitions if partitions is None else partitions
         effective_shards = self.shards if shards is None else shards
+        reported_planning = (
+            prepared.planning_seconds if planning_seconds is None else planning_seconds
+        )
+
+        if tracer is not None:
+            tracer.begin(
+                "query",
+                planner=prepared.planner,
+                kind=prepared.kind,
+                kernel_tier=tier,
+            )
+            tracer.add_synthetic("plan", reported_planning, cache_hit=cache_hit)
+            tracer.begin(
+                "execute",
+                parallelism=effective_parallelism,
+                shards=effective_shards,
+            )
 
         execution_timer = Stopwatch()
         output = execute_plan(
@@ -438,24 +476,51 @@ class Session:
             shards=effective_shards,
             query=query,
         )
-        if query.has_output_shaping:
-            output = apply_output_shaping(
-                output, query, skip_aggregates=exec_context.aggregates_prefolded
+        if tracer is not None:
+            # Materialize one span per operator under the still-open execute
+            # span: duration is the operator's *self* time (additive across
+            # operators), inclusive time and call count ride as attributes.
+            for node_id, timing in sorted(tracer.operator_timings().items()):
+                tracer.add_synthetic(
+                    f"operator:{timing['label']}#{node_id}",
+                    timing["self_seconds"],
+                    inclusive_seconds=timing["seconds"],
+                    calls=timing["calls"],
+                )
+            tracer.end(
+                pages_read=exec_context.iostats.pages_read,
+                pages_hit=exec_context.iostats.pages_hit,
+                pages_pruned=exec_context.metrics.pages_pruned,
+                morsels=exec_context.metrics.morsels_executed,
+                shards_executed=exec_context.metrics.shards_executed,
             )
+        if query.has_output_shaping:
+            if tracer is not None:
+                with tracer.span("postprocess"):
+                    output = apply_output_shaping(
+                        output,
+                        query,
+                        skip_aggregates=exec_context.aggregates_prefolded,
+                    )
+            else:
+                output = apply_output_shaping(
+                    output, query, skip_aggregates=exec_context.aggregates_prefolded
+                )
         execution_seconds = execution_timer.elapsed()
+        if tracer is not None:
+            tracer.end(output_rows=output.row_count, cache_hit=cache_hit)
 
         return QueryResult(
             planner_name=prepared.planner,
             output=output,
-            planning_seconds=(
-                prepared.planning_seconds if planning_seconds is None else planning_seconds
-            ),
+            planning_seconds=reported_planning,
             execution_seconds=execution_seconds,
             metrics=exec_context.metrics,
             iostats=exec_context.iostats,
             plan_description=prepared.plan_description,
             cache_hit=cache_hit,
             kernel_tier=tier,
+            trace=tracer,
         )
 
     def explain(

@@ -120,6 +120,10 @@ class ShardSpec:
         table_versions: per-table version pins of the shipped tables.
         push_mode: ``"none"`` | ``"aggregate"`` | ``"limit"`` pushdown.
         query: the bound query (shipped only when a pushdown needs it).
+        trace: when True the worker runs under a private
+            :class:`~repro.obs.trace.Tracer` and ships the span tree back as
+            plain data; the coordinator re-anchors it into the query trace.
+            Never changes rows, metrics, or IO accounting.
     """
 
     kind: str
@@ -137,6 +141,7 @@ class ShardSpec:
     table_versions: dict
     push_mode: str = "none"
     query: object = None
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -161,7 +166,12 @@ class ShardTask:
 # Worker process
 # --------------------------------------------------------------------------- #
 def _run_task(task: ShardTask, tables: dict) -> tuple:
-    """Execute one shard's partition block; returns (payload, metrics, iostats)."""
+    """Execute one shard's partition block.
+
+    Returns ``(payload, metrics, iostats, trace_payload)`` where
+    ``trace_payload`` is the shipped span tree (plain data) when the spec
+    asked for tracing, else ``None``.
+    """
     from repro.engine.parallel import _morsel_pool
     from repro.mutation.snapshot import CatalogSnapshot
 
@@ -171,10 +181,16 @@ def _run_task(task: ShardTask, tables: dict) -> tuple:
         tables=tables,
         table_versions=dict(spec.table_versions),
     )
+    tracer = None
+    if spec.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
     context = ExecContext(
         collect_feedback=spec.collect_feedback,
         feedback_excluded_aliases=spec.feedback_excluded_aliases,
         kernels=spec.kernels,
+        tracer=tracer,
     )
     base_table = tables[spec.partition_table]
     morsels = [
@@ -194,16 +210,29 @@ def _run_task(task: ShardTask, tables: dict) -> tuple:
         for index, start, stop in task.ranges
     ]
 
-    def run_morsel(physical) -> tuple[OutputColumns, ExecContext]:
+    def run_morsel(block_range, physical) -> tuple[OutputColumns, ExecContext]:
         child = context.fork()
-        output = physical.execute(child)
+        if child.tracer is not None:
+            _index, start, stop = block_range
+            with child.tracer.span("morsel", start_row=start, stop_row=stop):
+                output = physical.execute(child)
+        else:
+            output = physical.execute(child)
         return output, child
 
+    if tracer is not None:
+        tracer.begin("shard", pid=os.getpid(), partitions=len(task.ranges))
     if task.parallelism <= 1 or len(morsels) == 1:
-        outcomes = [run_morsel(physical) for physical in morsels]
+        outcomes = [
+            run_morsel(block_range, physical)
+            for block_range, physical in zip(task.ranges, morsels)
+        ]
     else:
         pool = _morsel_pool(min(task.parallelism, len(morsels)))
-        futures = [pool.submit(run_morsel, physical) for physical in morsels]
+        futures = [
+            pool.submit(run_morsel, block_range, physical)
+            for block_range, physical in zip(task.ranges, morsels)
+        ]
         outcomes = [future.result() for future in futures]
 
     outputs = []
@@ -212,6 +241,11 @@ def _run_task(task: ShardTask, tables: dict) -> tuple:
         context.metrics.morsels_executed += 1
         outputs.append(output)
     merged = merge_output_columns(outputs)
+    if tracer is not None:
+        tracer.end(
+            pages_read=context.iostats.pages_read,
+            morsels=context.metrics.morsels_executed,
+        )
 
     if spec.push_mode == "aggregate":
         payload = ("partial", partial_aggregate(merged, spec.query))
@@ -221,7 +255,8 @@ def _run_task(task: ShardTask, tables: dict) -> tuple:
         payload = ("rows", limit(merged, spec.query.limit))
     else:
         payload = ("rows", merged)
-    return payload, context.metrics, context.iostats
+    trace_payload = tracer.to_payload() if tracer is not None else None
+    return payload, context.metrics, context.iostats, trace_payload
 
 
 def _worker_main(connection) -> None:
@@ -230,7 +265,8 @@ def _worker_main(connection) -> None:
     Protocol (coordinator -> worker): ``("exec", task, tables_payload)``
     where ``tables_payload`` maps table name to ``(token, table_or_None)``
     (None = use the cached copy), or ``None`` for graceful shutdown.
-    Worker -> coordinator: ``("ok", payload, metrics, iostats, evicted)`` or
+    Worker -> coordinator:
+    ``("ok", payload, metrics, iostats, evicted, trace_payload)`` or
     ``("error", formatted_traceback)``.
     """
     from repro.engine.parallel import shutdown_morsel_pools
@@ -271,8 +307,10 @@ def _worker_loop(connection, cache: dict) -> None:
                     continue
                 del cache[token]
                 evicted.append(token)
-            payload, metrics, iostats = _run_task(task, tables)
-            connection.send(("ok", payload, metrics, iostats, tuple(evicted)))
+            payload, metrics, iostats, trace_payload = _run_task(task, tables)
+            connection.send(
+                ("ok", payload, metrics, iostats, tuple(evicted), trace_payload)
+            )
         except BaseException:  # noqa: BLE001 - shipped back as a traceback
             try:
                 connection.send(("error", traceback.format_exc()))
@@ -356,8 +394,8 @@ class ShardPool:
     def run(self, spec: ShardSpec, tables: dict, assignments: list, parallelism: int):
         """Scatter one task per assignment block; gather results in order.
 
-        Returns ``[(payload, metrics, iostats), ...]`` in shard (= partition)
-        order.  A query error inside a worker raises
+        Returns ``[(payload, metrics, iostats, trace_payload), ...]`` in
+        shard (= partition) order.  A query error inside a worker raises
         :class:`ShardExecutionError` with the worker traceback and leaves the
         pool usable; a transport failure tears the pool down (a fresh pool is
         created on the next sharded query).
@@ -392,10 +430,10 @@ class ShardPool:
                                 f"shard worker failed:\n{reply[1]}"
                             )
                         continue
-                    _tag, payload, metrics, iostats, evicted = reply
+                    _tag, payload, metrics, iostats, evicted, trace_payload = reply
                     worker.shipped.update(tokens)
                     worker.shipped.difference_update(evicted)
-                    results.append((payload, metrics, iostats))
+                    results.append((payload, metrics, iostats, trace_payload))
                 if error is not None:
                     raise error
                 return results
@@ -534,6 +572,7 @@ def scatter_gather(
         },
         push_mode=push_mode,
         query=query if push_mode != "none" else None,
+        trace=context.tracer is not None,
     )
 
     # Contiguous blocks in partition order (np.array_split geometry): the
@@ -550,20 +589,37 @@ def scatter_gather(
             [(partition.index, partition.start, partition.stop) for partition in block]
         )
 
-    results = shard_pool(shards).run(spec, tables, assignments, parallelism)
+    tracer = context.tracer
+    if tracer is not None:
+        tracer.begin(
+            "shard.scatter_gather", shards=count, push_mode=push_mode
+        )
+    try:
+        results = shard_pool(shards).run(spec, tables, assignments, parallelism)
+    except BaseException:
+        if tracer is not None:
+            tracer.end(error=True)
+        raise
 
     outputs = []
     partials = []
-    for payload, metrics, iostats in results:
+    for payload, metrics, iostats, trace_payload in results:
         child = context.fork()
         child.metrics = metrics
         child.iostats = iostats
         context.absorb(child)
+        if tracer is not None and trace_payload is not None:
+            # Worker clocks have their own perf_counter origin; absorb
+            # re-anchors the shipped spans under the scatter-gather span
+            # (durations exact, cross-process offsets approximate).
+            tracer.absorb_payload(trace_payload)
         if payload[0] == "partial":
             partials.append(payload[1])
         else:
             outputs.append(payload[1])
     context.metrics.shards_executed += len(results)
+    if tracer is not None:
+        tracer.end()
 
     if push_mode == "aggregate":
         context.aggregates_prefolded = True

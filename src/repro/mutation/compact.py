@@ -51,6 +51,8 @@ from repro.mutation.wal import (
     read_wal,
     rewrite_wal,
 )
+from repro.obs.instruments import publish_compaction
+from repro.obs.trace import ambient_span
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
 from repro.storage.disk import (
@@ -108,11 +110,14 @@ class Compactor:
         their transactions are rebased onto the new generation.
         ``online=False`` holds the dataset write lock for the whole fold
         (the conservative stop-the-world mode; the swap is equally atomic).
+        Each run counts into the metrics registry and, under an ambient
+        tracer, is wrapped in a ``compaction`` span.
         """
-        if online:
-            return self._compact()
-        with dataset_write_lock(self.root):
-            return self._compact()
+        with ambient_span("compaction", online=online):
+            if online:
+                return self._compact()
+            with dataset_write_lock(self.root):
+                return self._compact()
 
     # ------------------------------------------------------------------ #
     def _compact(self) -> dict:
@@ -187,6 +192,7 @@ class Compactor:
                 _remove_stale_generation_dirs(root, new_manifest)
 
         tail_rows = sum(r["rows"] for r in rebased if r["op"] == "append")
+        publish_compaction(rows_reclaimed=reclaimed)
         return {
             "tables": len(staged),
             "records_folded": fold_point,

@@ -30,6 +30,8 @@ from pathlib import Path
 
 from repro.mutation.diskops import apply_ops_to_saved_catalog
 from repro.mutation.wal import applied_txn, dataset_write_lock, read_wal
+from repro.obs.instruments import publish_recovery
+from repro.obs.trace import ambient_span
 from repro.storage.disk import _read_manifest
 
 
@@ -40,12 +42,15 @@ def recover_saved_catalog(root: str | Path) -> dict:
     committed-but-unapplied transaction into the directory.  Idempotent and
     cheap when the dataset is clean (one WAL scan, no writes).  Returns a
     summary: ``{"wal": bool, "truncated_bytes": int, "replayed_txns": int,
-    "last_txn": int, "applied_txns": int}``.
+    "last_txn": int, "applied_txns": int}``.  Each pass counts into the
+    metrics registry and, under an ambient tracer, opens a ``recovery``
+    span.
     """
     root = Path(root)
-    with dataset_write_lock(root):
+    with dataset_write_lock(root), ambient_span("recovery") as span:
         state = read_wal(root)
         if state is None:
+            publish_recovery(replayed_txns=0)
             return {
                 "wal": False,
                 "truncated_bytes": 0,
@@ -63,6 +68,11 @@ def recover_saved_catalog(root: str | Path) -> dict:
                 continue
             apply_ops_to_saved_catalog(root, transaction.ops, wal_txn=transaction.txn)
             replayed += 1
+        publish_recovery(replayed_txns=replayed)
+        if span is not None:
+            span.attrs.update(
+                replayed_txns=replayed, truncated_bytes=state.tail_bytes
+            )
         return {
             "wal": True,
             "truncated_bytes": state.tail_bytes,

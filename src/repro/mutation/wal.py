@@ -53,6 +53,8 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.instruments import publish_wal_commit
+from repro.obs.trace import ambient_span
 from repro.testing import faults
 
 #: WAL file name inside a dataset directory.
@@ -347,21 +349,34 @@ class WalWriter:
         Writes every op record, then the commit marker, then fsyncs.  The
         transaction is committed the moment the marker's bytes are durable —
         the caller applies the effects to the dataset only afterwards.
+        Publishes commit / fsync / byte counters into the metrics registry
+        and, under an ambient tracer, wraps the append in a ``wal.commit``
+        span.
         """
-        txn = self._next_txn
-        for op in ops:
-            record = encode_record({"kind": "op", "txn": txn, **json_safe(op)})
-            if faults.is_armed("wal.partial_record"):
-                self._file.write(record[: max(1, len(record) // 2)])
-                faults.fire("wal.partial_record")
-            self._file.write(record)
-        faults.fire("wal.after_record")
-        self._file.write(encode_record({"kind": "commit", "txn": txn}))
-        faults.fire("wal.before_fsync")
-        if self.sync:
-            os.fsync(self._file.fileno())
-        self._next_txn = txn + 1
-        return txn
+        with ambient_span("wal.commit", ops=len(ops)):
+            txn = self._next_txn
+            bytes_written = 0
+            for op in ops:
+                record = encode_record({"kind": "op", "txn": txn, **json_safe(op)})
+                if faults.is_armed("wal.partial_record"):
+                    self._file.write(record[: max(1, len(record) // 2)])
+                    faults.fire("wal.partial_record")
+                self._file.write(record)
+                bytes_written += len(record)
+            faults.fire("wal.after_record")
+            marker = encode_record({"kind": "commit", "txn": txn})
+            self._file.write(marker)
+            bytes_written += len(marker)
+            faults.fire("wal.before_fsync")
+            if self.sync:
+                os.fsync(self._file.fileno())
+            self._next_txn = txn + 1
+            publish_wal_commit(
+                ops=len(ops),
+                bytes_written=bytes_written,
+                fsyncs=1 if self.sync else 0,
+            )
+            return txn
 
     def close(self) -> None:
         """Close the underlying file handle (the writer cannot be reused)."""

@@ -1,0 +1,40 @@
+"""Observability: query tracing, process metrics, and the slow-query log.
+
+Three cooperating pieces, all opt-in on the execution hot path:
+
+* :mod:`repro.obs.trace` — a hierarchical :class:`~repro.obs.trace.Tracer`
+  riding on ``ExecContext`` (span tree per query, per-operator timing,
+  merged across morsel threads and shard processes, exported as JSON or
+  Chrome trace events);
+* :mod:`repro.obs.registry` — a process-wide
+  :class:`~repro.obs.registry.MetricsRegistry` of counters / gauges /
+  histograms with Prometheus text exposition, fed by the standard
+  instrument catalog in :mod:`repro.obs.instruments`;
+* :mod:`repro.obs.slowlog` — a structured
+  :class:`~repro.obs.slowlog.SlowQueryLog` armed by
+  ``QueryService(slow_query_seconds=...)``.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .slowlog import SlowQueryLog, SlowQueryRecord
+from .trace import Span, Tracer, ambient_span, current_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "SlowQueryLog",
+    "SlowQueryRecord",
+    "Span",
+    "Tracer",
+    "ambient_span",
+    "current_tracer",
+]

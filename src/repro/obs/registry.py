@@ -1,0 +1,340 @@
+"""A process-wide metrics registry with Prometheus text exposition.
+
+The engine's per-query counters (:class:`~repro.engine.metrics.ExecutionMetrics`,
+:class:`~repro.storage.iostats.IOStats`) describe *one execution* and are
+discarded with the result.  A serving process additionally needs cumulative,
+machine-readable process state — how many queries ran, where the latency
+distribution sits, how often the page cache hits, how many fsyncs the WAL
+paid — which is what a :class:`MetricsRegistry` holds.
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing totals (``*_total``);
+* :class:`Gauge` — a value that goes up and down (hit rates, sizes);
+* :class:`Histogram` — fixed-bucket distributions (latencies, group sizes)
+  rendered with cumulative ``_bucket{le="..."}`` samples plus ``_sum`` and
+  ``_count``.
+
+``registry.render()`` emits the standard text exposition format (the thing a
+``/metrics`` endpoint serves and Prometheus scrapes); ``registry.snapshot()``
+returns the same state as a plain JSON-able dictionary (reused by
+``repro wal status --format json``).  All instruments are safe to update
+from multiple threads; updates are a lock plus an addition, cheap enough for
+per-read call sites.
+
+This module deliberately imports nothing from the rest of the package so any
+layer — storage, WAL, service — can publish into it without import cycles.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import re
+import threading
+
+#: Metric names must match the Prometheus data model.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default latency buckets (seconds) — sub-millisecond to tens of seconds,
+#: roughly logarithmic, suiting both cached lookups and heavy scans.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """A Prometheus-compatible rendering of one sample value."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+class _Instrument:
+    """Shared plumbing: name, help text, and the per-instrument lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def render(self) -> list[str]:
+        raise NotImplementedError
+
+    def snapshot_value(self):
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def _header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render(self) -> list[str]:
+        return self._header() + [f"{self.name} {_format_value(self._value)}"]
+
+    def snapshot_value(self):
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def render(self) -> list[str]:
+        return self._header() + [f"{self.name} {_format_value(self._value)}"]
+
+    def snapshot_value(self):
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket distribution (cumulative buckets at render time).
+
+    Buckets are upper bounds; an implicit ``+Inf`` bucket catches the rest.
+    Observation is a binary search plus three additions under the lock.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name} has duplicate bucket bounds")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # per-bucket, last = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_counts(self) -> list[int]:
+        """Cumulative per-bucket counts, ending with the total (``+Inf``)."""
+        with self._lock:
+            counts = list(self._counts)
+        total = 0
+        cumulative = []
+        for count in counts:
+            total += count
+            cumulative.append(total)
+        return cumulative
+
+    def render(self) -> list[str]:
+        cumulative = self.cumulative_counts()
+        lines = self._header()
+        for bound, count in zip(self.buckets, cumulative):
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_value(float(bound))}"}} {count}'
+            )
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative[-1]}')
+        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+    def snapshot_value(self):
+        cumulative = self.cumulative_counts()
+        return {
+            "buckets": {
+                _format_value(float(bound)): count
+                for bound, count in zip(self.buckets, cumulative)
+            },
+            "count": cumulative[-1],
+            "sum": self._sum,
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create registration.
+
+    Instruments register under a unique name; asking for an existing name
+    with the same kind returns the existing instrument (so independent
+    modules can share a metric), while a kind clash raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, cls, name: str, help_text: str, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind}, not a {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help_text, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the counter ``name``."""
+        return self._register(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._register(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (buckets fixed at creation)."""
+        return self._register(Histogram, name, help_text, buckets=buckets)
+
+    def get(self, name: str) -> _Instrument | None:
+        """The instrument registered under ``name``, or None."""
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format.
+
+        Metric families are emitted in sorted name order; the output ends
+        with a newline, as scrapers expect.
+        """
+        lines: list[str] = []
+        for name in self.names():
+            lines.extend(self._instruments[name].render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """The registry as a plain JSON-able dictionary.
+
+        Counters and gauges map to their value; histograms map to
+        ``{"buckets": {le: cumulative}, "count": n, "sum": s}``.  This is the
+        serialization ``repro wal status --format json`` (and anything else
+        that wants machine-readable metrics without a Prometheus parser)
+        reuses.
+        """
+        return {
+            name: self._instruments[name].snapshot_value() for name in self.names()
+        }
+
+    def snapshot_json(self, indent: int | None = 2) -> str:
+        """:meth:`snapshot` rendered as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Zero every instrument (tests and benchmark isolation)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+
+#: The process-wide registry every subsystem publishes into by default.
+GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return GLOBAL_REGISTRY

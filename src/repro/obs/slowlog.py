@@ -1,0 +1,88 @@
+"""The slow-query log: structured records for queries over a threshold.
+
+``QueryService(slow_query_seconds=0.5)`` arms the log; every execution whose
+end-to-end latency (planning + execution) meets the threshold emits one
+:class:`SlowQueryRecord` carrying enough context to reproduce and triage the
+query — fingerprint, planner, latency split, rows, pages read/pruned, plan
+cache hit, kernel tier, shard count — without the operator having to re-run
+it with tracing on.
+
+Records land in a bounded in-memory ring (newest kept) and, when a ``sink``
+callable is given, are also pushed there — a sink is how an embedder routes
+records to logging, a file, or an alerting pipeline.  A failing sink never
+fails the query; the record still lands in the ring.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+
+from .instruments import publish_slow_query
+
+
+@dataclass(frozen=True)
+class SlowQueryRecord:
+    """One over-threshold query, as reported by :class:`SlowQueryLog`."""
+
+    fingerprint: str
+    planner: str
+    elapsed_seconds: float
+    planning_seconds: float
+    execution_seconds: float
+    rows: int
+    pages_read: int
+    pages_pruned: int
+    cache_hit: bool
+    kernel_tier: str | None
+    shards: int | None
+
+    def as_dict(self) -> dict:
+        """The record as a plain dictionary."""
+        return asdict(self)
+
+    def as_json(self) -> str:
+        """The record as a single-line JSON document (log-friendly)."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+
+class SlowQueryLog:
+    """A bounded ring of :class:`SlowQueryRecord` with a pluggable sink."""
+
+    def __init__(
+        self,
+        threshold_seconds: float,
+        sink=None,
+        capacity: int = 256,
+    ) -> None:
+        if threshold_seconds < 0:
+            raise ValueError("slow-query threshold must be >= 0")
+        self.threshold_seconds = float(threshold_seconds)
+        self.sink = sink
+        self._records: deque[SlowQueryRecord] = deque(maxlen=capacity)
+
+    def observe(self, record: SlowQueryRecord) -> bool:
+        """Consider one finished query; returns True if it was logged."""
+        if record.elapsed_seconds < self.threshold_seconds:
+            return False
+        self._records.append(record)
+        publish_slow_query()
+        if self.sink is not None:
+            try:
+                self.sink(record)
+            except Exception:
+                # A broken sink must never fail the query that tripped it.
+                pass
+        return True
+
+    @property
+    def records(self) -> list[SlowQueryRecord]:
+        """The retained records, oldest first."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()

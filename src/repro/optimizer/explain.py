@@ -32,6 +32,18 @@ def _format_rows(value: float | None) -> str:
     return str(int(value))
 
 
+def _format_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.4f}"
+
+
+def _format_rate(rows: float | None, seconds: float | None) -> str:
+    if rows is None or seconds is None or seconds <= 0.0:
+        return "-"
+    return f"{rows / seconds:,.0f}"
+
+
 def explain_analyze_report(prepared, result) -> str:
     """A per-operator table of estimated vs. actual rows for one execution.
 
@@ -52,13 +64,22 @@ def explain_analyze_report(prepared, result) -> str:
     counters and the prepared plan's
     :class:`~repro.access.chooser.QueryAccessPlan`; ``-`` means the scan ran
     unpruned (full access path, or access paths disabled).
+
+    When the execution was traced (``result.trace`` is set), two more
+    columns report wall-clock per operator: ``actual s`` — the operator's
+    inclusive ``next_batch`` seconds, summed over invocations and, under
+    parallel execution, over workers (so it measures work, like the row
+    counts) — and ``rows/s`` (``act.out`` over those seconds).  Untraced
+    executions show ``-`` in both.
     """
     actuals = result.metrics.operator_actuals
     estimates = prepared.estimated_rows
     pruning = result.metrics.scan_pruning
     access_plan = prepared.access_plan
     kernel_tier = getattr(result, "kernel_tier", "off")
-    rows: list[tuple[str, str, str, str, str]] = []
+    trace = getattr(result, "trace", None)
+    timings = trace.operator_timings() if trace is not None else {}
+    rows: list[tuple[str, str, str, str, str, str, str]] = []
 
     def clause_order_annotation(node: FilterNode) -> str:
         """The fused kernels' clause evaluation order for a filter node.
@@ -97,12 +118,17 @@ def explain_analyze_report(prepared, result) -> str:
         elif isinstance(node, FilterNode):
             label += clause_order_annotation(node)
         actual = actuals.get(node.node_id)
+        timing = timings.get(node.node_id)
+        seconds = timing["seconds"] if timing is not None else None
+        actual_out = actual[1] if actual else None
         rows.append(
             (
                 label,
                 _format_rows(estimates.get(node.node_id)),
                 _format_rows(actual[0] if actual else None),
-                _format_rows(actual[1] if actual else None),
+                _format_rows(actual_out),
+                _format_seconds(seconds),
+                _format_rate(actual_out, seconds),
                 pruned,
             )
         )
@@ -112,10 +138,10 @@ def explain_analyze_report(prepared, result) -> str:
     roots = _plan_roots(prepared)
     for index, root in enumerate(roots):
         if index:
-            rows.append(("---", "", "", "", ""))
+            rows.append(("---", "", "", "", "", "", ""))
         walk(root, 0)
 
-    headers = ("operator", "est.rows", "act.in", "act.out", "pruned")
+    headers = ("operator", "est.rows", "act.in", "act.out", "actual s", "rows/s", "pruned")
     widths = [
         max(len(headers[column]), *(len(row[column]) for row in rows))
         for column in range(len(headers))

@@ -58,12 +58,29 @@ class PhysicalOperator(Generic[Batch]):
             child.open(context)
 
     def next_batch(self) -> Batch | None:
-        """The next output batch, or ``None`` once exhausted."""
-        if self._context is None:
+        """The next output batch, or ``None`` once exhausted.
+
+        When the context carries a tracer the call is timed (inclusive and
+        self time, accumulated per operator for EXPLAIN ANALYZE and the
+        trace export); the untraced path pays exactly one ``None`` test.
+        """
+        context = self._context
+        if context is None:
             raise RuntimeError(
                 f"{type(self).__name__}.next_batch() called before open()"
             )
-        return self._next(self._context)
+        tracer = context.tracer
+        if tracer is None:
+            return self._next(context)
+        started = tracer.op_enter()
+        try:
+            return self._next(context)
+        finally:
+            tracer.op_exit(
+                self.node_id if self.node_id is not None else -1,
+                type(self).__name__,
+                started,
+            )
 
     def close(self) -> None:
         """Release per-execution state (recursively)."""

@@ -44,6 +44,8 @@ from dataclasses import dataclass, field
 from repro.engine.metrics import ExecutionMetrics, Stopwatch, aggregate_metrics
 from repro.engine.result import QueryResult
 from repro.engine.session import PreparedPlan, Session
+from repro.obs import instruments
+from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
 from repro.optimizer.feedback import DEFAULT_QERROR_THRESHOLD, FeedbackStore
 from repro.plan.query import Query
 from repro.kernels.config import resolve_tier, validate_tier
@@ -163,6 +165,15 @@ class QueryService:
             service (``None`` keeps the session's setting).  The *resolved*
             tier is hashed into plan-cache fingerprints, so flipping the
             knob addresses separate cache slots instead of mixing tiers.
+        slow_query_seconds: arm the slow-query log — every query whose
+            end-to-end latency (cache lookup / planning plus execution)
+            meets this threshold emits a structured
+            :class:`~repro.obs.slowlog.SlowQueryRecord` into
+            :attr:`slow_query_log` and to ``slow_query_sink``.  ``None``
+            (the default) disables the log entirely.
+        slow_query_sink: optional callable receiving each
+            :class:`~repro.obs.slowlog.SlowQueryRecord`; exceptions it
+            raises are swallowed (a broken sink never fails a query).
     """
 
     def __init__(
@@ -177,12 +188,19 @@ class QueryService:
         qerror_threshold: float = DEFAULT_QERROR_THRESHOLD,
         kernels: str | None = None,
         shards: int | None = None,
+        slow_query_seconds: float | None = None,
+        slow_query_sink=None,
     ) -> None:
         if isinstance(session, Catalog):
             session = Session(session)
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
         self.session = session
+        self.slow_query_log = (
+            SlowQueryLog(slow_query_seconds, sink=slow_query_sink)
+            if slow_query_seconds is not None
+            else None
+        )
         self.parallelism = parallelism
         self.partitions = partitions
         self.shards = shards
@@ -230,28 +248,41 @@ class QueryService:
         query: Query | str,
         planner: str = "tcombined",
         naive_tags: bool = False,
+        trace=False,
     ) -> QueryResult:
         """Execute one query, reusing a cached plan when available.
 
         The oracle planner ``tmin`` executes every tagged candidate and keeps
         the fastest, so it has no single plan to cache; it is delegated to
         the wrapped session (still benefiting from the stats cache).
+
+        ``trace`` opts the execution into structured tracing exactly as in
+        :meth:`Session.execute_prepared` — the result carries the span tree.
+        Independently of tracing, every execution publishes into the global
+        metrics registry (query latency histogram, plan-cache hits/misses,
+        page/pruning counters) and is held against the slow-query threshold
+        when one is configured.
         """
         planner = planner.lower()
         query = self._bind(query)
+        wall_timer = Stopwatch()
         if planner == "tmin":
-            return self.session.execute(
+            result = self.session.execute(
                 query,
                 planner=planner,
                 naive_tags=naive_tags,
                 parallelism=self.parallelism,
                 partitions=self.partitions,
                 shards=self.shards,
+                trace=bool(trace),
             )
+            self._publish(result, wall_timer.elapsed(), key=None)
+            return result
 
         lookup_timer = Stopwatch()
         key = self._fingerprint(query, planner, naive_tags)
         prepared, reused = self._prepared_for(key, query, planner, naive_tags)
+        instruments.publish_plan_cache(hit=reused)
         if not reused:
             result = self.session.execute_prepared(
                 prepared,
@@ -260,6 +291,7 @@ class QueryService:
                 collect_feedback=self.feedback,
                 kernels=self.kernels,
                 shards=self.shards,
+                trace=trace,
             )
         else:
             result = self.session.execute_prepared(
@@ -271,10 +303,42 @@ class QueryService:
                 collect_feedback=self.feedback,
                 kernels=self.kernels,
                 shards=self.shards,
+                trace=trace,
             )
         if self.feedback:
             self._observe(key, prepared, result)
+        self._publish(result, wall_timer.elapsed(), key=key)
         return result
+
+    def _publish(
+        self, result: QueryResult, elapsed_seconds: float, key: str | None
+    ) -> None:
+        """Feed one finished execution into the registry and slow-query log."""
+        instruments.publish_query(
+            seconds=elapsed_seconds,
+            rows=result.row_count,
+            pages_read=result.iostats.pages_read,
+            pages_pruned=result.metrics.pages_pruned,
+            morsels=result.metrics.morsels_executed,
+            shard_tasks=result.metrics.shards_executed,
+        )
+        log = self.slow_query_log
+        if log is not None and elapsed_seconds >= log.threshold_seconds:
+            log.observe(
+                SlowQueryRecord(
+                    fingerprint=key if key is not None else f"<{result.planner_name}>",
+                    planner=result.planner_name,
+                    elapsed_seconds=elapsed_seconds,
+                    planning_seconds=result.planning_seconds,
+                    execution_seconds=result.execution_seconds,
+                    rows=result.row_count,
+                    pages_read=result.iostats.pages_read,
+                    pages_pruned=result.metrics.pages_pruned,
+                    cache_hit=result.cache_hit,
+                    kernel_tier=result.kernel_tier,
+                    shards=self.shards,
+                )
+            )
 
     def _prepared_for(self, key: str, query, planner: str, naive_tags: bool):
         """The prepared plan for ``key``: cached, awaited, or freshly planned.
@@ -337,6 +401,8 @@ class QueryService:
         )
         if self.feedback_store.should_replan(key, self.qerror_threshold):
             self.plan_cache.invalidate_entry(key)
+        stats = self.feedback_store.stats
+        instruments.publish_feedback(stats.observations, stats.replans)
 
     def warm(
         self,
@@ -493,7 +559,9 @@ class QueryService:
         if isinstance(self.stats_cache, StatsCache):
             metrics["stats_cache"] = self.stats_cache.stats.as_dict()
         if self.feedback:
-            metrics["feedback"] = self.feedback_store.stats.as_dict()
+            feedback = dict(self.feedback_store.stats.as_dict())
+            feedback["entries"] = len(self.feedback_store)
+            metrics["feedback"] = feedback
         return metrics
 
     def close(self) -> None:

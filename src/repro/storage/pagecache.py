@@ -14,6 +14,8 @@ import itertools
 import threading
 from collections.abc import Hashable, Iterable
 
+from repro.obs import instruments
+
 
 class LFUPageCache:
     """Least-frequently-used cache over opaque page identifiers.
@@ -75,7 +77,12 @@ class LFUPageCache:
         return False
 
     def access_many(self, page_ids: Iterable[Hashable]) -> tuple[int, int]:
-        """Access a batch of pages; return ``(misses, hits)``."""
+        """Access a batch of pages; return ``(misses, hits)``.
+
+        The batch also publishes into the process metrics registry (one
+        counter add per outcome kind, outside the cache lock) so scrapes see
+        cumulative page-cache traffic across all queries.
+        """
         misses = 0
         hits = 0
         with self._lock:
@@ -84,6 +91,8 @@ class LFUPageCache:
                     hits += 1
                 else:
                     misses += 1
+        if hits or misses:
+            instruments.publish_page_cache(hits, misses)
         return misses, hits
 
     def clear(self) -> None:

@@ -229,7 +229,8 @@ class TestServe:
         )
         assert main(["serve", "--data", data]) == 0
         out = capsys.readouterr().out
-        assert "[plan cache miss]" in out
+        assert "[plan cache miss | " in out
+        assert "s elapsed]" in out
         assert "plan_cache" in out  # \stats table
 
     def test_serve_runs_unterminated_statement_at_eof(
@@ -243,4 +244,4 @@ class TestServe:
             "sys.stdin", io.StringIO("SELECT T0.id FROM T0 WHERE T0.A1 < 0.5")
         )
         assert main(["serve", "--data", data]) == 0
-        assert "[plan cache miss]" in capsys.readouterr().out
+        assert "[plan cache miss | " in capsys.readouterr().out

@@ -1,0 +1,223 @@
+"""Tests of the metrics registry: instruments, Prometheus exposition, CLI.
+
+The format checker here is deliberately strict — it re-parses ``render()``
+line by line against the Prometheus text exposition grammar (HELP/TYPE
+headers, sample-line shape, cumulative non-decreasing buckets, ``+Inf``
+bucket equal to ``_count``) rather than grepping for substrings, so a
+malformed exposition fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_VALUE = r"(?:[+-]?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|\+Inf|-Inf|NaN)"
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) (.+)$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_METRIC_NAME}) (counter|gauge|histogram)$")
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})(?:\{{le=\"({_VALUE})\"\}})? ({_VALUE})$"
+)
+
+
+def check_prometheus_text(text: str) -> list[str]:
+    """Validate Prometheus text exposition; returns the family names seen."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    lines = text.splitlines()
+    families: list[str] = []
+    index = 0
+    while index < len(lines):
+        help_match = _HELP_RE.match(lines[index])
+        assert help_match, f"expected # HELP, got {lines[index]!r}"
+        name = help_match.group(1)
+        assert index + 1 < len(lines), f"family {name} has no TYPE line"
+        type_match = _TYPE_RE.match(lines[index + 1])
+        assert type_match, f"expected # TYPE, got {lines[index + 1]!r}"
+        assert type_match.group(1) == name, "TYPE names a different metric"
+        kind = type_match.group(2)
+        index += 2
+        samples = []
+        while index < len(lines) and not lines[index].startswith("#"):
+            sample = _SAMPLE_RE.match(lines[index])
+            assert sample, f"malformed sample line {lines[index]!r}"
+            samples.append(sample)
+            index += 1
+        if kind in ("counter", "gauge"):
+            assert len(samples) == 1, f"{name}: expected one sample"
+            assert samples[0].group(1) == name
+            assert samples[0].group(2) is None, f"{name}: unexpected le label"
+            if kind == "counter":
+                assert float(samples[0].group(3)) >= 0.0
+        else:
+            buckets = [s for s in samples if s.group(1) == f"{name}_bucket"]
+            sums = [s for s in samples if s.group(1) == f"{name}_sum"]
+            counts = [s for s in samples if s.group(1) == f"{name}_count"]
+            assert len(buckets) >= 2, f"{name}: need at least one bound + +Inf"
+            assert len(sums) == 1 and len(counts) == 1
+            assert all(s.group(2) is not None for s in buckets)
+            assert buckets[-1].group(2) == "+Inf", f"{name}: last bucket not +Inf"
+            cumulative = [float(s.group(3)) for s in buckets]
+            assert cumulative == sorted(cumulative), f"{name}: buckets decrease"
+            assert cumulative[-1] == float(counts[0].group(3))
+            bounds = [float(s.group(2)) for s in buckets[:-1]]
+            assert bounds == sorted(bounds), f"{name}: bounds out of order"
+        families.append(name)
+    assert families == sorted(families), "families must render in sorted order"
+    return families
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_negative(self):
+        counter = Counter("c_total", "help")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g", "help")
+        gauge.set(2.5)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == 3.0
+
+    def test_histogram_buckets_observations(self):
+        hist = Histogram("h", "help", buckets=(1.0, 10.0))
+        for value in (0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == 56.0
+        assert hist.cumulative_counts() == [2, 3, 4]
+
+    def test_histogram_boundary_lands_in_its_bucket(self):
+        # le="1.0" means <= 1.0: an observation exactly on the bound counts.
+        hist = Histogram("h", "help", buckets=(1.0, 10.0))
+        hist.observe(1.0)
+        assert hist.cumulative_counts() == [1, 1, 1]
+
+    def test_histogram_rejects_degenerate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", "help", buckets=(1.0, 1.0))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help")
+        second = registry.counter("x_total")
+        assert first is second
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("0bad")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.gauge("has space")
+
+    def test_render_is_valid_prometheus(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "a counter").inc(3)
+        registry.gauge("a_gauge", "a gauge").set(1.5)
+        hist = registry.histogram("c_seconds", "a histogram", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        families = check_prometheus_text(registry.render())
+        assert families == ["a_gauge", "b_total", "c_seconds"]
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("n_total").inc(2)
+        hist = registry.histogram("h_seconds", buckets=(1.0,))
+        hist.observe(0.5)
+        snapshot = json.loads(registry.snapshot_json())
+        assert snapshot["n_total"] == 2
+        assert snapshot["h_seconds"] == {"buckets": {"1": 1}, "count": 1, "sum": 0.5}
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("n_total").inc(9)
+        registry.histogram("h_seconds").observe(1.0)
+        registry.reset()
+        assert registry.snapshot()["n_total"] == 0
+        assert registry.snapshot()["h_seconds"]["count"] == 0
+
+    def test_global_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestCli:
+    def _dataset(self, tmp_path) -> str:
+        root = tmp_path / "data"
+        assert main(
+            ["generate", "synthetic", "--out", str(root), "--table-size", "200"]
+        ) == 0
+        return str(root)
+
+    def test_metrics_verb_emits_required_series(self, tmp_path, capsys):
+        data = self._dataset(tmp_path)
+        sql = "SELECT * FROM T0 JOIN T1 ON T0.id = T1.fid WHERE T1.A1 < 0.2"
+        capsys.readouterr()
+        assert main(["metrics", "--data", data, "--sql", f"{sql}; {sql}"]) == 0
+        out = capsys.readouterr().out
+        families = check_prometheus_text(out)
+        for required in (
+            "repro_plan_cache_hit_rate",
+            "repro_page_cache_hits_total",
+            "repro_page_cache_misses_total",
+            "repro_wal_fsyncs_total",
+            "repro_query_seconds",
+            "repro_queries_total",
+        ):
+            assert required in families, f"missing metric family {required}"
+        # The two identical statements make the second a plan-cache hit.
+        assert re.search(r"^repro_plan_cache_hits_total [1-9]", out, re.M)
+        assert re.search(r"^repro_query_seconds_count [1-9]", out, re.M)
+
+    def test_wal_status_json_uses_registry_snapshot(self, tmp_path, capsys):
+        data = self._dataset(tmp_path)
+        row = {f"A{i}": 0.5 for i in range(1, 8)}
+        row["fid"] = 1
+        assert main(
+            ["insert", "--data", data, "--table", "T1", "--values", json.dumps([row])]
+        ) == 0
+        capsys.readouterr()
+        assert main(["wal", "status", "--data", data, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["repro_wal_exists"] == 1
+        assert document["repro_wal_committed_txns"] == 1
+        assert document["repro_wal_pending_txns"] == 0
+        assert document["repro_wal_size_bytes"] > 0
+
+    def test_wal_status_json_without_wal(self, tmp_path, capsys):
+        data = self._dataset(tmp_path)
+        capsys.readouterr()
+        assert main(["wal", "status", "--data", data, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["repro_wal_exists"] == 0

@@ -265,6 +265,29 @@ def test_batch_aggregates(service):
     assert totals.output_rows == sum(item.result.metrics.output_rows for item in report)
 
 
+def test_queries_per_second_guards_against_zero_wall_clock(service):
+    from repro.service.service import BatchItem, BatchReport
+
+    result = service.execute(SQL)
+    item = BatchItem(index=0, query=SQL, planner="tcombined", result=result)
+    # A batch of cached sub-resolution queries can clock wall_seconds == 0.0
+    # on coarse timers; the rate must degrade to 0.0, not divide by zero.
+    assert BatchReport(items=[item], wall_seconds=0.0).queries_per_second == 0.0
+    assert BatchReport(items=[item], wall_seconds=-1.0).queries_per_second == 0.0
+    assert BatchReport(items=[item], wall_seconds=0.5).queries_per_second == 2.0
+
+
+def test_cache_metrics_include_feedback_observation_count(synthetic_session):
+    with QueryService(synthetic_session, feedback=True) as feedback_service:
+        query = make_dnf_query(num_root_clauses=2, selectivity=0.4)
+        feedback_service.execute(query, planner="tcombined")
+        metrics = feedback_service.cache_metrics()
+    feedback = metrics["feedback"]
+    assert feedback["observations"] >= 1
+    assert feedback["entries"] >= 1
+    assert "replans" in feedback
+
+
 # --------------------------------------------------------------------------- #
 # PlanCache unit behaviour
 # --------------------------------------------------------------------------- #
