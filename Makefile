@@ -5,9 +5,9 @@ PYTHON ?= python
 RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
 
 # Tag stamped into the BENCH_*.json artifacts written by `make bench`.
-BENCH_TAG ?= PR9
+BENCH_TAG ?= PR10
 
-.PHONY: test lint test-crash bench-smoke bench bench-parallel bench-shards bench-feedback bench-index bench-ingest bench-wal bench-kernels bench-obs docs-check examples
+.PHONY: test lint test-crash bench-smoke bench bench-parallel bench-shards bench-feedback bench-index bench-ingest bench-wal bench-kernels bench-obs bench-history docs-check examples
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -37,6 +37,7 @@ bench-smoke:
 	    benchmarks/bench_wal_overhead.py \
 	    benchmarks/bench_kernel_fusion.py \
 	    benchmarks/bench_obs_overhead.py \
+	    benchmarks/bench_history_overhead.py \
 	    benchmarks/bench_fig4a_selectivity.py -q --benchmark-disable \
 	    -k "not speedup and not overhead"
 
@@ -88,6 +89,13 @@ bench-kernels:
 ## BENCH_*.json
 bench-obs:
 	$(RUN) -m pytest benchmarks/bench_obs_overhead.py -q
+
+## workload-history price: statistics + journal + regression detection
+## overhead guard (the equivalence half also runs in bench-smoke; this
+## target adds the timing guard), persists its measurements into the
+## current BENCH_*.json
+bench-history:
+	$(RUN) -m pytest benchmarks/bench_history_overhead.py -q
 
 ## full benchmark suite with timing (slow); always leaves a BENCH_*.json
 ## artifact behind so the perf trajectory is tracked

@@ -1,0 +1,121 @@
+"""Workload history overhead: recording statistics must stay near-free.
+
+PR 10 extends the PR-9 guarantee to the workload-history subsystem:
+per-fingerprint statistics, the persistent event journal, and regression
+detection are pure observers.  This benchmark prices them by running the
+same query stream through a :class:`~repro.service.QueryService` two
+ways:
+
+* **bare** — no :class:`~repro.obs.history.WorkloadHistory` attached:
+  the publish step reduces to a None check, the pre-PR-10 hot path;
+* **history** — a full history with an on-disk journal and the
+  regression detector enabled, the `repro serve`/`repro batch
+  --history-journal` configuration.
+
+Assertions:
+
+* **equivalence** (always; part of ``make bench-smoke``) — both modes
+  return byte-identical rows and identical IO accounting, and history
+  counted every measured call exactly once;
+* **overhead guard** (timing; deselected by ``make bench-smoke``, run by
+  ``make bench-history``) — median per-query latency with history on
+  stays within **1.05x** of bare.
+
+Results are persisted to ``BENCH_PR10.json`` (see
+:mod:`repro.bench.persist`).
+
+Not tied to a paper figure — this benchmarks the repo's observability
+subsystem, not the paper's planners (see docs/benchmarks.md).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro import QueryService, Session
+from repro.bench.persist import record_bench_result
+from repro.obs.history import WorkloadHistory
+from repro.workloads.synthetic import SyntheticConfig, generate_synthetic_catalog
+
+#: Rows per synthetic table.
+TABLE_SIZE = 4_000
+
+#: Measured repetitions of the query list per mode (after WARMUP discarded).
+REPEAT = 40
+WARMUP = 5
+
+QUERIES = (
+    "SELECT * FROM T0 JOIN T1 ON T0.id = T1.fid "
+    "WHERE T1.A1 < 0.2 OR (T1.A2 > 0.8 AND T0.A1 < 0.5)",
+    "SELECT * FROM T0 JOIN T2 ON T0.id = T2.fid "
+    "WHERE T2.A3 < 0.3 OR T0.A2 > 0.9",
+)
+
+MODES = ("bare", "history")
+
+
+@pytest.fixture(scope="module")
+def measured(tmp_path_factory):
+    catalog = generate_synthetic_catalog(SyntheticConfig(table_size=TABLE_SIZE, seed=3))
+    journal = tmp_path_factory.mktemp("history") / "bench.journal"
+    history = WorkloadHistory(journal_path=journal)
+    services = {
+        "bare": QueryService(Session(catalog, parallelism=2)),
+        "history": QueryService(Session(catalog, parallelism=2), history=history),
+    }
+    latencies = {name: [] for name in MODES}
+    results = {}
+    try:
+        # Interleaved per repetition so clock drift and cache warm-up hit
+        # both modes equally.
+        for repetition in range(WARMUP + REPEAT):
+            for name in MODES:
+                for sql in QUERIES:
+                    start = time.perf_counter()
+                    services[name].execute(sql)
+                    if repetition >= WARMUP:
+                        latencies[name].append(time.perf_counter() - start)
+        for name in MODES:
+            results[name] = [services[name].execute(sql) for sql in QUERIES]
+    finally:
+        for service in services.values():
+            service.close()
+        history.close()
+
+    bare_s, history_s = (statistics.median(latencies[name]) for name in MODES)
+    payload = {
+        "queries": len(QUERIES),
+        "repetitions": REPEAT,
+        "bare_ms": bare_s * 1e3,
+        "history_on_ms": history_s * 1e3,
+        "history_overhead_x": history_s / bare_s,
+        "journal_bytes": journal.stat().st_size,
+        "fingerprints": len(history.stats),
+    }
+    record_bench_result("history_overhead", payload)
+    return {"payload": payload, "results": results, "history": history}
+
+
+def test_history_modes_return_identical_results(measured):
+    bare, history = (measured["results"][mode] for mode in MODES)
+    for bare_r, history_r in zip(bare, history):
+        assert bare_r.rows == history_r.rows
+        assert bare_r.iostats.as_dict() == history_r.iostats.as_dict()
+        assert bare_r.metrics.as_dict() == history_r.metrics.as_dict()
+    # Every measured call was counted exactly once.
+    store = measured["history"].stats
+    calls = sum(entry.calls for entry in store.entries())
+    assert calls == (WARMUP + REPEAT + 1) * len(QUERIES)
+    assert len(store) == len(QUERIES)
+
+
+def test_history_recording_overhead_guard(measured):
+    payload = measured["payload"]
+    assert payload["history_overhead_x"] <= 1.05, (
+        f"history recording overhead {payload['history_overhead_x']:.3f}x "
+        f"exceeds 1.05x (bare {payload['bare_ms']:.3f}ms, history-on "
+        f"{payload['history_on_ms']:.3f}ms)"
+    )

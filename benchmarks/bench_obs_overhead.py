@@ -19,7 +19,7 @@ Assertions:
   ``make bench-obs``) — median per-query latency stays within **1.05x** of
   bare with metrics on, and within **1.25x** with tracing on.
 
-Results are persisted to ``BENCH_PR9.json`` (see :mod:`repro.bench.persist`).
+Results are persisted to ``BENCH_PR10.json`` (see :mod:`repro.bench.persist`).
 
 Not tied to a paper figure — this benchmarks the repo's observability
 subsystem, not the paper's planners (see docs/benchmarks.md).

@@ -32,7 +32,7 @@ RESULTS_PATH_ENV = "BENCH_RESULTS_PATH"
 #: root under ``make bench``).  Bumped per PR so each PR's benchmark
 #: campaign leaves its own artifact; earlier ``BENCH_*.json`` files stay on
 #: the record.
-DEFAULT_RESULTS_FILE = "BENCH_PR9.json"
+DEFAULT_RESULTS_FILE = "BENCH_PR10.json"
 
 
 def host_context() -> dict:

@@ -21,8 +21,14 @@ Subcommands::
                committed-but-unapplied transactions (load_catalog does this
                automatically on open; the verb makes it explicit/scriptable)
     wal        inspect the write-ahead log (``wal status [--format json]``)
-    metrics    print the process metrics registry in Prometheus text format,
-               optionally after running queries to populate it
+    metrics    print the process metrics registry (``--format prometheus``
+               text or ``--format json``), optionally after running queries
+               to populate it
+    history    per-fingerprint workload statistics replayed from a dataset's
+               event journal (``history [top]`` / ``history regressions``,
+               ``--format table|json``)
+    top        a refreshing top-N view over the same journal (like ``top``
+               for queries; ``--iterations 1`` prints once and exits)
     table      introspect a saved dataset (``table stats <name>``)
     index      create / drop / list secondary indexes on a saved dataset
     fuzz       differential-test all planners against the naive oracle
@@ -42,6 +48,11 @@ Examples::
     python -m repro query  --data data/t0t1t2 --snapshot 0 --sql "..."   # pre-mutation state
     python -m repro query  --data data/t0t1t2 --trace trace.json --sql "..."
     python -m repro metrics --data data/t0t1t2 --sql "SELECT * FROM T0"
+    python -m repro metrics --data data/t0t1t2 --format json
+    python -m repro batch --data data/t0t1t2 --file q.sql --history-journal hist.journal
+    python -m repro history --data data/t0t1t2 --top 10 --by total_seconds
+    python -m repro history regressions --data data/t0t1t2
+    python -m repro top --data data/t0t1t2 --iterations 1
     python -m repro compact --data data/t0t1t2 --online
     python -m repro recover --data data/t0t1t2
     python -m repro wal status --data data/t0t1t2 --format json
@@ -282,6 +293,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     statements = statements * args.repeat
 
     session = _session_for(args)
+    history = _history_for(args)
     with QueryService(
         session,
         plan_cache_size=args.cache_size,
@@ -291,6 +303,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         qerror_threshold=args.qerror_threshold,
         slow_query_seconds=args.slow_query_seconds,
         slow_query_sink=_slow_query_sink if args.slow_query_seconds is not None else None,
+        slow_query_log_path=args.slow_query_log,
+        slow_query_log_keep=args.slow_query_log_keep,
+        history=history,
     ) as service:
         report = service.execute_batch(statements, planner=args.planner)
         rows = []
@@ -318,6 +333,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(format_table(
                 ["counter", "value"], sorted(report.total_metrics().as_dict().items())
             ))
+        if history is not None:
+            history.close()
         return 0 if len(report.succeeded) == len(report) else 1
 
 
@@ -334,9 +351,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if interactive:
         print(
             f"repro serve — planner={args.planner}; terminate statements with ';', "
-            "'\\stats' shows cache metrics, '\\metrics' the Prometheus registry, "
+            "'\\stats' shows cache metrics, '\\metrics [json]' the registry, "
+            "'\\top' the heaviest fingerprints, '\\history' full history, "
             "'\\quit' exits."
         )
+    history = _history_for(args, default_memory=True)
     with QueryService(
         session,
         plan_cache_size=args.cache_size,
@@ -344,6 +363,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         qerror_threshold=args.qerror_threshold,
         slow_query_seconds=args.slow_query_seconds,
         slow_query_sink=_slow_query_sink if args.slow_query_seconds is not None else None,
+        slow_query_log_path=args.slow_query_log,
+        slow_query_log_keep=args.slow_query_log_keep,
+        history=history,
     ) as service:
 
         def run_statement(statement: str) -> None:
@@ -373,13 +395,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             stripped = line.strip()
             if stripped in (r"\quit", r"\q", "exit", "quit") and not buffer.strip():
                 break
-            if stripped == r"\stats" and not buffer.strip():
+            if stripped in (r"\stats",) and not buffer.strip():
                 _print_cache_metrics(service)
                 continue
-            if stripped == r"\metrics" and not buffer.strip():
+            metrics_parts = stripped.split()
+            if (
+                metrics_parts
+                and metrics_parts[0] == r"\metrics"
+                and len(metrics_parts) <= 2
+                and not buffer.strip()
+            ):
                 from repro.obs.registry import get_registry
 
-                print(get_registry().render(), end="")
+                form = metrics_parts[1] if len(metrics_parts) == 2 else "prometheus"
+                if form not in ("prometheus", "json"):
+                    print(r"usage: \metrics [prometheus|json]", file=sys.stderr)
+                elif form == "json":
+                    print(get_registry().snapshot_json())
+                else:
+                    print(get_registry().render(), end="")
+                continue
+            if stripped == r"\top" and not buffer.strip():
+                entries = history.stats.top(10, by="total_seconds")
+                print(
+                    f"{len(history.stats)} fingerprints, "
+                    f"{len(history.regressions)} regression(s)"
+                )
+                print(_history_table(entries) if entries else "(no queries yet)")
+                if history.regressions:
+                    print(_regression_table(history.regressions))
+                continue
+            if stripped == r"\history" and not buffer.strip():
+                entries = history.stats.top(len(history.stats) or 1)
+                print(_history_table(entries) if entries else "(no queries yet)")
                 continue
             # Only terminated statements run; the unterminated tail (e.g. a
             # multi-line statement, or a ';' hidden inside a string literal)
@@ -387,6 +435,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             statements, buffer = scan_statements(buffer + line)
             for statement in statements:
                 run_statement(statement)
+    if history is not None:
+        history.close()
     return 0
 
 
@@ -430,14 +480,39 @@ def _cmd_delete(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_history(args: argparse.Namespace):
+    """Install an ambient history for a maintenance verb; returns a restorer.
+
+    ``repro compact --history-journal X`` / ``repro recover ...`` journal
+    their compaction/recovery events through the ambient seam the mutation
+    subsystem publishes into.  Returns a zero-argument cleanup callable.
+    """
+    from repro.obs.history import WorkloadHistory, set_history
+
+    journal = getattr(args, "history_journal", None)
+    if journal is None:
+        return lambda: None
+    history = WorkloadHistory(journal_path=journal)
+    previous = set_history(history)
+
+    def restore() -> None:
+        set_history(previous)
+        history.close()
+
+    return restore
+
+
 def _cmd_compact(args: argparse.Namespace) -> int:
     from repro.mutation.diskops import compact_saved_catalog
 
+    restore = _install_history(args)
     try:
         summary = compact_saved_catalog(args.data, online=args.online)
     except (KeyError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        restore()
     print(
         f"compacted {summary['tables']} tables: folded {summary['records_folded']} "
         f"append-log records, reclaimed {summary['rows_reclaimed']} deleted rows "
@@ -449,11 +524,14 @@ def _cmd_compact(args: argparse.Namespace) -> int:
 def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.mutation.recovery import recover_saved_catalog
 
+    restore = _install_history(args)
     try:
         summary = recover_saved_catalog(args.data)
     except (KeyError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        restore()
     if not summary["wal"]:
         print("no write-ahead log: nothing to recover")
         return 0
@@ -476,6 +554,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             statements.extend(split_statements(handle.read()))
     for sql in args.sql or ():
         statements.extend(split_statements(sql))
+    history = _history_for(args)
     if statements:
         session = _session_for(args)
         with QueryService(
@@ -483,19 +562,193 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             feedback=args.feedback,
             qerror_threshold=args.qerror_threshold,
             slow_query_seconds=args.slow_query_seconds,
+            slow_query_log_path=args.slow_query_log,
+            slow_query_log_keep=args.slow_query_log_keep,
+            history=history,
         ) as service:
             for statement in statements:
                 try:
                     service.execute(statement, planner=args.planner)
                 except Exception as error:  # noqa: BLE001 - still render the registry
                     print(f"error: {error}", file=sys.stderr)
+    if history is not None:
+        history.close()
     registry = get_registry()
     try:
         publish_wal_status(registry, wal_status(args.data))
     except (KeyError, ValueError, OSError) as error:
         print(f"warning: wal status unavailable: {error}", file=sys.stderr)
-    print(registry.render(), end="")
+    if args.format == "json":
+        print(registry.snapshot_json())
+    else:
+        print(registry.render(), end="")
     return 0
+
+
+def _journal_path(args: argparse.Namespace):
+    """The journal file the history verbs read: --journal, else <data>/history.journal."""
+    import os
+
+    from repro.obs.journal import JOURNAL_NAME
+
+    if getattr(args, "journal", None):
+        return args.journal
+    if getattr(args, "data", None):
+        return os.path.join(args.data, JOURNAL_NAME)
+    return None
+
+
+def _history_for(args: argparse.Namespace, default_memory: bool = False):
+    """A WorkloadHistory for a serving verb, or None when none was asked for.
+
+    ``--history-journal PATH`` arms the persistent journal;
+    ``--trace-sample-rate`` attaches sampled traces to its query events.
+    ``default_memory=True`` (the serve REPL) keeps in-memory statistics even
+    without a journal so ``\\top`` has something to show.
+    """
+    from repro.obs.history import WorkloadHistory
+
+    journal = getattr(args, "history_journal", None)
+    if journal is None and not default_memory:
+        return None
+    return WorkloadHistory(
+        journal_path=journal,
+        trace_sample_rate=getattr(args, "trace_sample_rate", 0.0),
+    )
+
+
+def _short(fingerprint: str, width: int = 16) -> str:
+    """Fingerprints are long hashes; the tables show a readable prefix."""
+    return fingerprint if len(fingerprint) <= width else fingerprint[:width]
+
+
+def _history_table(entries) -> str:
+    rows = [
+        [
+            _short(entry.fingerprint),
+            entry.planner,
+            entry.calls,
+            entry.errors,
+            entry.rows,
+            f"{entry.total_seconds:.4f}",
+            f"{entry.mean_seconds * 1e3:.2f}",
+            f"{entry.percentile(95) * 1e3:.2f}",
+            entry.pages_read,
+            entry.cache_hits,
+            entry.replans,
+        ]
+        for entry in entries
+    ]
+    return format_table(
+        [
+            "fingerprint",
+            "planner",
+            "calls",
+            "errors",
+            "rows",
+            "total (s)",
+            "mean (ms)",
+            "p95 (ms)",
+            "pages",
+            "cache hits",
+            "replans",
+        ],
+        rows,
+    )
+
+
+def _regression_table(events) -> str:
+    rows = [
+        [
+            _short(event.fingerprint),
+            event.metric,
+            f"{event.baseline:.4f}",
+            f"{event.recent:.4f}",
+            f"{event.ratio:.2f}x",
+            event.plan_hash or "-",
+            event.calls,
+        ]
+        for event in events
+    ]
+    return format_table(
+        ["fingerprint", "metric", "baseline", "recent", "ratio", "plan hash", "at call"],
+        rows,
+    )
+
+
+def _replayed_history(args: argparse.Namespace):
+    """Replay the journal named by the args into a fresh history, or None."""
+    import os
+
+    from repro.obs.history import WorkloadHistory
+
+    journal = _journal_path(args)
+    if journal is None:
+        print("no journal: give --journal PATH or --data DIR", file=sys.stderr)
+        return None
+    if not os.path.exists(journal):
+        print(f"no history journal at {journal}", file=sys.stderr)
+        return None
+    return WorkloadHistory.replay(
+        journal,
+        regression_threshold=args.threshold,
+        baseline_calls=args.baseline_calls,
+        regression_window=args.window,
+    )
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    import json
+
+    history = _replayed_history(args)
+    if history is None:
+        return 2
+    if args.history_command == "regressions":
+        events = history.regressions
+        if args.format == "json":
+            print(json.dumps([event.as_dict() for event in events], indent=2))
+        elif not events:
+            print("no plan regressions detected")
+        else:
+            print(_regression_table(events))
+        return 0
+    entries = history.stats.top(args.top, by=args.by)
+    if args.format == "json":
+        print(json.dumps([entry.as_dict() for entry in entries], indent=2))
+    elif not entries:
+        print("no query history recorded")
+    else:
+        print(_history_table(entries))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    iterations = 0
+    try:
+        while True:
+            history = _replayed_history(args)
+            if history is None:
+                return 2
+            if sys.stdout.isatty() and iterations:
+                print("\x1b[2J\x1b[H", end="")
+            entries = history.stats.top(args.top, by=args.by)
+            total_calls = sum(entry.calls for entry in history.stats.entries())
+            print(
+                f"repro top — {len(history.stats)} fingerprints, "
+                f"{total_calls} calls, {len(history.regressions)} regression(s) "
+                f"[by {args.by}]"
+            )
+            print(_history_table(entries) if entries else "(no query history yet)")
+            if history.regressions:
+                print(_regression_table(history.regressions))
+            iterations += 1
+            if args.iterations is not None and iterations >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_wal_status(args: argparse.Namespace) -> int:
@@ -645,6 +898,73 @@ def _add_feedback_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_history_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--history-journal",
+        metavar="PATH",
+        default=None,
+        help="record workload history (per-fingerprint statistics, query / "
+        "re-plan / slow-query / regression events) into a persistent "
+        "checksummed journal at PATH (read back with 'repro history' "
+        "and 'repro top')",
+    )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        help="fraction of journaled query events carrying a full trace "
+        "attachment (0 = never, 1 = always; requires --history-journal)",
+    )
+    parser.add_argument(
+        "--slow-query-log",
+        metavar="PATH",
+        default=None,
+        help="also write slow-query records (one JSON line each) to PATH, "
+        "rotated by size (requires --slow-query-seconds)",
+    )
+    parser.add_argument(
+        "--slow-query-log-keep",
+        type=int,
+        default=3,
+        metavar="N",
+        help="rotated slow-query log files kept (default 3)",
+    )
+
+
+def _add_history_read_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--journal", help="history journal file to read")
+    parser.add_argument(
+        "--data", help="dataset directory (journal defaults to <data>/history.journal)"
+    )
+    parser.add_argument("--top", type=int, default=10, help="fingerprints shown")
+    from repro.obs.history import TOP_ORDERINGS
+
+    parser.add_argument(
+        "--by",
+        choices=TOP_ORDERINGS,
+        default="total_seconds",
+        help="ordering of the top list",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="regression threshold (recent median vs baseline median)",
+    )
+    parser.add_argument(
+        "--baseline-calls",
+        type=int,
+        default=8,
+        help="observations forming a fingerprint's baseline",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=4,
+        help="size of the recent window compared against the baseline",
+    )
+
+
 def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--parallelism",
@@ -768,6 +1088,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--cache-size", type=int, default=256, help="plan cache capacity")
     batch.add_argument("--metrics", action="store_true", help="print summed work counters")
     _add_feedback_flags(batch)
+    _add_history_flags(batch)
     _add_parallel_flags(batch)
     batch.set_defaults(func=_cmd_batch)
 
@@ -779,6 +1100,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=256, help="plan cache capacity")
     serve.add_argument("--max-rows", type=int, default=DEFAULT_MAX_ROWS)
     _add_feedback_flags(serve)
+    _add_history_flags(serve)
     _add_parallel_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -815,12 +1137,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="hold locks only to pin the fold point and to swap "
         "(concurrent writers keep committing and are rebased)",
     )
+    compact.add_argument(
+        "--history-journal",
+        metavar="PATH",
+        default=None,
+        help="journal the compaction event (tables, rows reclaimed, "
+        "generation) into the history journal at PATH",
+    )
     compact.set_defaults(func=_cmd_compact)
 
     recover = subparsers.add_parser(
         "recover", help="replay the write-ahead log to the last committed batch"
     )
     recover.add_argument("--data", required=True, help="catalog directory")
+    recover.add_argument(
+        "--history-journal",
+        metavar="PATH",
+        default=None,
+        help="journal the recovery event (replayed transactions, truncated "
+        "bytes) into the history journal at PATH",
+    )
     recover.set_defaults(func=_cmd_recover)
 
     wal = subparsers.add_parser("wal", help="inspect the write-ahead log")
@@ -839,7 +1175,7 @@ def build_parser() -> argparse.ArgumentParser:
     wal_stat.set_defaults(func=_cmd_wal_status)
 
     metrics = subparsers.add_parser(
-        "metrics", help="print the process metrics registry (Prometheus text format)"
+        "metrics", help="print the process metrics registry"
     )
     metrics.add_argument("--data", required=True, help="catalog directory")
     metrics.add_argument(
@@ -847,9 +1183,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--file", help="file of ;-separated SQL statements to run first")
     metrics.add_argument("--planner", default="tcombined", choices=sorted(ALL_PLANNERS))
+    metrics.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="prometheus = text exposition format, json = the registry's "
+        "snapshot serialization (same shape as 'wal status --format json')",
+    )
     _add_feedback_flags(metrics)
+    _add_history_flags(metrics)
     _add_parallel_flags(metrics)
     metrics.set_defaults(func=_cmd_metrics)
+
+    history = subparsers.add_parser(
+        "history",
+        help="per-fingerprint workload statistics replayed from an event journal",
+    )
+    history.add_argument(
+        "history_command",
+        nargs="?",
+        choices=("top", "regressions"),
+        default="top",
+        help="top = heaviest fingerprints (default), regressions = detected "
+        "plan regressions",
+    )
+    _add_history_read_flags(history)
+    history.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="table = human-readable, json = machine-readable",
+    )
+    history.set_defaults(func=_cmd_history)
+
+    top = subparsers.add_parser(
+        "top", help="refreshing top-N view over a dataset's history journal"
+    )
+    _add_history_read_flags(top)
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render this many frames then exit (default: until interrupted)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     table = subparsers.add_parser("table", help="introspect a saved dataset")
     table_sub = table.add_subparsers(dest="table_command", required=True)

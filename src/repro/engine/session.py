@@ -235,24 +235,55 @@ class Session:
         ``parallelism`` / ``partitions`` / ``shards`` override the session
         defaults for this call only.  ``trace=True`` attaches a span tree to
         the result (see :meth:`execute_prepared`).
+
+        When a process-ambient :class:`~repro.obs.history.WorkloadHistory`
+        is installed (:func:`repro.obs.history.set_history`), the finished
+        execution is recorded there — unless a :class:`~repro.service.\
+QueryService` drove this call, in which case the service's publish point
+        (which knows the real plan-cache fingerprint) records it instead.
+        Recording happens after execution, from merged coordinator-side
+        counters; rows and IO accounting are identical with history on or
+        off.
         """
+        from repro.obs import history as obs_history
+
         planner = planner.lower()
+        query = self._bind(query)
+        publish = obs_history.session_should_publish()
+        wall_timer = Stopwatch() if publish else None
         if planner == "tmin":
-            return self._execute_tmin(
-                self._bind(query),
+            result = self._execute_tmin(
+                query,
                 naive_tags,
                 parallelism=parallelism,
                 partitions=partitions,
                 shards=shards,
             )
-        prepared = self.prepare(query, planner, naive_tags)
-        return self.execute_prepared(
-            prepared,
-            parallelism=parallelism,
-            partitions=partitions,
-            shards=shards,
-            trace=trace,
-        )
+        else:
+            prepared = self.prepare(query, planner, naive_tags)
+            result = self.execute_prepared(
+                prepared,
+                parallelism=parallelism,
+                partitions=partitions,
+                shards=shards,
+                trace=trace,
+            )
+        if publish:
+            history = obs_history.get_history()
+            if history is not None:
+                history.record_query(
+                    fingerprint=obs_history.session_fingerprint(query, planner),
+                    planner=result.planner_name,
+                    seconds=wall_timer.elapsed(),
+                    execution_seconds=result.execution_seconds,
+                    rows=result.row_count,
+                    pages_read=result.iostats.pages_read,
+                    pages_pruned=result.metrics.pages_pruned,
+                    cache_hit=result.cache_hit,
+                    plan_hash=obs_history.plan_hash_of(result.plan_description),
+                    trace=result.trace.to_dict() if result.trace is not None else None,
+                )
+        return result
 
     def begin_mutation(self):
         """Start a :class:`~repro.mutation.batch.MutationBatch` on the

@@ -51,6 +51,7 @@ from repro.mutation.wal import (
     read_wal,
     rewrite_wal,
 )
+from repro.obs.history import record_event as record_history_event
 from repro.obs.instruments import publish_compaction
 from repro.obs.trace import ambient_span
 from repro.storage.catalog import Catalog
@@ -193,7 +194,7 @@ class Compactor:
 
         tail_rows = sum(r["rows"] for r in rebased if r["op"] == "append")
         publish_compaction(rows_reclaimed=reclaimed)
-        return {
+        summary = {
             "tables": len(staged),
             "records_folded": fold_point,
             "rows_reclaimed": reclaimed,
@@ -201,6 +202,8 @@ class Compactor:
             "generation": generation,
             "tail_records": len(rebased),
         }
+        record_history_event("compaction", root=str(root), **summary)
+        return summary
 
     # ------------------------------------------------------------------ #
     def _stage_table(self, table: Table, generation: int) -> _StagedTable:

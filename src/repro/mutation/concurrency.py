@@ -30,6 +30,7 @@ from collections.abc import Callable
 
 from repro.mutation.batch import ConflictError
 from repro.mutation.delta import MutationCommit
+from repro.obs.history import record_event as record_history_event
 
 
 def retry_on_conflict(
@@ -63,6 +64,13 @@ def retry_on_conflict(
             return batch.commit()
         except ConflictError as error:
             last_error = error
+            record_history_event(
+                "conflict",
+                attempt=attempt + 1,
+                attempts=attempts,
+                error=str(error),
+                final=attempt + 1 >= attempts,
+            )
             if attempt + 1 < attempts:
                 delay = min(max_delay, base_delay * (2**attempt))
                 sleep(delay * (0.5 + random.random()))

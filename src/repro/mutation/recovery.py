@@ -30,6 +30,7 @@ from pathlib import Path
 
 from repro.mutation.diskops import apply_ops_to_saved_catalog
 from repro.mutation.wal import applied_txn, dataset_write_lock, read_wal
+from repro.obs.history import record_event as record_history_event
 from repro.obs.instruments import publish_recovery
 from repro.obs.trace import ambient_span
 from repro.storage.disk import _read_manifest
@@ -73,10 +74,15 @@ def recover_saved_catalog(root: str | Path) -> dict:
             span.attrs.update(
                 replayed_txns=replayed, truncated_bytes=state.tail_bytes
             )
-        return {
+        summary = {
             "wal": True,
             "truncated_bytes": state.tail_bytes,
             "replayed_txns": replayed,
             "last_txn": state.last_txn,
             "applied_txns": max(applied, state.last_txn),
         }
+        if replayed or state.tail_bytes:
+            # Journal only recoveries that *did* something — every
+            # load_catalog runs a clean no-op pass, which would be noise.
+            record_history_event("recovery", root=str(root), **summary)
+        return summary

@@ -1,6 +1,6 @@
-"""Observability: query tracing, process metrics, and the slow-query log.
+"""Observability: tracing, metrics, slow-query log, and workload history.
 
-Three cooperating pieces, all opt-in on the execution hot path:
+Cooperating pieces, all opt-in on the execution hot path:
 
 * :mod:`repro.obs.trace` — a hierarchical :class:`~repro.obs.trace.Tracer`
   riding on ``ExecContext`` (span tree per query, per-operator timing,
@@ -12,9 +12,25 @@ Three cooperating pieces, all opt-in on the execution hot path:
   instrument catalog in :mod:`repro.obs.instruments`;
 * :mod:`repro.obs.slowlog` — a structured
   :class:`~repro.obs.slowlog.SlowQueryLog` armed by
-  ``QueryService(slow_query_seconds=...)``.
+  ``QueryService(slow_query_seconds=...)``, with a size-rotated
+  :class:`~repro.obs.slowlog.RotatingFileSink`;
+* :mod:`repro.obs.history` — the longitudinal layer: a per-fingerprint
+  :class:`~repro.obs.history.QueryStatsStore`, the persistent checksummed
+  :class:`~repro.obs.journal.EventJournal`, and the
+  :class:`~repro.obs.regress.RegressionDetector`, composed by
+  :class:`~repro.obs.history.WorkloadHistory` (CLI: ``repro history``,
+  ``repro top``).
 """
 
+from .history import (
+    FingerprintStats,
+    QueryStatsStore,
+    WorkloadHistory,
+    get_history,
+    set_history,
+)
+from .journal import EventJournal, JournalScan, read_journal, scan_journal
+from .regress import RegressionDetector, RegressionEvent
 from .registry import (
     Counter,
     Gauge,
@@ -22,19 +38,31 @@ from .registry import (
     MetricsRegistry,
     get_registry,
 )
-from .slowlog import SlowQueryLog, SlowQueryRecord
+from .slowlog import RotatingFileSink, SlowQueryLog, SlowQueryRecord
 from .trace import Span, Tracer, ambient_span, current_tracer
 
 __all__ = [
     "Counter",
+    "EventJournal",
+    "FingerprintStats",
     "Gauge",
     "Histogram",
+    "JournalScan",
     "MetricsRegistry",
-    "get_registry",
+    "QueryStatsStore",
+    "RegressionDetector",
+    "RegressionEvent",
+    "RotatingFileSink",
     "SlowQueryLog",
     "SlowQueryRecord",
     "Span",
     "Tracer",
+    "WorkloadHistory",
     "ambient_span",
     "current_tracer",
+    "get_history",
+    "get_registry",
+    "read_journal",
+    "scan_journal",
+    "set_history",
 ]

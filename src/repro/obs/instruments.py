@@ -111,6 +111,20 @@ COMPACTION_ROWS_RECLAIMED = _REG.counter(
     "Deleted rows physically reclaimed by compaction.",
 )
 
+# --- workload history (published by repro.obs.history)
+HISTORY_REGRESSIONS = _REG.counter(
+    "repro_history_regressions_total",
+    "Plan regressions flagged by the workload-history detector.",
+)
+HISTORY_REPLANS = _REG.counter(
+    "repro_history_replans_total",
+    "Plan-cache entries retired for re-planning, as seen by history.",
+)
+HISTORY_JOURNAL_EVENTS = _REG.counter(
+    "repro_history_journal_events_total",
+    "Events appended to the workload-history event journal.",
+)
+
 
 def publish_query(
     seconds: float,
@@ -201,6 +215,24 @@ def publish_compaction(rows_reclaimed: int) -> None:
     COMPACTIONS.inc()
     if rows_reclaimed:
         COMPACTION_ROWS_RECLAIMED.inc(rows_reclaimed)
+
+
+def publish_regression() -> None:
+    """Count one plan regression flagged by the history detector."""
+    if ENABLED:
+        HISTORY_REGRESSIONS.inc()
+
+
+def publish_replan() -> None:
+    """Count one drift re-plan recorded by the workload history."""
+    if ENABLED:
+        HISTORY_REPLANS.inc()
+
+
+def publish_journal_event() -> None:
+    """Count one event appended to the history journal."""
+    if ENABLED:
+        HISTORY_JOURNAL_EVENTS.inc()
 
 
 def publish_wal_status(registry, status: dict, prefix: str = "repro_wal") -> None:

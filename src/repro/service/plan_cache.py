@@ -63,6 +63,12 @@ class PlanCache:
         self._entries: OrderedDict[str, object] = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        #: Optional callable invoked (outside the cache lock) with the key of
+        #: every entry dropped by :meth:`invalidate_entry` — the feedback
+        #: loop's drift retirements, i.e. re-plans.  The service layer wires
+        #: this into the workload history; exceptions are swallowed so a
+        #: broken observer never breaks caching.
+        self.on_replan = None
 
     @property
     def capacity(self) -> int:
@@ -120,7 +126,13 @@ class PlanCache:
                 return False
             del self._entries[key]
             self.stats.invalidations += 1
-            return True
+        hook = self.on_replan
+        if hook is not None:
+            try:
+                hook(key)
+            except Exception:  # noqa: BLE001 - observers never break caching
+                pass
+        return True
 
     def invalidate_matching(self, predicate) -> int:
         """Drop every cached plan for which ``predicate(value)`` is True.

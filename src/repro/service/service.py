@@ -44,8 +44,16 @@ from dataclasses import dataclass, field
 from repro.engine.metrics import ExecutionMetrics, Stopwatch, aggregate_metrics
 from repro.engine.result import QueryResult
 from repro.engine.session import PreparedPlan, Session
+from repro.obs import history as obs_history
 from repro.obs import instruments
-from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
+from repro.obs.history import WorkloadHistory, plan_hash_of
+from repro.obs.slowlog import (
+    DEFAULT_SLOW_LOG_KEEP,
+    DEFAULT_SLOW_LOG_MAX_BYTES,
+    RotatingFileSink,
+    SlowQueryLog,
+    SlowQueryRecord,
+)
 from repro.optimizer.feedback import DEFAULT_QERROR_THRESHOLD, FeedbackStore
 from repro.plan.query import Query
 from repro.kernels.config import resolve_tier, validate_tier
@@ -174,6 +182,20 @@ class QueryService:
         slow_query_sink: optional callable receiving each
             :class:`~repro.obs.slowlog.SlowQueryRecord`; exceptions it
             raises are swallowed (a broken sink never fails a query).
+        slow_query_log_path: additionally write each slow-query record as
+            one JSON line to this file through a size-rotating
+            :class:`~repro.obs.slowlog.RotatingFileSink` (composes with
+            ``slow_query_sink``; requires ``slow_query_seconds``).
+        slow_query_log_max_bytes / slow_query_log_keep: rotation size and
+            number of rotated files kept by the file sink.
+        history: a :class:`~repro.obs.history.WorkloadHistory` to feed with
+            every execution served here (per-fingerprint statistics, the
+            event journal, regression detection).  ``None`` falls back to
+            the process-ambient history installed with
+            :func:`repro.obs.history.set_history` (and records nothing when
+            that is absent).  History recording happens once, coordinator-
+            side, after per-worker metrics have merged — results and IO
+            accounting are byte-identical with history on or off.
     """
 
     def __init__(
@@ -190,14 +212,35 @@ class QueryService:
         shards: int | None = None,
         slow_query_seconds: float | None = None,
         slow_query_sink=None,
+        slow_query_log_path=None,
+        slow_query_log_max_bytes: int = DEFAULT_SLOW_LOG_MAX_BYTES,
+        slow_query_log_keep: int = DEFAULT_SLOW_LOG_KEEP,
+        history: WorkloadHistory | None = None,
     ) -> None:
         if isinstance(session, Catalog):
             session = Session(session)
         if shards is not None and shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
         self.session = session
+        self.history = history
+        sink = slow_query_sink
+        if slow_query_log_path is not None:
+            file_sink = RotatingFileSink(
+                slow_query_log_path,
+                max_bytes=slow_query_log_max_bytes,
+                keep=slow_query_log_keep,
+            )
+            if sink is None:
+                sink = file_sink
+            else:
+                user_sink = sink
+
+                def sink(record, _user=user_sink, _file=file_sink):
+                    _file(record)
+                    _user(record)
+
         self.slow_query_log = (
-            SlowQueryLog(slow_query_seconds, sink=slow_query_sink)
+            SlowQueryLog(slow_query_seconds, sink=sink)
             if slow_query_seconds is not None
             else None
         )
@@ -209,6 +252,9 @@ class QueryService:
             self.session.stats_provider = StatsCache(self.session.catalog)
         self.stats_cache = self.session.stats_provider
         self.plan_cache = PlanCache(plan_cache_size)
+        # Re-plan hook: a drift invalidation (feedback loop retiring one
+        # entry) is the event the workload history calls a "re-plan".
+        self.plan_cache.on_replan = self._record_replan
         self.feedback = feedback
         self.qerror_threshold = qerror_threshold
         self.feedback_store = FeedbackStore()
@@ -267,53 +313,83 @@ class QueryService:
         query = self._bind(query)
         wall_timer = Stopwatch()
         if planner == "tmin":
-            result = self.session.execute(
-                query,
-                planner=planner,
-                naive_tags=naive_tags,
-                parallelism=self.parallelism,
-                partitions=self.partitions,
-                shards=self.shards,
-                trace=bool(trace),
+            # The service is this query's history publisher: stand the
+            # session's own ambient publish down so the execution is
+            # recorded exactly once (under the service's fingerprint).
+            with obs_history.service_publishes():
+                result = self.session.execute(
+                    query,
+                    planner=planner,
+                    naive_tags=naive_tags,
+                    parallelism=self.parallelism,
+                    partitions=self.partitions,
+                    shards=self.shards,
+                    trace=bool(trace),
+                )
+            self._publish(
+                result,
+                wall_timer.elapsed(),
+                key=obs_history.session_fingerprint(query, planner),
             )
-            self._publish(result, wall_timer.elapsed(), key=None)
             return result
 
         lookup_timer = Stopwatch()
         key = self._fingerprint(query, planner, naive_tags)
-        prepared, reused = self._prepared_for(key, query, planner, naive_tags)
-        instruments.publish_plan_cache(hit=reused)
-        if not reused:
-            result = self.session.execute_prepared(
-                prepared,
-                parallelism=self.parallelism,
-                partitions=self.partitions,
-                collect_feedback=self.feedback,
-                kernels=self.kernels,
-                shards=self.shards,
-                trace=trace,
-            )
-        else:
-            result = self.session.execute_prepared(
-                prepared,
-                planning_seconds=lookup_timer.elapsed(),
-                cache_hit=True,
-                parallelism=self.parallelism,
-                partitions=self.partitions,
-                collect_feedback=self.feedback,
-                kernels=self.kernels,
-                shards=self.shards,
-                trace=trace,
-            )
+        try:
+            prepared, reused = self._prepared_for(key, query, planner, naive_tags)
+            instruments.publish_plan_cache(hit=reused)
+            if not reused:
+                result = self.session.execute_prepared(
+                    prepared,
+                    parallelism=self.parallelism,
+                    partitions=self.partitions,
+                    collect_feedback=self.feedback,
+                    kernels=self.kernels,
+                    shards=self.shards,
+                    trace=trace,
+                )
+            else:
+                result = self.session.execute_prepared(
+                    prepared,
+                    planning_seconds=lookup_timer.elapsed(),
+                    cache_hit=True,
+                    parallelism=self.parallelism,
+                    partitions=self.partitions,
+                    collect_feedback=self.feedback,
+                    kernels=self.kernels,
+                    shards=self.shards,
+                    trace=trace,
+                )
+        except Exception as error:
+            history = self._history()
+            if history is not None:
+                history.record_error(key, planner, f"{type(error).__name__}: {error}")
+            raise
         if self.feedback:
             self._observe(key, prepared, result)
         self._publish(result, wall_timer.elapsed(), key=key)
         return result
 
+    def _history(self) -> WorkloadHistory | None:
+        """The history this service feeds: explicit, else process-ambient."""
+        return self.history if self.history is not None else obs_history.get_history()
+
+    def _record_replan(self, key: str) -> None:
+        """Plan-cache hook: one drifted entry was retired for re-planning."""
+        history = self._history()
+        if history is not None:
+            history.record_replan(key)
+
     def _publish(
         self, result: QueryResult, elapsed_seconds: float, key: str | None
     ) -> None:
-        """Feed one finished execution into the registry and slow-query log."""
+        """Feed one finished execution into the registry, slow log and history.
+
+        This is the single coordinator-side publish point: per-morsel and
+        per-shard counters have already merged into ``result`` through the
+        engine's fork/absorb, so each query lands in the stats store and the
+        journal exactly once regardless of parallelism or shard count.
+        """
         instruments.publish_query(
             seconds=elapsed_seconds,
             rows=result.row_count,
@@ -322,23 +398,41 @@ class QueryService:
             morsels=result.metrics.morsels_executed,
             shard_tasks=result.metrics.shards_executed,
         )
+        fingerprint = key if key is not None else f"<{result.planner_name}>"
+        slow_record = None
         log = self.slow_query_log
         if log is not None and elapsed_seconds >= log.threshold_seconds:
-            log.observe(
-                SlowQueryRecord(
-                    fingerprint=key if key is not None else f"<{result.planner_name}>",
-                    planner=result.planner_name,
-                    elapsed_seconds=elapsed_seconds,
-                    planning_seconds=result.planning_seconds,
-                    execution_seconds=result.execution_seconds,
-                    rows=result.row_count,
-                    pages_read=result.iostats.pages_read,
-                    pages_pruned=result.metrics.pages_pruned,
-                    cache_hit=result.cache_hit,
-                    kernel_tier=result.kernel_tier,
-                    shards=self.shards,
-                )
+            slow_record = SlowQueryRecord(
+                fingerprint=fingerprint,
+                planner=result.planner_name,
+                elapsed_seconds=elapsed_seconds,
+                planning_seconds=result.planning_seconds,
+                execution_seconds=result.execution_seconds,
+                rows=result.row_count,
+                pages_read=result.iostats.pages_read,
+                pages_pruned=result.metrics.pages_pruned,
+                cache_hit=result.cache_hit,
+                kernel_tier=result.kernel_tier,
+                shards=self.shards,
             )
+            log.observe(slow_record)
+        history = self._history()
+        if history is not None:
+            trace = result.trace.to_dict() if result.trace is not None else None
+            history.record_query(
+                fingerprint=fingerprint,
+                planner=result.planner_name,
+                seconds=elapsed_seconds,
+                execution_seconds=result.execution_seconds,
+                rows=result.row_count,
+                pages_read=result.iostats.pages_read,
+                pages_pruned=result.metrics.pages_pruned,
+                cache_hit=result.cache_hit,
+                plan_hash=plan_hash_of(result.plan_description),
+                trace=trace,
+            )
+            if slow_record is not None:
+                history.record_slow_query(slow_record)
 
     def _prepared_for(self, key: str, query, planner: str, naive_tags: bool):
         """The prepared plan for ``key``: cached, awaited, or freshly planned.
